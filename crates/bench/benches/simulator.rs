@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the discrete-event simulator and the
+//! end-to-end controller step.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harmony::classify::{ClassifierConfig, TaskClassifier};
+use harmony::controllers::{CbpController, QuotaState};
+use harmony::HarmonyConfig;
+use harmony_model::{EnergyPrice, MachineCatalog, SimDuration, SimTime};
+use harmony_sim::{Controller, FirstFit, Observation, Simulation, SimulationConfig};
+use harmony_trace::{TraceConfig, TraceGenerator};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let trace = TraceGenerator::new(
+        TraceConfig::small().with_span(SimDuration::from_hours(1.0)).with_seed(4),
+    )
+    .generate();
+    let catalog = MachineCatalog::table2().scaled(100);
+    group.bench_function(format!("replay_{}_tasks_all_on", trace.len()), |b| {
+        b.iter(|| {
+            let config = SimulationConfig::new(catalog.clone()).all_machines_on();
+            Simulation::new(config, &trace, Box::new(FirstFit)).run()
+        })
+    });
+    group.finish();
+}
+
+fn bench_controller_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller");
+    group.sample_size(10);
+    let trace = TraceGenerator::new(TraceConfig::small().with_seed(4)).generate();
+    let classifier = Rc::new(
+        TaskClassifier::fit(trace.tasks(), &ClassifierConfig::default()).unwrap(),
+    );
+    let config = HarmonyConfig {
+        control_period: SimDuration::from_mins(10.0),
+        horizon: 4,
+        ..Default::default()
+    };
+    let catalog = MachineCatalog::table2().scaled(20);
+    let cluster = harmony_sim::Cluster::new(catalog);
+    let arrived: Vec<_> = trace.tasks()[..500.min(trace.len())].to_vec();
+    group.bench_function("cbp_decide_full_pipeline", |b| {
+        b.iter(|| {
+            // Fresh controller per iteration: measures the full monitor →
+            // forecast → containers → LP → rounding step.
+            let mut ctl = CbpController::new(
+                classifier.clone(),
+                config.clone(),
+                EnergyPrice::default(),
+            )
+            .unwrap();
+            ctl.decide(&Observation {
+                now: SimTime::ZERO,
+                cluster: &cluster,
+                pending: &arrived,
+                arrived_last_period: &arrived,
+                running: &[],
+            })
+        })
+    });
+    let _ = Rc::new(RefCell::new(QuotaState::default()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_controller_step);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! `replay` — run a HARMONY controller over a trace file.
+//!
+//! Usage:
+//!
+//! ```sh
+//! replay <trace-file> [--controller baseline|cbs|cbp|none] \
+//!        [--catalog table2|google10] [--scale <divisor>] \
+//!        [--format jsonl|google-csv] [--period-mins <f64>]
+//! ```
+//!
+//! `--controller none` replays on a fully-on cluster (no DCP). Trace
+//! files come from [`harmony_trace::Trace::write_jsonl`], from
+//! [`harmony_trace::google_csv::write_task_events`], or from the real
+//! Google cluster-data v1 `task_events` tables.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::exit;
+
+use harmony::classify::ClassifierConfig;
+use harmony::pipeline::{run_variant, Variant};
+use harmony::HarmonyConfig;
+use harmony_bench::{fmt, section, table};
+use harmony_model::{MachineCatalog, PriorityGroup, SimDuration};
+use harmony_sim::{FirstFit, Simulation, SimulationConfig};
+use harmony_trace::{google_csv, Trace};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: replay <trace-file> [--controller baseline|cbs|cbp|none] \
+         [--catalog table2|google10] [--scale <divisor>] \
+         [--format jsonl|google-csv] [--period-mins <f64>]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut controller = "cbp".to_owned();
+    let mut catalog_name = "table2".to_owned();
+    let mut scale = 50usize;
+    let mut format = "jsonl".to_owned();
+    let mut period_mins = 15.0f64;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| it.next().unwrap_or_else(|| {
+            eprintln!("missing value for {name}");
+            usage()
+        });
+        match arg.as_str() {
+            "--controller" => controller = grab("--controller"),
+            "--catalog" => catalog_name = grab("--catalog"),
+            "--scale" => {
+                scale = grab("--scale").parse().unwrap_or_else(|_| usage());
+            }
+            "--format" => format = grab("--format"),
+            "--period-mins" => {
+                period_mins = grab("--period-mins").parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage();
+            }
+        }
+    }
+    let Some(path) = path else { usage() };
+
+    let file = File::open(&path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        exit(1);
+    });
+    let reader = BufReader::new(file);
+    let trace: Trace = match format.as_str() {
+        "jsonl" => Trace::read_jsonl(reader),
+        "google-csv" => google_csv::read_task_events(reader),
+        other => {
+            eprintln!("unknown format {other}");
+            usage();
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1);
+    });
+
+    let catalog = match catalog_name.as_str() {
+        "table2" => MachineCatalog::table2(),
+        "google10" => MachineCatalog::google_ten_types(),
+        other => {
+            eprintln!("unknown catalog {other}");
+            usage();
+        }
+    }
+    .scaled(scale.max(1));
+
+    eprintln!(
+        "replaying {} tasks over {:.1} h on {} machines ({catalog_name}/{scale}), controller {controller}",
+        trace.len(),
+        trace.span().as_hours(),
+        catalog.total_machines(),
+    );
+
+    let config = HarmonyConfig {
+        control_period: SimDuration::from_mins(period_mins),
+        ..Default::default()
+    };
+    let report = match controller.as_str() {
+        "none" => {
+            let sim_config = SimulationConfig::new(catalog).all_machines_on();
+            Simulation::new(sim_config, &trace, Box::new(FirstFit)).run()
+        }
+        name => {
+            let variant = match name {
+                "baseline" => Variant::Baseline,
+                "cbs" => Variant::Cbs,
+                "cbp" => Variant::Cbp,
+                other => {
+                    eprintln!("unknown controller {other}");
+                    usage();
+                }
+            };
+            run_variant(&trace, &catalog, &config, &ClassifierConfig::default(), variant)
+                .unwrap_or_else(|e| {
+                    eprintln!("controller failed: {e}");
+                    exit(1);
+                })
+        }
+    };
+
+    section("replay report");
+    println!("tasks completed:      {}", report.tasks_completed);
+    println!("tasks running at end: {}", report.tasks_running_at_end);
+    println!("tasks pending at end: {}", report.tasks_pending_at_end);
+    println!("tasks unschedulable:  {}", report.tasks_unschedulable);
+    println!("energy:               {} kWh (${})", fmt(report.total_energy_wh / 1000.0), fmt(report.energy_cost_dollars));
+    println!("machine switches:     {} (${})", report.switch_count, fmt(report.switch_cost_dollars));
+    println!("migrations/evictions: {} / {}", report.migrations, report.evictions);
+
+    section("scheduling delay per priority group (seconds)");
+    let rows: Vec<Vec<String>> = PriorityGroup::ALL
+        .iter()
+        .map(|&g| {
+            let s = report.delay_stats(g);
+            vec![
+                g.to_string(),
+                s.count.to_string(),
+                fmt(s.immediate_fraction),
+                fmt(s.mean),
+                fmt(s.p50),
+                fmt(s.p90),
+                fmt(s.p99),
+                fmt(s.max),
+            ]
+        })
+        .collect();
+    table(&["group", "placements", "immediate", "mean", "p50", "p90", "p99", "max"], &rows);
+}

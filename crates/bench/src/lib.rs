@@ -1,0 +1,144 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 for the index) and prints the same rows or
+//! series the paper plots. Common knobs:
+//!
+//! * `HARMONY_SCALE` — trace/cluster scale preset: `quick` (CI-sized),
+//!   `default`, or `full` (the 29-day trace; minutes of runtime).
+//! * `HARMONY_SEED` — RNG seed override.
+//!
+//! Output is tab-separated so it can be piped straight into a plotting
+//! tool.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use harmony::classify::ClassifierConfig;
+use harmony::HarmonyConfig;
+use harmony_model::{MachineCatalog, SimDuration};
+use harmony_trace::{Trace, TraceConfig, TraceGenerator};
+
+/// Experiment scale presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long runs for CI and smoke tests.
+    Quick,
+    /// The default laptop-scale configuration.
+    Default,
+    /// The full 29-day analysis window.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from `HARMONY_SCALE` (`quick`/`default`/`full`),
+    /// defaulting to [`Scale::Default`].
+    pub fn from_env() -> Self {
+        match std::env::var("HARMONY_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "quick" => Scale::Quick,
+            "full" => Scale::Full,
+            _ => Scale::Default,
+        }
+    }
+}
+
+/// Seed from `HARMONY_SEED`, defaulting to 2013 (the trace default).
+pub fn seed_from_env() -> u64 {
+    std::env::var("HARMONY_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2013)
+}
+
+/// The workload-analysis trace (Section III / Figs. 1–7): the synthetic
+/// 29-day Google-like trace, shortened per scale.
+pub fn analysis_trace(scale: Scale) -> Trace {
+    let config = match scale {
+        Scale::Quick => TraceConfig::google_like().with_span(SimDuration::from_hours(6.0)),
+        Scale::Default => TraceConfig::google_like().with_span(SimDuration::from_days(7.0)),
+        Scale::Full => TraceConfig::google_like(),
+    }
+    .with_seed(seed_from_env());
+    TraceGenerator::new(config).generate()
+}
+
+/// The closed-loop evaluation setup (Section IX / Figs. 19–26): trace,
+/// catalog, controller and classifier configuration.
+pub fn evaluation_setup(
+    scale: Scale,
+) -> (Trace, MachineCatalog, HarmonyConfig, ClassifierConfig) {
+    // Catalog divisors keep peak concurrent demand near ~65-70% of
+    // cluster capacity, the regime where provisioning choices matter
+    // (measured: ~26 cpu units at 4 h, ~133 at 1 day, ~201 at 3 days).
+    let (span, catalog_divisor, control_mins) = match scale {
+        Scale::Quick => (SimDuration::from_hours(4.0), 50, 15.0),
+        Scale::Default => (SimDuration::from_days(1.0), 10, 15.0),
+        Scale::Full => (SimDuration::from_days(3.0), 7, 10.0),
+    };
+    let trace = TraceGenerator::new(
+        TraceConfig::evaluation().with_span(span).with_seed(seed_from_env()),
+    )
+    .generate();
+    let catalog = MachineCatalog::table2().scaled(catalog_divisor);
+    let harmony_config = HarmonyConfig {
+        control_period: SimDuration::from_mins(control_mins),
+        horizon: 4,
+        ..Default::default()
+    };
+    let classifier_config = ClassifierConfig::default();
+    (trace, catalog, harmony_config, classifier_config)
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!("\n== {title} ==");
+}
+
+/// Prints a tab-separated table with a header row.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    println!("{}", headers.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+}
+
+/// Formats a float compactly.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses_env_values() {
+        // Uses the parse logic directly rather than mutating the global
+        // environment.
+        assert_eq!(Scale::from_env(), Scale::Default);
+    }
+
+    #[test]
+    fn quick_setups_are_small() {
+        let trace = analysis_trace(Scale::Quick);
+        assert!(trace.len() > 0);
+        assert!(trace.span() <= SimDuration::from_hours(6.0));
+        let (trace, catalog, config, _) = evaluation_setup(Scale::Quick);
+        assert!(trace.len() > 0);
+        assert!(catalog.total_machines() <= 250);
+        config.validate().unwrap();
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.5), "1234");
+        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(0.012345), "0.0123");
+    }
+}

@@ -1,0 +1,396 @@
+//! The HARMONY controller core and its two variants.
+//!
+//! * **CBS** (Container-Based Scheduling, Section VII): provisioning and
+//!   scheduling are coordinated — the controller publishes container
+//!   quotas to a [`super::QuotaScheduler`].
+//! * **CBP** (Container-Based Provisioning, Section VIII-B): the same
+//!   provisioning pipeline, but the cluster's existing scheduler keeps
+//!   running unmodified — "simplicity and practicality ... however, due
+//!   to lack of control of the scheduler, CBP does not provide
+//!   performance guarantee in terms of task scheduling delay."
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use harmony_model::{EnergyPrice, MachineTypeId, SimDuration};
+use harmony_sim::{ControlDecision, Controller, Observation};
+
+use crate::cbs::{solve_cbs_relax, CbsInputs, CbsPlan};
+use crate::classify::TaskClassifier;
+use crate::containers::ContainerManager;
+use crate::monitor::ArrivalMonitor;
+use crate::rounding::{round_first_step, IntegerPlan};
+use crate::{HarmonyConfig, HarmonyError};
+
+use super::quota::QuotaState;
+
+/// The shared HARMONY control pipeline: monitor → predict → containers →
+/// CBS-RELAX → rounding.
+#[derive(Debug)]
+pub struct HarmonyCore {
+    config: HarmonyConfig,
+    classifier: Rc<TaskClassifier>,
+    manager: ContainerManager,
+    monitor: ArrivalMonitor,
+    price: EnergyPrice,
+    errors: usize,
+}
+
+impl HarmonyCore {
+    /// Builds the pipeline from a fitted classifier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and container-sizing errors.
+    pub fn new(
+        classifier: Rc<TaskClassifier>,
+        config: HarmonyConfig,
+        price: EnergyPrice,
+    ) -> Result<Self, HarmonyError> {
+        config.validate()?;
+        let manager = ContainerManager::new(&classifier, &config)?;
+        let monitor = ArrivalMonitor::new(
+            classifier.classes().len(),
+            config.control_period,
+            config.history_len,
+            config.arima_min_history,
+        );
+        Ok(HarmonyCore { config, classifier, manager, monitor, price, errors: 0 })
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &HarmonyConfig {
+        &self.config
+    }
+
+    /// How many control periods failed and fell back to "no change".
+    pub fn error_count(&self) -> usize {
+        self.errors
+    }
+
+    /// Containers currently occupied per class. Labels use measured
+    /// running time, exercising the short→long relabeling path of
+    /// Section V.
+    pub fn occupied_per_class(&self, observation: &Observation<'_>) -> Vec<f64> {
+        let mut occupied = vec![0.0f64; self.manager.n_classes()];
+        for task in observation.running {
+            let running_for = observation.now.saturating_since(task.arrival);
+            occupied[self.classifier.relabel(task, running_for).0] += 1.0;
+        }
+        occupied
+    }
+
+    /// Machine-type preference order per class: compatible types sorted
+    /// by the marginal energy cost of hosting one container.
+    fn type_orders(&self, catalog: &harmony_model::MachineCatalog) -> Vec<Vec<MachineTypeId>> {
+        (0..self.manager.n_classes())
+            .map(|n| {
+                let size = self.manager.container_size(harmony_model::TaskClassId(n));
+                let mut types: Vec<(MachineTypeId, f64)> = catalog
+                    .iter()
+                    .filter(|ty| size.fits_within(ty.capacity))
+                    .map(|ty| {
+                        let util = size.utilization_of(ty.capacity);
+                        let watts = ty.power.alpha_watts.cpu * util.cpu
+                            + ty.power.alpha_watts.mem * util.mem;
+                        (ty.id, watts)
+                    })
+                    .collect();
+                types.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("watts are finite"));
+                types.into_iter().map(|(id, _)| id).collect()
+            })
+            .collect()
+    }
+
+    /// One control step. Returns the fractional plan and its rounding.
+    fn step(
+        &mut self,
+        observation: &Observation<'_>,
+    ) -> Result<(CbsPlan, IntegerPlan), HarmonyError> {
+        self.monitor.record_period(observation.arrived_last_period, &self.classifier);
+        let rates = self.monitor.forecast(self.config.horizon)?;
+
+        // Pending backlog per class: must be served *now*, on top of the
+        // predicted new arrivals.
+        let mut backlog = vec![0.0f64; self.manager.n_classes()];
+        for task in observation.pending {
+            backlog[self.classifier.initial_label(task).0] += 1.0;
+        }
+        // Occupied containers: tasks already executing keep their
+        // container (and their host powered) until they finish. Their
+        // true demand is known (they are placed), so they reserve at the
+        // class mean rather than the Z-inflated container size: scale
+        // the occupied count by mean/container per class.
+        let occupied_raw = self.occupied_per_class(observation);
+        let occupied: Vec<f64> = occupied_raw
+            .iter()
+            .enumerate()
+            .map(|(n, &count)| {
+                let class = &self.classifier.classes()[n];
+                let c = self.manager.container_size(harmony_model::TaskClassId(n));
+                let ratio = (class.stats.mean_demand.cpu / c.cpu.max(1e-12))
+                    .max(class.stats.mean_demand.mem / c.mem.max(1e-12))
+                    .clamp(0.0, 1.0);
+                count * ratio
+            })
+            .collect();
+
+        let mut demand = vec![vec![0.0f64; self.manager.n_classes()]; self.config.horizon];
+        for n in 0..self.manager.n_classes() {
+            for (t, row) in demand.iter_mut().enumerate() {
+                let rate = rates[n][t];
+                let containers = self
+                    .manager
+                    .containers_for_rate(harmony_model::TaskClassId(n), rate)?
+                    as f64;
+                // Occupied containers persist across the horizon (the LP
+                // may not power their hosts down; in the simulator busy
+                // machines cannot be powered off either). Backlog needs
+                // capacity from the first period on.
+                row[n] = containers + occupied[n] + backlog[n];
+            }
+        }
+
+        let container_sizes: Vec<harmony_model::Resources> = (0..self.manager.n_classes())
+            .map(|n| self.manager.container_size(harmony_model::TaskClassId(n)))
+            .collect();
+        let utility: Vec<f64> = self
+            .classifier
+            .classes()
+            .iter()
+            .map(|c| self.config.utility_for(c.group))
+            .collect();
+        let initial: Vec<f64> = observation
+            .cluster
+            .active_per_type()
+            .into_iter()
+            .map(|n| n as f64)
+            .collect();
+        let plan = solve_cbs_relax(
+            &CbsInputs {
+                catalog: observation.cluster.catalog(),
+                container_sizes: &container_sizes,
+                utility_per_hour: &utility,
+                demand: &demand,
+                initial_active: &initial,
+                price: &self.price,
+                now: observation.now,
+            },
+            &self.config,
+        )?;
+        let integer = round_first_step(&plan, observation.cluster.catalog(), &container_sizes);
+        Ok((plan, integer))
+    }
+
+    fn decide_or_hold(&mut self, observation: &Observation<'_>) -> (ControlDecision, Option<IntegerPlan>) {
+        match self.step(observation) {
+            Ok((_plan, integer)) => (
+                ControlDecision::targets(integer.machines.clone()),
+                Some(integer),
+            ),
+            Err(_) => {
+                self.errors += 1;
+                (ControlDecision::unchanged(observation.cluster), None)
+            }
+        }
+    }
+}
+
+/// The CBS controller: HARMONY provisioning + quota-coordinated
+/// scheduling.
+#[derive(Debug)]
+pub struct CbsController {
+    core: HarmonyCore,
+    quota: Rc<RefCell<QuotaState>>,
+}
+
+impl CbsController {
+    /// Builds the CBS controller; pair it with a
+    /// [`super::QuotaScheduler`] sharing `quota` and the same
+    /// classifier.
+    ///
+    /// # Errors
+    ///
+    /// See [`HarmonyCore::new`].
+    pub fn new(
+        classifier: Rc<TaskClassifier>,
+        config: HarmonyConfig,
+        price: EnergyPrice,
+        quota: Rc<RefCell<QuotaState>>,
+    ) -> Result<Self, HarmonyError> {
+        Ok(CbsController { core: HarmonyCore::new(classifier, config, price)?, quota })
+    }
+
+    /// The shared pipeline (for inspection in tests/benches).
+    pub fn core(&self) -> &HarmonyCore {
+        &self.core
+    }
+}
+
+impl Controller for CbsController {
+    fn control_period(&self) -> SimDuration {
+        self.core.config.control_period
+    }
+
+    fn decide(&mut self, observation: &Observation<'_>) -> ControlDecision {
+        let (mut decision, integer) = self.core.decide_or_hold(observation);
+        if let Some(integer) = integer {
+            let orders = self.core.type_orders(observation.cluster.catalog());
+            // Authoritative occupancy (with short→long relabeling) keeps
+            // the ledger consistent with the plan's demand accounting.
+            let occupied = self.core.occupied_per_class(observation);
+            self.quota.borrow_mut().refresh(integer.quotas, orders, &occupied);
+            // CBS owns the scheduler, so it may also re-pack running
+            // containers to drain machines (Algorithm 1, lines 10-11).
+            decision.repack = true;
+        }
+        decision
+    }
+}
+
+/// The CBP controller: HARMONY provisioning with the stock scheduler.
+#[derive(Debug)]
+pub struct CbpController {
+    core: HarmonyCore,
+}
+
+impl CbpController {
+    /// Builds the CBP controller; pair it with any stock
+    /// [`harmony_sim::Scheduler`] (the paper's deployable configuration).
+    ///
+    /// # Errors
+    ///
+    /// See [`HarmonyCore::new`].
+    pub fn new(
+        classifier: Rc<TaskClassifier>,
+        config: HarmonyConfig,
+        price: EnergyPrice,
+    ) -> Result<Self, HarmonyError> {
+        Ok(CbpController { core: HarmonyCore::new(classifier, config, price)? })
+    }
+
+    /// The shared pipeline (for inspection in tests/benches).
+    pub fn core(&self) -> &HarmonyCore {
+        &self.core
+    }
+}
+
+impl Controller for CbpController {
+    fn control_period(&self) -> SimDuration {
+        self.core.config.control_period
+    }
+
+    fn decide(&mut self, observation: &Observation<'_>) -> ControlDecision {
+        self.core.decide_or_hold(observation).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{ClassifierConfig, TaskClassifier};
+    use harmony_model::{MachineCatalog, SimTime};
+    use harmony_sim::Cluster;
+    use harmony_trace::{TraceConfig, TraceGenerator};
+
+    fn fixture() -> (Rc<TaskClassifier>, harmony_trace::Trace, HarmonyConfig) {
+        let trace = TraceGenerator::new(TraceConfig::small().with_seed(33)).generate();
+        let classifier = Rc::new(
+            TaskClassifier::fit(
+                trace.tasks(),
+                &ClassifierConfig { k_per_group: Some([2, 2, 2]), ..Default::default() },
+            )
+            .unwrap(),
+        );
+        let config = HarmonyConfig {
+            horizon: 2,
+            control_period: SimDuration::from_mins(10.0),
+            ..Default::default()
+        };
+        (classifier, trace, config)
+    }
+
+    #[test]
+    fn cbp_decides_capacity_for_arrivals() {
+        let (classifier, trace, config) = fixture();
+        let mut ctl =
+            CbpController::new(classifier, config, EnergyPrice::default()).unwrap();
+        let cluster = Cluster::new(MachineCatalog::table2().scaled(100));
+        let arrived: Vec<_> = trace.tasks()[..300].to_vec();
+        let decision = ctl.decide(&Observation {
+            now: SimTime::ZERO,
+            cluster: &cluster,
+            pending: &arrived,
+            arrived_last_period: &arrived,
+            running: &[],
+        });
+        assert_eq!(decision.target_active.len(), 4);
+        let total: usize = decision.target_active.iter().sum();
+        assert!(total > 0, "pending demand must bring machines up: {decision:?}");
+        assert_eq!(ctl.core().error_count(), 0);
+    }
+
+    #[test]
+    fn cbs_publishes_quotas() {
+        let (classifier, trace, config) = fixture();
+        let quota = Rc::new(RefCell::new(QuotaState::default()));
+        let mut ctl = CbsController::new(
+            classifier.clone(),
+            config,
+            EnergyPrice::default(),
+            quota.clone(),
+        )
+        .unwrap();
+        let cluster = Cluster::new(MachineCatalog::table2().scaled(100));
+        let arrived: Vec<_> = trace.tasks()[..300].to_vec();
+        let _ = ctl.decide(&Observation {
+            now: SimTime::ZERO,
+            cluster: &cluster,
+            pending: &arrived,
+            arrived_last_period: &arrived,
+            running: &[],
+        });
+        // Some class has quota somewhere.
+        let state = quota.borrow();
+        let any = (0..classifier.classes().len()).any(|n| state.remaining(n) > 0.0);
+        assert!(any, "CBS must publish nonzero quotas");
+    }
+
+    #[test]
+    fn idle_cluster_with_no_arrivals_scales_down() {
+        let (classifier, _, config) = fixture();
+        let mut ctl =
+            CbpController::new(classifier, config, EnergyPrice::default()).unwrap();
+        let mut cluster = Cluster::new(MachineCatalog::table2().scaled(100));
+        let (ids, ready) = cluster.power_on(MachineTypeId(0), 20, SimTime::ZERO);
+        for id in ids {
+            cluster.boot_complete(id, ready);
+        }
+        // Several empty periods: capacity should fall toward zero.
+        let mut last_total = 20;
+        for i in 0..4 {
+            let decision = ctl.decide(&Observation {
+                now: SimTime::from_secs(600.0 * i as f64),
+                cluster: &cluster,
+                pending: &[],
+                arrived_last_period: &[],
+                running: &[],
+            });
+            last_total = decision.target_active.iter().sum();
+        }
+        assert!(last_total <= 2, "idle cluster should power down, got {last_total}");
+        assert_eq!(ctl.core().error_count(), 0);
+    }
+
+    #[test]
+    fn control_period_is_config_driven() {
+        let (classifier, _, config) = fixture();
+        let ctl = CbpController::new(classifier.clone(), config.clone(), EnergyPrice::default())
+            .unwrap();
+        assert_eq!(ctl.control_period(), config.control_period);
+        let quota = Rc::new(RefCell::new(QuotaState::default()));
+        let cbs = CbsController::new(classifier, config.clone(), EnergyPrice::default(), quota)
+            .unwrap();
+        assert_eq!(cbs.control_period(), config.control_period);
+    }
+}

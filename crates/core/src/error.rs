@@ -1,0 +1,101 @@
+//! Error type for the HARMONY pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the HARMONY pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HarmonyError {
+    /// Task classification failed (e.g. too few tasks for the requested
+    /// number of classes).
+    Classification(harmony_kmeans::KMeansError),
+    /// Arrival-rate forecasting failed.
+    Forecast(harmony_forecast::ForecastError),
+    /// Container-count computation failed.
+    Queueing(harmony_queueing::QueueingError),
+    /// The CBS-RELAX program could not be solved.
+    Optimization(harmony_lp::LpError),
+    /// A configuration value is out of range.
+    InvalidConfig {
+        /// What is wrong.
+        reason: String,
+    },
+    /// Not enough observed tasks to fit the pipeline.
+    InsufficientData {
+        /// What was being fitted.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for HarmonyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarmonyError::Classification(e) => write!(f, "task classification failed: {e}"),
+            HarmonyError::Forecast(e) => write!(f, "workload prediction failed: {e}"),
+            HarmonyError::Queueing(e) => write!(f, "container sizing failed: {e}"),
+            HarmonyError::Optimization(e) => write!(f, "provisioning optimization failed: {e}"),
+            HarmonyError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            HarmonyError::InsufficientData { context } => {
+                write!(f, "not enough data to fit {context}")
+            }
+        }
+    }
+}
+
+impl Error for HarmonyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HarmonyError::Classification(e) => Some(e),
+            HarmonyError::Forecast(e) => Some(e),
+            HarmonyError::Queueing(e) => Some(e),
+            HarmonyError::Optimization(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<harmony_kmeans::KMeansError> for HarmonyError {
+    fn from(e: harmony_kmeans::KMeansError) -> Self {
+        HarmonyError::Classification(e)
+    }
+}
+
+impl From<harmony_forecast::ForecastError> for HarmonyError {
+    fn from(e: harmony_forecast::ForecastError) -> Self {
+        HarmonyError::Forecast(e)
+    }
+}
+
+impl From<harmony_queueing::QueueingError> for HarmonyError {
+    fn from(e: harmony_queueing::QueueingError) -> Self {
+        HarmonyError::Queueing(e)
+    }
+}
+
+impl From<harmony_lp::LpError> for HarmonyError {
+    fn from(e: harmony_lp::LpError) -> Self {
+        HarmonyError::Optimization(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e: HarmonyError = harmony_lp::LpError::Infeasible.into();
+        assert!(e.to_string().contains("infeasible"));
+        assert!(e.source().is_some());
+        let e = HarmonyError::InvalidConfig { reason: "w = 0".into() };
+        assert!(e.to_string().contains("w = 0"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<HarmonyError>();
+    }
+}

@@ -1,0 +1,207 @@
+//! Per-class arrival-rate monitoring and prediction (the paper's task
+//! analysis + prediction modules).
+
+use harmony_forecast::{Arima, Forecaster, MovingAverage};
+use harmony_model::{SimDuration, Task, TaskClassId};
+
+use crate::classify::TaskClassifier;
+use crate::HarmonyError;
+
+/// Monitors the arrival rate of every task class, one sample per control
+/// period, and forecasts future rates.
+#[derive(Debug)]
+pub struct ArrivalMonitor {
+    period: SimDuration,
+    history_len: usize,
+    arima_min_history: usize,
+    /// Rate history (tasks/second) per class.
+    history: Vec<Vec<f64>>,
+}
+
+impl ArrivalMonitor {
+    /// Creates a monitor for `n_classes` classes sampling once per
+    /// `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `history_len == 0`.
+    pub fn new(
+        n_classes: usize,
+        period: SimDuration,
+        history_len: usize,
+        arima_min_history: usize,
+    ) -> Self {
+        assert!(period.as_secs() > 0.0, "control period must be positive");
+        assert!(history_len > 0, "history length must be positive");
+        ArrivalMonitor {
+            period,
+            history_len,
+            arima_min_history,
+            history: vec![Vec::new(); n_classes],
+        }
+    }
+
+    /// Number of classes tracked.
+    pub fn n_classes(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Records one control period's arrivals, labeling each task with
+    /// its initial (short) class.
+    pub fn record_period(&mut self, arrived: &[Task], classifier: &TaskClassifier) {
+        let mut counts = vec![0usize; self.history.len()];
+        for task in arrived {
+            let label = classifier.initial_label(task);
+            if let Some(c) = counts.get_mut(label.0) {
+                *c += 1;
+            }
+        }
+        let secs = self.period.as_secs();
+        for (class, count) in counts.into_iter().enumerate() {
+            let h = &mut self.history[class];
+            h.push(count as f64 / secs);
+            let len = h.len();
+            if len > self.history_len {
+                h.drain(..len - self.history_len);
+            }
+        }
+    }
+
+    /// The recorded rate history (tasks/second) of one class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn history(&self, class: TaskClassId) -> &[f64] {
+        &self.history[class.0]
+    }
+
+    /// Number of recorded periods so far (same for every class).
+    pub fn periods_recorded(&self) -> usize {
+        self.history.first().map_or(0, Vec::len)
+    }
+
+    /// Forecasts arrival rates for the next `horizon` periods, one
+    /// series per class.
+    ///
+    /// Falls back to a moving average when the history is too short for
+    /// a meaningful ARIMA fit, and to the last observation when even
+    /// that is unavailable; rates are clamped non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarmonyError::Forecast`] only when every fallback fails
+    /// (never with a non-empty history).
+    pub fn forecast(&self, horizon: usize) -> Result<Vec<Vec<f64>>, HarmonyError> {
+        let mut out = Vec::with_capacity(self.history.len());
+        for h in &self.history {
+            if h.is_empty() {
+                out.push(vec![0.0; horizon]);
+                continue;
+            }
+            let fc = if h.len() >= self.arima_min_history {
+                match auto_forecast(h, horizon) {
+                    Ok(fc) => fc,
+                    Err(_) => fallback_forecast(h, horizon)?,
+                }
+            } else {
+                fallback_forecast(h, horizon)?
+            };
+            out.push(fc.into_iter().map(|v| v.max(0.0)).collect());
+        }
+        Ok(out)
+    }
+}
+
+fn auto_forecast(history: &[f64], horizon: usize) -> Result<Vec<f64>, HarmonyError> {
+    // A small fixed order keeps per-tick cost bounded; auto_arima's grid
+    // search is reserved for offline studies.
+    let model = Arima::new(2, 0, 1)?.with_mean();
+    Ok(model.forecast(history, horizon)?)
+}
+
+fn fallback_forecast(history: &[f64], horizon: usize) -> Result<Vec<f64>, HarmonyError> {
+    let window = history.len().min(6).max(1);
+    Ok(MovingAverage::new(window)?.forecast(history, horizon)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::ClassifierConfig;
+    use harmony_trace::{TraceConfig, TraceGenerator};
+
+    fn setup() -> (TaskClassifier, harmony_trace::Trace) {
+        let trace = TraceGenerator::new(TraceConfig::small().with_seed(9)).generate();
+        let c = TaskClassifier::fit(trace.tasks(), &ClassifierConfig::default()).unwrap();
+        (c, trace)
+    }
+
+    #[test]
+    fn records_rates_per_class() {
+        let (classifier, trace) = setup();
+        let period = SimDuration::from_mins(10.0);
+        let mut monitor =
+            ArrivalMonitor::new(classifier.classes().len(), period, 100, 24);
+        // Feed the whole trace in 10-minute chunks.
+        let mut chunk = Vec::new();
+        let mut boundary = period;
+        for task in trace.tasks() {
+            if task.arrival.as_secs() > boundary.as_secs() {
+                monitor.record_period(&chunk, &classifier);
+                chunk.clear();
+                boundary += period;
+            }
+            chunk.push(*task);
+        }
+        monitor.record_period(&chunk, &classifier);
+        assert!(monitor.periods_recorded() >= 10);
+        // Total recorded rate mass equals the trace size.
+        let total: f64 = (0..monitor.n_classes())
+            .map(|c| monitor.history(TaskClassId(c)).iter().sum::<f64>() * period.as_secs())
+            .sum();
+        assert!((total - trace.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let (classifier, trace) = setup();
+        let mut monitor =
+            ArrivalMonitor::new(classifier.classes().len(), SimDuration::from_mins(1.0), 5, 3);
+        for _ in 0..12 {
+            monitor.record_period(&trace.tasks()[..50], &classifier);
+        }
+        assert_eq!(monitor.periods_recorded(), 5);
+    }
+
+    #[test]
+    fn forecast_shapes_and_nonnegativity() {
+        let (classifier, trace) = setup();
+        let mut monitor =
+            ArrivalMonitor::new(classifier.classes().len(), SimDuration::from_mins(10.0), 50, 8);
+        for i in 0..10 {
+            let lo = i * 100;
+            let hi = (lo + 100).min(trace.len());
+            monitor.record_period(&trace.tasks()[lo..hi], &classifier);
+        }
+        let fc = monitor.forecast(3).unwrap();
+        assert_eq!(fc.len(), classifier.classes().len());
+        for series in &fc {
+            assert_eq!(series.len(), 3);
+            assert!(series.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn forecast_with_no_history_is_zero() {
+        let monitor = ArrivalMonitor::new(3, SimDuration::from_mins(10.0), 10, 5);
+        let fc = monitor.forecast(2).unwrap();
+        assert_eq!(fc, vec![vec![0.0, 0.0]; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        let _ = ArrivalMonitor::new(1, SimDuration::ZERO, 10, 5);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for forecasting operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by forecasting operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ForecastError {
+    /// The history is shorter than the model requires.
+    SeriesTooShort {
+        /// Minimum usable length.
+        needed: usize,
+        /// Supplied length.
+        got: usize,
+    },
+    /// The history contains a NaN or infinite value.
+    NonFiniteValue {
+        /// Index of the offending observation.
+        index: usize,
+    },
+    /// A model hyper-parameter is out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Supplied value, formatted.
+        value: String,
+    },
+    /// Optimization failed to produce finite coefficients.
+    FitFailed {
+        /// Human-readable diagnostic.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ForecastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForecastError::SeriesTooShort { needed, got } => {
+                write!(f, "series has {got} observations, at least {needed} required")
+            }
+            ForecastError::NonFiniteValue { index } => {
+                write!(f, "observation {index} is NaN or infinite")
+            }
+            ForecastError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} has invalid value {value}")
+            }
+            ForecastError::FitFailed { reason } => write!(f, "model fit failed: {reason}"),
+        }
+    }
+}
+
+impl Error for ForecastError {}
+
+/// Validates that a series is finite, returning the first bad index.
+pub(crate) fn check_finite(series: &[f64]) -> Result<(), ForecastError> {
+    match series.iter().position(|v| !v.is_finite()) {
+        Some(index) => Err(ForecastError::NonFiniteValue { index }),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(ForecastError::SeriesTooShort { needed: 5, got: 2 }.to_string().contains("5"));
+        assert!(ForecastError::NonFiniteValue { index: 3 }.to_string().contains("3"));
+        assert!(ForecastError::FitFailed { reason: "x".into() }.to_string().contains("x"));
+    }
+
+    #[test]
+    fn check_finite_finds_first_bad_index() {
+        assert!(check_finite(&[1.0, 2.0]).is_ok());
+        assert_eq!(
+            check_finite(&[1.0, f64::NAN, f64::INFINITY]),
+            Err(ForecastError::NonFiniteValue { index: 1 })
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ForecastError>();
+    }
+}

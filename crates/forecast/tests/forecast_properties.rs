@@ -1,0 +1,85 @@
+//! Property-based tests for the forecasting substrate.
+
+use harmony_forecast::series::{difference, difference_tails, integrate};
+use harmony_forecast::{Arima, Ewma, Forecaster, Holt, MovingAverage, Naive};
+use proptest::prelude::*;
+
+fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e4f64..1e4, 20..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// difference/integrate round-trip for d in 0..=2 on arbitrary
+    /// series.
+    #[test]
+    fn difference_integrate_roundtrip(s in series_strategy(), d in 0usize..3) {
+        let split = s.len() / 2;
+        let history = &s[..split];
+        prop_assume!(history.len() > d + 1);
+        let diffed_all = difference(&s, d).unwrap();
+        let future_diffed = &diffed_all[split - d..];
+        let tails = difference_tails(history, d).unwrap();
+        let reconstructed = integrate(future_diffed, &tails);
+        for (a, b) in reconstructed.iter().zip(&s[split..]) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    /// Every forecaster returns the requested number of finite values on
+    /// arbitrary finite histories.
+    #[test]
+    fn forecasts_are_finite(s in series_strategy(), horizon in 1usize..6) {
+        let ma = MovingAverage::new(5).unwrap();
+        let ewma = Ewma::new(0.4).unwrap();
+        let holt = Holt::new(0.5, 0.3).unwrap();
+        let arima = Arima::new(1, 0, 1).unwrap().with_mean();
+        let forecasters: Vec<&dyn Forecaster> = vec![&Naive, &ma, &ewma, &holt, &arima];
+        for f in forecasters {
+            let fc = f.forecast(&s, horizon).unwrap();
+            prop_assert_eq!(fc.len(), horizon, "{}", f.name());
+            for v in &fc {
+                prop_assert!(v.is_finite(), "{} produced {v}", f.name());
+            }
+        }
+    }
+
+    /// Constant series: every forecaster predicts (nearly) the constant.
+    #[test]
+    fn constant_series_fixed_point(level in -1e3f64..1e3, n in 10usize..60) {
+        let s = vec![level; n];
+        let ma = MovingAverage::new(5).unwrap();
+        let ewma = Ewma::new(0.4).unwrap();
+        let forecasters: Vec<&dyn Forecaster> = vec![&Naive, &ma, &ewma];
+        for f in forecasters {
+            let fc = f.forecast(&s, 3).unwrap();
+            for v in fc {
+                prop_assert!((v - level).abs() < 1e-9 * (1.0 + level.abs()), "{}", f.name());
+            }
+        }
+    }
+
+    /// ARIMA fitting on white-ish noise never produces wild forecasts:
+    /// predictions stay within an order of magnitude of the history's
+    /// range.
+    #[test]
+    fn arima_forecasts_bounded(seed in 0u64..5000) {
+        let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(7);
+        let mut noise = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+        };
+        let s: Vec<f64> = (0..80).map(|_| 50.0 + 10.0 * noise()).collect();
+        let fc = Arima::new(2, 0, 1).unwrap().with_mean().forecast(&s, 5).unwrap();
+        let lo = s.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = hi - lo;
+        for v in fc {
+            prop_assert!(
+                v > lo - 2.0 * span && v < hi + 2.0 * span,
+                "forecast {v} far outside history [{lo}, {hi}]"
+            );
+        }
+    }
+}

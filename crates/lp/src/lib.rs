@@ -1,0 +1,49 @@
+//! A dense two-phase simplex LP solver, built from scratch for solving
+//! the paper's CBS-RELAX provisioning relaxation (Eq. 14–16).
+//!
+//! CBS-RELAX maximizes a concave objective (energy cost, switching cost
+//! `q_m|δ|`, and a concave scheduling utility `f_n`) over linear
+//! constraints. With piecewise-linear concave `f_n` — the form the paper
+//! derives from SLO penalty curves — the whole program is an LP:
+//!
+//! * `|δ|` terms split into `δ⁺ + δ⁻` with `δ = δ⁺ - δ⁻`, both
+//!   non-negative;
+//! * each concave `f_n` becomes one variable per linear segment with
+//!   per-segment upper bounds ([`PiecewiseLinear`] does the bookkeeping).
+//!
+//! The solver is a classic dense two-phase primal simplex with Bland's
+//! anti-cycling rule — deliberately simple, deterministic, and exact
+//! enough for the instance sizes HARMONY solves each control period
+//! (tens of machine types × tens of task classes × a short MPC horizon).
+//!
+//! # Examples
+//!
+//! Maximize `3x + 2y` subject to `x + y ≤ 4`, `x ≤ 2`:
+//!
+//! ```
+//! use harmony_lp::{Problem, Sense};
+//!
+//! let mut p = Problem::new(Sense::Maximize);
+//! let x = p.add_var("x", 0.0, f64::INFINITY, 3.0);
+//! let y = p.add_var("y", 0.0, f64::INFINITY, 2.0);
+//! p.add_le(vec![(x, 1.0), (y, 1.0)], 4.0);
+//! p.add_le(vec![(x, 1.0)], 2.0);
+//! let sol = p.solve()?;
+//! assert!((sol.objective() - 10.0).abs() < 1e-9);
+//! assert!((sol.value(x) - 2.0).abs() < 1e-9);
+//! assert!((sol.value(y) - 2.0).abs() < 1e-9);
+//! # Ok::<(), harmony_lp::LpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+mod piecewise;
+mod problem;
+mod simplex;
+
+pub use error::LpError;
+pub use piecewise::PiecewiseLinear;
+pub use problem::{Constraint, Problem, Relation, Sense, VarId};
+pub use simplex::{SimplexOptions, Solution, Status};

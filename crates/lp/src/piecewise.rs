@@ -1,0 +1,163 @@
+//! Piecewise-linear concave utility functions.
+//!
+//! The paper assumes the per-class scheduling utility `f_n(·)` is concave
+//! (Section VII-B), derived from SLO penalty curves. A concave
+//! piecewise-linear function with decreasing slopes can be embedded in an
+//! LP by splitting its argument into one bounded segment variable per
+//! piece: concavity makes the LP fill segments greedily from the steepest
+//! slope down, so no integer variables are needed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Problem, VarId};
+
+/// A concave piecewise-linear function described by segments of
+/// decreasing slope.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_lp::PiecewiseLinear;
+///
+/// // Utility 10/unit for the first 100 containers, 4/unit for the next
+/// // 50, nothing beyond.
+/// let f = PiecewiseLinear::concave(vec![(100.0, 10.0), (50.0, 4.0)])?;
+/// assert_eq!(f.eval(0.0), 0.0);
+/// assert_eq!(f.eval(100.0), 1000.0);
+/// assert_eq!(f.eval(125.0), 1100.0);
+/// assert_eq!(f.eval(1000.0), 1200.0); // saturates
+/// # Ok::<(), harmony_lp::LpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseLinear {
+    /// `(width, slope)` per segment, slopes strictly decreasing.
+    segments: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// Builds a concave function from `(width, slope)` segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LpError::NonFiniteInput`] if any width or slope is
+    /// non-finite, a width is non-positive, or slopes are not
+    /// non-increasing (which would break the LP embedding).
+    pub fn concave(segments: Vec<(f64, f64)>) -> Result<Self, crate::LpError> {
+        let mut prev = f64::INFINITY;
+        for &(w, s) in &segments {
+            if !w.is_finite() || !s.is_finite() || w <= 0.0 {
+                return Err(crate::LpError::NonFiniteInput { context: "piecewise segment" });
+            }
+            if s > prev + 1e-12 {
+                return Err(crate::LpError::NonFiniteInput {
+                    context: "piecewise slopes must be non-increasing (concave)",
+                });
+            }
+            prev = s;
+        }
+        Ok(PiecewiseLinear { segments })
+    }
+
+    /// A single-slope linear utility capped at `width`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PiecewiseLinear::concave`].
+    pub fn linear_capped(width: f64, slope: f64) -> Result<Self, crate::LpError> {
+        Self::concave(vec![(width, slope)])
+    }
+
+    /// The segments as `(width, slope)` pairs.
+    pub fn segments(&self) -> &[(f64, f64)] {
+        &self.segments
+    }
+
+    /// The total width (saturation point) of the function.
+    pub fn total_width(&self) -> f64 {
+        self.segments.iter().map(|(w, _)| w).sum()
+    }
+
+    /// Evaluates the function at `x ≥ 0` (clamped below at 0, saturating
+    /// beyond the last segment).
+    pub fn eval(&self, x: f64) -> f64 {
+        let mut remaining = x.max(0.0);
+        let mut total = 0.0;
+        for &(w, s) in &self.segments {
+            let used = remaining.min(w);
+            total += used * s;
+            remaining -= used;
+            if remaining <= 0.0 {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Adds segment variables for this function to `problem` and returns
+    /// their ids. The caller should constrain `Σ segments = argument`
+    /// (or `≤`), and the segment variables carry the utility in the
+    /// objective directly.
+    ///
+    /// For a *maximization* problem the embedding is exact: concavity
+    /// guarantees the optimizer exhausts steeper segments first.
+    pub fn add_to_problem(&self, problem: &mut Problem, name: &str) -> Vec<VarId> {
+        self.segments
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, s))| problem.add_var(format!("{name}_seg{i}"), 0.0, w, s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sense;
+
+    #[test]
+    fn eval_accumulates_segments() {
+        let f = PiecewiseLinear::concave(vec![(10.0, 5.0), (10.0, 2.0), (10.0, 0.5)]).unwrap();
+        assert_eq!(f.eval(-3.0), 0.0);
+        assert_eq!(f.eval(5.0), 25.0);
+        assert_eq!(f.eval(10.0), 50.0);
+        assert_eq!(f.eval(15.0), 60.0);
+        assert_eq!(f.eval(30.0), 75.0);
+        assert_eq!(f.eval(300.0), 75.0);
+        assert_eq!(f.total_width(), 30.0);
+    }
+
+    #[test]
+    fn rejects_non_concave_or_bad_segments() {
+        assert!(PiecewiseLinear::concave(vec![(1.0, 1.0), (1.0, 2.0)]).is_err());
+        assert!(PiecewiseLinear::concave(vec![(0.0, 1.0)]).is_err());
+        assert!(PiecewiseLinear::concave(vec![(-1.0, 1.0)]).is_err());
+        assert!(PiecewiseLinear::concave(vec![(1.0, f64::NAN)]).is_err());
+        assert!(PiecewiseLinear::concave(vec![]).is_ok());
+        assert!(PiecewiseLinear::concave(vec![(5.0, -1.0), (5.0, -2.0)]).is_ok());
+    }
+
+    #[test]
+    fn lp_embedding_matches_eval() {
+        // max f(x) - 3x with f = [(4, 10), (4, 5), (4, 1)]: marginal
+        // utility beats cost 3 on the first two segments only → x = 8.
+        let f = PiecewiseLinear::concave(vec![(4.0, 10.0), (4.0, 5.0), (4.0, 1.0)]).unwrap();
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, -3.0);
+        let segs = f.add_to_problem(&mut p, "f");
+        let mut terms: Vec<(VarId, f64)> = segs.iter().map(|&s| (s, 1.0)).collect();
+        terms.push((x, -1.0));
+        p.add_eq(terms, 0.0);
+        let s = p.solve().unwrap();
+        assert!((s.value(x) - 8.0).abs() < 1e-7, "x = {}", s.value(x));
+        let expected = f.eval(8.0) - 3.0 * 8.0;
+        assert!((s.objective() - expected).abs() < 1e-7);
+    }
+
+    #[test]
+    fn linear_capped_helper() {
+        let f = PiecewiseLinear::linear_capped(7.0, 3.0).unwrap();
+        assert_eq!(f.eval(2.0), 6.0);
+        assert_eq!(f.eval(100.0), 21.0);
+        assert_eq!(f.segments().len(), 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for queueing computations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by queueing-model computations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueueingError {
+    /// A rate or coefficient was non-finite or out of its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The requested configuration is unstable (`ρ >= 1`): the queue grows
+    /// without bound.
+    Unstable {
+        /// Traffic intensity `ρ = λ/(Nμ)`.
+        rho: f64,
+    },
+    /// No server count up to the given cap satisfies the delay target.
+    TargetUnreachable {
+        /// The delay target in seconds.
+        target: f64,
+        /// The server cap that was searched.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for QueueingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueingError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} has invalid value {value}")
+            }
+            QueueingError::Unstable { rho } => {
+                write!(f, "queue is unstable: traffic intensity rho = {rho} >= 1")
+            }
+            QueueingError::TargetUnreachable { target, cap } => {
+                write!(f, "no server count up to {cap} achieves mean delay {target}")
+            }
+        }
+    }
+}
+
+impl Error for QueueingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(QueueingError::Unstable { rho: 1.2 }.to_string().contains("1.2"));
+        assert!(QueueingError::InvalidParameter { name: "lambda", value: -1.0 }
+            .to_string()
+            .contains("lambda"));
+        assert!(QueueingError::TargetUnreachable { target: 0.1, cap: 10 }
+            .to_string()
+            .contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<QueueingError>();
+    }
+}

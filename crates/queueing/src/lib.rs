@@ -1,0 +1,42 @@
+//! Queueing models used by the HARMONY container manager.
+//!
+//! Section VI of the paper models the task queue of class `i` with `N`
+//! containers as an M/G/N queue and sizes the container pool so the mean
+//! scheduling delay meets the class SLO:
+//!
+//! * [`erlang_c`] — the wait probability `π_N` of Eq. (2), computed via
+//!   the numerically-stable Erlang-B recursion.
+//! * [`MgnQueue`] — the mean-wait approximation of Eq. (1),
+//!   `d ≈ π_N/(1-ρ) · (1+CV²)/2 · 1/(Nμ)`, plus the inverse problem
+//!   ([`MgnQueue::min_servers`]) the container manager solves.
+//! * [`sizing`] — the Gaussian statistical-multiplexing container sizing
+//!   of Section VII-A (Eq. 3), including a from-scratch normal
+//!   quantile/CDF pair.
+//!
+//! # Examples
+//!
+//! ```
+//! use harmony_queueing::MgnQueue;
+//!
+//! // 50 tasks/s arriving, service rate 0.5/s per container
+//! // (mean duration 2 s), exponential variability (CV^2 = 1),
+//! // target mean scheduling delay 0.1 s.
+//! let queue = MgnQueue::new(50.0, 0.5, 1.0)?;
+//! let n = queue.min_servers(0.1)?;
+//! assert!(n >= 101, "need at least ceil(rho)+1 servers, got {n}");
+//! assert!(queue.mean_wait(n)? <= 0.1);
+//! # Ok::<(), harmony_queueing::QueueingError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod erlang;
+mod error;
+mod mgn;
+pub mod sizing;
+
+pub use erlang::{erlang_b, erlang_c};
+pub use error::QueueingError;
+pub use mgn::MgnQueue;
+pub use sizing::{normal_cdf, normal_quantile, ContainerSizer};

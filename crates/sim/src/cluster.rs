@@ -1,0 +1,339 @@
+//! The machine population and bulk power operations.
+
+use harmony_model::{MachineCatalog, MachineTypeId, Resources, SimTime};
+
+use crate::machine::{Machine, MachineId};
+
+/// A cluster instantiated from a [`MachineCatalog`]: machines grouped by
+/// type, with bulk power-state management and cluster-level accounting.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    catalog: MachineCatalog,
+    machines: Vec<Machine>,
+    /// Machine ids per type, contiguous by construction.
+    by_type: Vec<Vec<MachineId>>,
+    switch_count: usize,
+    switch_cost: f64,
+}
+
+impl Cluster {
+    /// Instantiates all machines in the catalog, powered off.
+    pub fn new(catalog: MachineCatalog) -> Self {
+        let mut machines = Vec::with_capacity(catalog.total_machines());
+        let mut by_type = Vec::with_capacity(catalog.len());
+        for ty in catalog.iter() {
+            let mut ids = Vec::with_capacity(ty.count);
+            for _ in 0..ty.count {
+                let id = MachineId(machines.len());
+                machines.push(Machine::new(id, ty.id, ty.capacity, ty.power));
+                ids.push(id);
+            }
+            by_type.push(ids);
+        }
+        Cluster { catalog, machines, by_type, switch_count: 0, switch_cost: 0.0 }
+    }
+
+    /// The catalog this cluster was built from.
+    pub fn catalog(&self) -> &MachineCatalog {
+        &self.catalog
+    }
+
+    /// Total number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// `true` if the cluster has no machines (impossible for a validated
+    /// catalog; for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// All machines, indexed by [`MachineId`].
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// One machine by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn machine(&self, id: MachineId) -> &Machine {
+        &self.machines[id.0]
+    }
+
+    /// Machine ids of one type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `type_id` is out of range.
+    pub fn machines_of_type(&self, type_id: MachineTypeId) -> &[MachineId] {
+        &self.by_type[type_id.0]
+    }
+
+    /// Number of active (on or booting) machines per type.
+    pub fn active_per_type(&self) -> Vec<usize> {
+        self.by_type
+            .iter()
+            .map(|ids| ids.iter().filter(|id| self.machines[id.0].is_active()).count())
+            .collect()
+    }
+
+    /// Number of machines per type currently running at least one task.
+    pub fn used_per_type(&self) -> Vec<usize> {
+        self.by_type
+            .iter()
+            .map(|ids| ids.iter().filter(|id| self.machines[id.0].running_tasks() > 0).count())
+            .collect()
+    }
+
+    /// Total active machines.
+    pub fn total_active(&self) -> usize {
+        self.machines.iter().filter(|m| m.is_active()).count()
+    }
+
+    /// Instantaneous cluster draw in watts.
+    pub fn total_power_watts(&self) -> f64 {
+        self.machines.iter().map(Machine::power_watts).sum()
+    }
+
+    /// Total energy accrued so far in watt-hours (flush with
+    /// [`Cluster::accrue_all`] first for an exact figure).
+    pub fn total_energy_wh(&self) -> f64 {
+        self.machines.iter().map(Machine::energy_wh).sum()
+    }
+
+    /// Number of on/off transitions so far.
+    pub fn switch_count(&self) -> usize {
+        self.switch_count
+    }
+
+    /// Accumulated switching cost in dollars (`Σ q_m |u|`, Eq. 9).
+    pub fn switch_cost(&self) -> f64 {
+        self.switch_cost
+    }
+
+    /// Zeroes the switch counters. Used after constructing an initial
+    /// condition (e.g. "all machines on at t=0") whose transitions should
+    /// not count against the run.
+    pub fn reset_switch_accounting(&mut self) {
+        self.switch_count = 0;
+        self.switch_cost = 0.0;
+    }
+
+    /// Integrates energy on every machine up to `now`.
+    pub fn accrue_all(&mut self, now: SimTime) {
+        for m in &mut self.machines {
+            m.accrue_energy(now);
+        }
+    }
+
+    /// Starts booting up to `n` powered-off machines of a type, returning
+    /// the ids now booting and their shared ready time.
+    pub fn power_on(
+        &mut self,
+        type_id: MachineTypeId,
+        n: usize,
+        now: SimTime,
+    ) -> (Vec<MachineId>, SimTime) {
+        let ty = self.catalog.machine_type(type_id);
+        let ready_at = now + ty.boot_time;
+        let q = ty.switching_cost;
+        let mut started = Vec::new();
+        for &id in &self.by_type[type_id.0] {
+            if started.len() >= n {
+                break;
+            }
+            if self.machines[id.0].power_on(now, ready_at) {
+                started.push(id);
+                self.switch_count += 1;
+                self.switch_cost += q;
+            }
+        }
+        (started, ready_at)
+    }
+
+    /// Powers off up to `n` idle machines of a type (most-recently
+    /// provisioned first is not tracked; any idle machine qualifies).
+    /// Returns how many actually turned off — machines running tasks are
+    /// never killed.
+    pub fn power_off_idle(&mut self, type_id: MachineTypeId, n: usize, now: SimTime) -> usize {
+        let q = self.catalog.machine_type(type_id).switching_cost;
+        let mut stopped = 0;
+        for &id in &self.by_type[type_id.0] {
+            if stopped >= n {
+                break;
+            }
+            let m = &mut self.machines[id.0];
+            // Prefer draining empty On machines; Booting machines may
+            // also be cancelled (counts as a switch).
+            if m.running_tasks() == 0 && m.is_active() && m.power_off(now) {
+                stopped += 1;
+                self.switch_count += 1;
+                self.switch_cost += q;
+            }
+        }
+        stopped
+    }
+
+    /// Powers off one specific idle machine, charging its switching
+    /// cost. Returns `false` if it is busy or already off.
+    pub fn power_off_machine(&mut self, id: MachineId, now: SimTime) -> bool {
+        let ty = self.machines[id.0].type_id();
+        let q = self.catalog.machine_type(ty).switching_cost;
+        if self.machines[id.0].power_off(now) {
+            self.switch_count += 1;
+            self.switch_cost += q;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Moves one running task's allocation from `src` to `dst` (both
+    /// must be able to honor it). Returns `false` and changes nothing if
+    /// `dst` cannot host the demand or `src` has no running tasks.
+    pub fn migrate(&mut self, src: MachineId, dst: MachineId, demand: Resources, now: SimTime) -> bool {
+        if src == dst
+            || self.machines[src.0].running_tasks() == 0
+            || !self.machines[dst.0].can_place(demand)
+        {
+            return false;
+        }
+        self.machines[src.0].release(now, demand);
+        let ok = self.machines[dst.0].allocate(now, demand);
+        debug_assert!(ok, "can_place checked above");
+        ok
+    }
+
+    /// Completes the boot of a machine (no-op if it was turned off again
+    /// meanwhile).
+    pub fn boot_complete(&mut self, id: MachineId, now: SimTime) -> bool {
+        self.machines[id.0].boot_complete(now)
+    }
+
+    /// Places one task of size `demand` on machine `id`.
+    pub fn allocate(&mut self, id: MachineId, demand: Resources, now: SimTime) -> bool {
+        self.machines[id.0].allocate(now, demand)
+    }
+
+    /// Releases one task of size `demand` from machine `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has no running tasks.
+    pub fn release(&mut self, id: MachineId, demand: Resources, now: SimTime) {
+        self.machines[id.0].release(now, demand);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_model::MachineCatalog;
+
+    fn tiny() -> Cluster {
+        Cluster::new(MachineCatalog::table2().scaled(1000)) // 7/2/1/1
+    }
+
+    #[test]
+    fn construction_matches_catalog() {
+        let c = tiny();
+        assert_eq!(c.len(), 7 + 2 + 1 + 1);
+        assert_eq!(c.machines_of_type(MachineTypeId(0)).len(), 7);
+        assert_eq!(c.machines_of_type(MachineTypeId(3)).len(), 1);
+        assert_eq!(c.total_active(), 0);
+        assert!(!c.is_empty());
+        // Ids are dense and match positions.
+        for (i, m) in c.machines().iter().enumerate() {
+            assert_eq!(m.id(), MachineId(i));
+        }
+    }
+
+    #[test]
+    fn bulk_power_on_and_off() {
+        let mut c = tiny();
+        let (started, ready) = c.power_on(MachineTypeId(0), 3, SimTime::ZERO);
+        assert_eq!(started.len(), 3);
+        assert!(ready > SimTime::ZERO);
+        assert_eq!(c.active_per_type(), vec![3, 0, 0, 0]);
+        assert_eq!(c.switch_count(), 3);
+        for id in &started {
+            assert!(c.boot_complete(*id, ready));
+        }
+        // Request more than exist: capped.
+        let (more, _) = c.power_on(MachineTypeId(0), 100, ready);
+        assert_eq!(more.len(), 4);
+        // Turn off 5 idle ones.
+        assert_eq!(c.power_off_idle(MachineTypeId(0), 5, ready), 5);
+        assert_eq!(c.active_per_type()[0], 2);
+        assert!(c.switch_cost() > 0.0);
+    }
+
+    #[test]
+    fn busy_machines_survive_power_off() {
+        let mut c = tiny();
+        let (ids, ready) = c.power_on(MachineTypeId(1), 2, SimTime::ZERO);
+        for id in &ids {
+            c.boot_complete(*id, ready);
+        }
+        assert!(c.allocate(ids[0], Resources::new(0.1, 0.1), ready));
+        // Only the idle one can stop.
+        assert_eq!(c.power_off_idle(MachineTypeId(1), 2, ready), 1);
+        assert!(c.machine(ids[0]).is_on());
+        assert_eq!(c.used_per_type()[1], 1);
+        c.release(ids[0], Resources::new(0.1, 0.1), ready);
+        assert_eq!(c.power_off_idle(MachineTypeId(1), 2, ready), 1);
+        assert_eq!(c.total_active(), 0);
+    }
+
+    #[test]
+    fn migrate_moves_allocation_between_machines() {
+        let mut c = tiny();
+        let (ids, ready) = c.power_on(MachineTypeId(1), 2, SimTime::ZERO);
+        for id in &ids {
+            c.boot_complete(*id, ready);
+        }
+        let demand = Resources::new(0.1, 0.2);
+        assert!(c.allocate(ids[0], demand, ready));
+        assert!(c.migrate(ids[0], ids[1], demand, ready));
+        assert_eq!(c.machine(ids[0]).running_tasks(), 0);
+        assert_eq!(c.machine(ids[1]).running_tasks(), 1);
+        assert_eq!(c.machine(ids[1]).used(), demand);
+        // Cannot migrate to self, from empty, or beyond capacity.
+        assert!(!c.migrate(ids[1], ids[1], demand, ready));
+        assert!(!c.migrate(ids[0], ids[1], demand, ready));
+        assert!(!c.migrate(ids[1], ids[0], Resources::new(0.9, 0.9), ready));
+    }
+
+    #[test]
+    fn power_off_machine_charges_switching_cost() {
+        let mut c = tiny();
+        let (ids, ready) = c.power_on(MachineTypeId(0), 2, SimTime::ZERO);
+        for id in &ids {
+            c.boot_complete(*id, ready);
+        }
+        c.reset_switch_accounting();
+        assert!(c.allocate(ids[0], Resources::new(0.01, 0.01), ready));
+        // Busy machine refuses; idle one powers off and is charged.
+        assert!(!c.power_off_machine(ids[0], ready));
+        assert!(c.power_off_machine(ids[1], ready));
+        assert_eq!(c.switch_count(), 1);
+        assert!(c.switch_cost() > 0.0);
+        // Double off is a no-op.
+        assert!(!c.power_off_machine(ids[1], ready));
+        assert_eq!(c.switch_count(), 1);
+    }
+
+    #[test]
+    fn energy_rolls_up() {
+        let mut c = tiny();
+        let (ids, _) = c.power_on(MachineTypeId(3), 1, SimTime::ZERO);
+        c.boot_complete(ids[0], SimTime::ZERO + harmony_model::SimDuration::ZERO);
+        c.accrue_all(SimTime::from_hours(1.0));
+        // DL585 idle = 280 W for 1h.
+        assert!((c.total_energy_wh() - 280.0).abs() < 1.0, "wh = {}", c.total_energy_wh());
+        assert!(c.total_power_watts() >= 280.0);
+    }
+}

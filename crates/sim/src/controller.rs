@@ -1,0 +1,105 @@
+//! The dynamic-capacity-provisioning hook.
+
+use harmony_model::{SimTime, Task};
+
+use crate::cluster::Cluster;
+
+/// What a controller observes at each control period.
+#[derive(Debug)]
+pub struct Observation<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The cluster (machine states, utilizations, energy so far).
+    pub cluster: &'a Cluster,
+    /// Tasks waiting to be scheduled, in priority-then-arrival order.
+    pub pending: &'a [Task],
+    /// Tasks that arrived during the last control period, in arrival
+    /// order (the per-class arrival-rate monitor input).
+    pub arrived_last_period: &'a [Task],
+    /// Tasks currently executing on machines (their containers are
+    /// occupied and their hosts cannot be powered off).
+    pub running: &'a [Task],
+}
+
+/// A capacity-provisioning decision: the number of machines of each type
+/// that should be active (on or booting) after this control period.
+///
+/// The engine realizes the target by booting powered-off machines or
+/// powering off idle ones; machines running tasks are drained naturally
+/// (never killed), so the realized count may lag the target downwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlDecision {
+    /// Target active machine count per type, indexed by
+    /// [`harmony_model::MachineTypeId`]. Values are clamped to the
+    /// per-type population.
+    pub target_active: Vec<usize>,
+    /// Whether the engine may migrate running tasks off machines in
+    /// excess of the target so they can power down — Algorithm 1's
+    /// re-packing step ("perform re-packing, turn off other machines").
+    /// Only CBS requests this; CBP and the baseline leave placements
+    /// alone.
+    pub repack: bool,
+}
+
+impl ControlDecision {
+    /// Keep everything as it is (an empty decision).
+    pub fn unchanged(cluster: &Cluster) -> Self {
+        ControlDecision { target_active: cluster.active_per_type(), repack: false }
+    }
+
+    /// A plain capacity target without re-packing.
+    pub fn targets(target_active: Vec<usize>) -> Self {
+        ControlDecision { target_active, repack: false }
+    }
+
+    /// A capacity target with re-packing enabled.
+    pub fn targets_with_repack(target_active: Vec<usize>) -> Self {
+        ControlDecision { target_active, repack: true }
+    }
+}
+
+/// A dynamic capacity provisioner, invoked once per control period.
+pub trait Controller: std::fmt::Debug {
+    /// How often [`Controller::decide`] runs.
+    fn control_period(&self) -> harmony_model::SimDuration;
+
+    /// Makes a provisioning decision from the current observation.
+    fn decide(&mut self, observation: &Observation<'_>) -> ControlDecision;
+}
+
+/// A controller that never changes anything — used for open-loop replays
+/// such as the Fig. 4 scheduling-delay analysis on a fully-on cluster.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullController;
+
+impl Controller for NullController {
+    fn control_period(&self) -> harmony_model::SimDuration {
+        harmony_model::SimDuration::from_hours(1.0)
+    }
+
+    fn decide(&mut self, observation: &Observation<'_>) -> ControlDecision {
+        ControlDecision::unchanged(observation.cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_model::MachineCatalog;
+
+    #[test]
+    fn null_controller_preserves_state() {
+        let cluster = Cluster::new(MachineCatalog::table2().scaled(1000));
+        let obs = Observation {
+            now: SimTime::ZERO,
+            cluster: &cluster,
+            pending: &[],
+            arrived_last_period: &[],
+            running: &[],
+        };
+        let d = NullController.decide(&obs);
+        assert_eq!(d.target_active, vec![0, 0, 0, 0]);
+        assert_eq!(d, ControlDecision::unchanged(&cluster));
+        assert!(NullController.control_period().as_secs() > 0.0);
+    }
+}
