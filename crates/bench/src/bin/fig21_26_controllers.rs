@@ -52,7 +52,7 @@ fn main() {
             let delays = &report.delays_by_group[group.index()];
             let mut row = vec![group.to_string(), variant.name().to_owned()];
             if delays.is_empty() {
-                row.extend(std::iter::repeat("-".to_owned()).take(quantiles.len() + 2));
+                row.extend(std::iter::repeat_n("-".to_owned(), quantiles.len() + 2));
             } else {
                 let cdf = Cdf::from_values(delays.clone());
                 row.push(delays.len().to_string());

@@ -5,31 +5,45 @@
 //! ```sh
 //! replay <trace-file> [--controller baseline|cbs|cbp|none] \
 //!        [--catalog table2|google10] [--scale <divisor>] \
-//!        [--format jsonl|google-csv] [--period-mins <f64>]
+//!        [--format jsonl|google-csv] [--period-mins <f64>] \
+//!        [--faults <scenario>] [--fault-seed <u64>]
 //! ```
 //!
 //! `--controller none` replays on a fully-on cluster (no DCP). Trace
 //! files come from [`harmony_trace::Trace::write_jsonl`], from
 //! [`harmony_trace::google_csv::write_task_events`], or from the real
 //! Google cluster-data v1 `task_events` tables.
+//!
+//! `--faults <scenario>` switches to robustness mode: all three
+//! controller variants run under the named fault scenario (one of
+//! `crash-storm`, `slow-boot`, `eviction-wave`, `arrival-burst`,
+//! `mixed`) and the report lists every injected fault and degradation
+//! event. The trace file is optional in this mode — omitting it replays
+//! the synthetic evaluation trace.
 
 use std::fs::File;
 use std::io::BufReader;
 use std::process::exit;
 
 use harmony::classify::ClassifierConfig;
-use harmony::pipeline::{run_variant, Variant};
+use harmony::pipeline::{run_variant, run_variant_with_faults, Variant};
 use harmony::HarmonyConfig;
-use harmony_bench::{fmt, section, table};
+use harmony_bench::{evaluation_setup, fmt, section, table, Scale};
 use harmony_model::{MachineCatalog, PriorityGroup, SimDuration};
-use harmony_sim::{FirstFit, Simulation, SimulationConfig};
+use harmony_sim::{
+    DegradationKind, FaultPlan, FaultRecordKind, FirstFit, SimReport, Simulation,
+    SimulationConfig, SCENARIOS,
+};
 use harmony_trace::{google_csv, Trace};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: replay <trace-file> [--controller baseline|cbs|cbp|none] \
+        "usage: replay [<trace-file>] [--controller baseline|cbs|cbp|none] \
          [--catalog table2|google10] [--scale <divisor>] \
-         [--format jsonl|google-csv] [--period-mins <f64>]"
+         [--format jsonl|google-csv] [--period-mins <f64>] \
+         [--faults <scenario>] [--fault-seed <u64>]\n\
+         fault scenarios: {}",
+        SCENARIOS.join(", ")
     );
     exit(2);
 }
@@ -42,6 +56,8 @@ fn main() {
     let mut scale = 50usize;
     let mut format = "jsonl".to_owned();
     let mut period_mins = 15.0f64;
+    let mut fault_scenario: Option<String> = None;
+    let mut fault_seed = 2013u64;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -59,6 +75,10 @@ fn main() {
             "--period-mins" => {
                 period_mins = grab("--period-mins").parse().unwrap_or_else(|_| usage());
             }
+            "--faults" => fault_scenario = Some(grab("--faults")),
+            "--fault-seed" => {
+                fault_seed = grab("--fault-seed").parse().unwrap_or_else(|_| usage());
+            }
             "--help" | "-h" => usage(),
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
             other => {
@@ -67,35 +87,14 @@ fn main() {
             }
         }
     }
+    if let Some(scenario) = fault_scenario {
+        fault_mode(&scenario, fault_seed, path.as_deref(), &format, &catalog_name, scale, period_mins);
+        return;
+    }
+
     let Some(path) = path else { usage() };
-
-    let file = File::open(&path).unwrap_or_else(|e| {
-        eprintln!("cannot open {path}: {e}");
-        exit(1);
-    });
-    let reader = BufReader::new(file);
-    let trace: Trace = match format.as_str() {
-        "jsonl" => Trace::read_jsonl(reader),
-        "google-csv" => google_csv::read_task_events(reader),
-        other => {
-            eprintln!("unknown format {other}");
-            usage();
-        }
-    }
-    .unwrap_or_else(|e| {
-        eprintln!("cannot parse {path}: {e}");
-        exit(1);
-    });
-
-    let catalog = match catalog_name.as_str() {
-        "table2" => MachineCatalog::table2(),
-        "google10" => MachineCatalog::google_ten_types(),
-        other => {
-            eprintln!("unknown catalog {other}");
-            usage();
-        }
-    }
-    .scaled(scale.max(1));
+    let trace = load_trace(&path, &format);
+    let catalog = parse_catalog(&catalog_name).scaled(scale.max(1));
 
     eprintln!(
         "replaying {} tasks over {:.1} h on {} machines ({catalog_name}/{scale}), controller {controller}",
@@ -158,4 +157,179 @@ fn main() {
         })
         .collect();
     table(&["group", "placements", "immediate", "mean", "p50", "p90", "p99", "max"], &rows);
+}
+
+fn load_trace(path: &str, format: &str) -> Trace {
+    let file = File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        exit(1);
+    });
+    let reader = BufReader::new(file);
+    match format {
+        "jsonl" => Trace::read_jsonl(reader),
+        "google-csv" => google_csv::read_task_events(reader),
+        other => {
+            eprintln!("unknown format {other}");
+            usage();
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1);
+    })
+}
+
+fn parse_catalog(name: &str) -> MachineCatalog {
+    match name {
+        "table2" => MachineCatalog::table2(),
+        "google10" => MachineCatalog::google_ten_types(),
+        other => {
+            eprintln!("unknown catalog {other}");
+            usage();
+        }
+    }
+}
+
+/// Robustness mode: all three controller variants run under one named
+/// fault scenario; the output lists every injected fault, every
+/// degradation event, and a cross-variant comparison.
+fn fault_mode(
+    scenario: &str,
+    fault_seed: u64,
+    path: Option<&str>,
+    format: &str,
+    catalog_name: &str,
+    scale: usize,
+    period_mins: f64,
+) {
+    // With a trace file, honor the CLI catalog/period flags; without
+    // one, replay the synthetic evaluation setup (whose catalog divisor
+    // is tuned to the trace).
+    let (trace, catalog, config, classifier_config) = match path {
+        Some(p) => {
+            let trace = load_trace(p, format);
+            let catalog = parse_catalog(catalog_name).scaled(scale.max(1));
+            let config = HarmonyConfig {
+                control_period: SimDuration::from_mins(period_mins),
+                ..Default::default()
+            };
+            (trace, catalog, config, ClassifierConfig::default())
+        }
+        None => evaluation_setup(Scale::from_env()),
+    };
+    let Some(plan) = FaultPlan::scenario(scenario, fault_seed, trace.span()) else {
+        eprintln!("unknown fault scenario {scenario} (one of: {})", SCENARIOS.join(", "));
+        exit(2);
+    };
+    eprintln!(
+        "fault replay: {} tasks over {:.1} h on {} machines, scenario {scenario} \
+         ({} events, seed {fault_seed})",
+        trace.len(),
+        trace.span().as_hours(),
+        catalog.total_machines(),
+        plan.events().len(),
+    );
+
+    let mut rows = Vec::new();
+    for variant in Variant::ALL {
+        let report = run_variant_with_faults(
+            &trace,
+            &catalog,
+            &config,
+            &classifier_config,
+            variant,
+            Some(&plan),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("{} failed: {e}", variant.name());
+            exit(1);
+        });
+
+        let accounted = report.tasks_completed
+            + report.tasks_running_at_end
+            + report.tasks_pending_at_end
+            + report.tasks_unschedulable
+            + report.tasks_failed;
+        assert_eq!(
+            accounted,
+            trace.len(),
+            "{}: task conservation violated under {scenario}",
+            variant.name()
+        );
+
+        section(&format!("{} under {scenario}", variant.name()));
+        println!(
+            "completed {} / running {} / pending {} / unschedulable {} / failed {}  (conserved: {} of {})",
+            report.tasks_completed,
+            report.tasks_running_at_end,
+            report.tasks_pending_at_end,
+            report.tasks_unschedulable,
+            report.tasks_failed,
+            accounted,
+            trace.len(),
+        );
+        print_faults(&report);
+        print_degradations(&report);
+
+        let p95 = report.delay_stats(PriorityGroup::Production).p95;
+        rows.push(vec![
+            variant.name().to_owned(),
+            fmt(report.total_energy_wh / 1000.0),
+            fmt(report.energy_cost_dollars),
+            report.tasks_failed.to_string(),
+            fmt(p95),
+            report.faults.len().to_string(),
+            report.degradations.len().to_string(),
+        ]);
+    }
+
+    section(&format!("comparison under {scenario}"));
+    table(
+        &["variant", "energy kWh", "energy $", "failed", "prod p95 delay s", "faults", "degradations"],
+        &rows,
+    );
+}
+
+fn print_faults(report: &SimReport) {
+    println!("injected faults ({}):", report.faults.len());
+    for f in &report.faults {
+        let at = f.at.as_hours();
+        match &f.kind {
+            FaultRecordKind::MachineCrash { machine, evicted, failed } => {
+                println!("  {at:7.2} h  crash {machine:?}: {evicted} evicted, {failed} failed")
+            }
+            FaultRecordKind::MachineRecovered { machine } => {
+                println!("  {at:7.2} h  recovered {machine:?}")
+            }
+            FaultRecordKind::SlowBootStart { factor } => {
+                println!("  {at:7.2} h  slow-boot starts (boot time x{factor})")
+            }
+            FaultRecordKind::SlowBootEnd => println!("  {at:7.2} h  slow-boot ends"),
+            FaultRecordKind::TaskEviction { evicted, failed } => {
+                println!("  {at:7.2} h  eviction wave: {evicted} evicted, {failed} failed")
+            }
+            FaultRecordKind::ArrivalBurst { tasks_warped } => {
+                println!("  {at:7.2} h  arrival burst: {tasks_warped} tasks warped")
+            }
+        }
+    }
+}
+
+fn print_degradations(report: &SimReport) {
+    println!("degradation events ({}):", report.degradations.len());
+    for (shown, d) in report.degradations.iter().enumerate() {
+        if shown == 12 {
+            println!("  ... {} more", report.degradations.len() - shown);
+            break;
+        }
+        let kind = match &d.kind {
+            DegradationKind::ForecastFallback { class, tier } => {
+                format!("forecast fallback (class {class}, tier {tier:?})")
+            }
+            DegradationKind::LpReusedPreviousPlan => "LP failed; reused previous plan".to_owned(),
+            DegradationKind::LpGreedyFallback => "LP failed; greedy sizing".to_owned(),
+            DegradationKind::ControlHold => "control held previous state".to_owned(),
+        };
+        println!("  {:7.2} h  {kind}: {}", d.at.as_hours(), d.detail);
+    }
 }

@@ -126,10 +126,10 @@ mod tests {
     #[test]
     fn quick_setups_are_small() {
         let trace = analysis_trace(Scale::Quick);
-        assert!(trace.len() > 0);
+        assert!(!trace.is_empty());
         assert!(trace.span() <= SimDuration::from_hours(6.0));
         let (trace, catalog, config, _) = evaluation_setup(Scale::Quick);
-        assert!(trace.len() > 0);
+        assert!(!trace.is_empty());
         assert!(catalog.total_machines() <= 250);
         config.validate().unwrap();
     }
@@ -138,7 +138,7 @@ mod tests {
     fn fmt_ranges() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(1234.5), "1234");
-        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(4.56789), "4.57");
         assert_eq!(fmt(0.012345), "0.0123");
     }
 }

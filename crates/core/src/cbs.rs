@@ -75,6 +75,9 @@ impl CbsPlan {
 ///
 /// * [`HarmonyError::InvalidConfig`] for inconsistent input shapes.
 /// * [`HarmonyError::Optimization`] if the LP solve fails.
+// Index loops mirror the x[t][m][n] variable grid; iterators would
+// obscure the LP structure.
+#[allow(clippy::needless_range_loop)]
 pub fn solve_cbs_relax(
     inputs: &CbsInputs<'_>,
     config: &HarmonyConfig,
@@ -220,9 +223,11 @@ pub fn solve_cbs_relax(
 
     // Provisioning runs once per control period; a hard pivot cap keeps
     // a pathological instance from stalling the controller (the error
-    // path holds the previous decision).
-    let options =
-        harmony_lp::SimplexOptions { max_pivots: Some(20_000), ..Default::default() };
+    // path walks the degradation ladder instead).
+    let options = harmony_lp::SimplexOptions {
+        max_pivots: Some(config.max_lp_pivots),
+        ..Default::default()
+    };
     let solution = p.solve_with(&options).map_err(HarmonyError::Optimization)?;
 
     let z_out: Vec<Vec<f64>> = z

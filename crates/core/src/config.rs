@@ -31,6 +31,11 @@ pub struct HarmonyConfig {
     pub arima_min_history: usize,
     /// Safety margin multiplied onto predicted arrival rates.
     pub demand_margin: f64,
+    /// Hard simplex pivot budget for one CBS-RELAX solve. A pathological
+    /// instance hits [`harmony_lp::LpError::IterationLimit`] instead of
+    /// stalling the control loop; the controller then walks its
+    /// degradation ladder (previous plan → greedy sizing → hold).
+    pub max_lp_pivots: usize,
 }
 
 impl Default for HarmonyConfig {
@@ -47,6 +52,7 @@ impl Default for HarmonyConfig {
             history_len: 288,
             arima_min_history: 24,
             demand_margin: 1.25,
+            max_lp_pivots: 20_000,
         }
     }
 }
@@ -90,6 +96,11 @@ impl HarmonyConfig {
         if self.demand_margin < 1.0 {
             return Err(HarmonyError::InvalidConfig {
                 reason: format!("demand margin must be >= 1, got {}", self.demand_margin),
+            });
+        }
+        if self.max_lp_pivots == 0 {
+            return Err(HarmonyError::InvalidConfig {
+                reason: "max LP pivots must be >= 1".into(),
             });
         }
         Ok(())
@@ -139,6 +150,9 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = base.clone();
         c.demand_margin = 0.9;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.max_lp_pivots = 0;
         assert!(c.validate().is_err());
         let mut c = base;
         c.control_period = SimDuration::ZERO;

@@ -12,8 +12,10 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use harmony_model::{EnergyPrice, MachineTypeId, SimDuration};
-use harmony_sim::{ControlDecision, Controller, Observation};
+use harmony_model::{EnergyPrice, MachineTypeId, Resources, SimDuration, TaskClassId};
+use harmony_sim::{
+    ControlDecision, Controller, DegradationEvent, DegradationKind, Observation,
+};
 
 use crate::cbs::{solve_cbs_relax, CbsInputs, CbsPlan};
 use crate::classify::TaskClassifier;
@@ -34,6 +36,11 @@ pub struct HarmonyCore {
     monitor: ArrivalMonitor,
     price: EnergyPrice,
     errors: usize,
+    /// The last successfully-solved integer plan, re-actuated when a
+    /// solve fails (the ladder's first rung).
+    last_plan: Option<IntegerPlan>,
+    /// Degradations accumulated since the engine last drained them.
+    degradations: Vec<DegradationEvent>,
 }
 
 impl HarmonyCore {
@@ -55,7 +62,16 @@ impl HarmonyCore {
             config.history_len,
             config.arima_min_history,
         );
-        Ok(HarmonyCore { config, classifier, manager, monitor, price, errors: 0 })
+        Ok(HarmonyCore {
+            config,
+            classifier,
+            manager,
+            monitor,
+            price,
+            errors: 0,
+            last_plan: None,
+            degradations: Vec::new(),
+        })
     }
 
     /// The configuration in effect.
@@ -63,9 +79,15 @@ impl HarmonyCore {
         &self.config
     }
 
-    /// How many control periods failed and fell back to "no change".
+    /// How many control periods failed the full pipeline and took a
+    /// degradation rung instead.
     pub fn error_count(&self) -> usize {
         self.errors
+    }
+
+    /// Drains the degradation events accumulated since the last call.
+    pub fn take_degradations(&mut self) -> Vec<DegradationEvent> {
+        std::mem::take(&mut self.degradations)
     }
 
     /// Containers currently occupied per class. Labels use measured
@@ -96,7 +118,7 @@ impl HarmonyCore {
                         (ty.id, watts)
                     })
                     .collect();
-                types.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("watts are finite"));
+                types.sort_by(|a, b| f64::total_cmp(&a.1, &b.1));
                 types.into_iter().map(|(id, _)| id).collect()
             })
             .collect()
@@ -108,7 +130,17 @@ impl HarmonyCore {
         observation: &Observation<'_>,
     ) -> Result<(CbsPlan, IntegerPlan), HarmonyError> {
         self.monitor.record_period(observation.arrived_last_period, &self.classifier);
-        let rates = self.monitor.forecast(self.config.horizon)?;
+        let tiered = self.monitor.forecast_tiered(self.config.horizon);
+        for (n, class_fc) in tiered.iter().enumerate() {
+            if let Some(reason) = &class_fc.degraded {
+                self.degradations.push(DegradationEvent {
+                    at: observation.now,
+                    kind: DegradationKind::ForecastFallback { class: n, tier: class_fc.tier },
+                    detail: reason.clone(),
+                });
+            }
+        }
+        let rates: Vec<Vec<f64>> = tiered.into_iter().map(|c| c.rates).collect();
 
         // Pending backlog per class: must be served *now*, on top of the
         // predicted new arrivals.
@@ -182,17 +214,126 @@ impl HarmonyCore {
         Ok((plan, integer))
     }
 
-    fn decide_or_hold(&mut self, observation: &Observation<'_>) -> (ControlDecision, Option<IntegerPlan>) {
+    /// One decision, walking the degradation ladder on failure:
+    /// full pipeline → previous plan → greedy per-class sizing → hold.
+    fn decide_or_hold(
+        &mut self,
+        observation: &Observation<'_>,
+    ) -> (ControlDecision, Option<IntegerPlan>) {
         match self.step(observation) {
-            Ok((_plan, integer)) => (
-                ControlDecision::targets(integer.machines.clone()),
-                Some(integer),
-            ),
-            Err(_) => {
+            Ok((_plan, integer)) => {
+                self.last_plan = Some(integer.clone());
+                (ControlDecision::targets(integer.machines.clone()), Some(integer))
+            }
+            Err(err) => {
                 self.errors += 1;
-                (ControlDecision::unchanged(observation.cluster), None)
+                if let Some(prev) = self.last_plan.clone() {
+                    self.degrade(observation, DegradationKind::LpReusedPreviousPlan, &err);
+                    (ControlDecision::targets(prev.machines.clone()), Some(prev))
+                } else if let Some(greedy) = self.greedy_plan(observation) {
+                    self.degrade(observation, DegradationKind::LpGreedyFallback, &err);
+                    (ControlDecision::targets(greedy.machines.clone()), Some(greedy))
+                } else {
+                    self.degrade(observation, DegradationKind::ControlHold, &err);
+                    (ControlDecision::unchanged(observation.cluster), None)
+                }
             }
         }
+    }
+
+    fn degrade(
+        &mut self,
+        observation: &Observation<'_>,
+        kind: DegradationKind,
+        err: &HarmonyError,
+    ) {
+        self.degradations.push(DegradationEvent {
+            at: observation.now,
+            kind,
+            detail: err.to_string(),
+        });
+    }
+
+    /// Emergency sizing for when the LP fails with no previous plan to
+    /// reuse: count the containers each class needs *right now* (pending
+    /// backlog plus running occupancy) and First-Fit them onto the
+    /// population, opening machines lazily — cheapest compatible type
+    /// first, most-constrained classes first so flexible small
+    /// containers cannot starve the classes that only fit the big
+    /// machines. Crude — no horizon, no optimality — but total and
+    /// safe: the cluster stays provisioned while the optimizer is down.
+    ///
+    /// Returns `None` (→ hold) only when some class with demand cannot
+    /// be hosted at all.
+    fn greedy_plan(&self, observation: &Observation<'_>) -> Option<IntegerPlan> {
+        let catalog = observation.cluster.catalog();
+        let n_classes = self.manager.n_classes();
+        let mut need = vec![0usize; n_classes];
+        for task in observation.pending {
+            need[self.classifier.initial_label(task).0] += 1;
+        }
+        for task in observation.running {
+            let running_for = observation.now.saturating_since(task.arrival);
+            need[self.classifier.relabel(task, running_for).0] += 1;
+        }
+        let orders = self.type_orders(catalog);
+        // Most-constrained classes first; within a constraint level,
+        // biggest containers first (First-Fit-Decreasing).
+        let mut class_order: Vec<usize> = (0..n_classes).collect();
+        class_order.sort_by(|&a, &b| {
+            orders[a].len().cmp(&orders[b].len()).then(f64::total_cmp(
+                &self.manager.container_size(TaskClassId(b)).sum_components(),
+                &self.manager.container_size(TaskClassId(a)).sum_components(),
+            ))
+        });
+        // Free space of machines opened so far, per type.
+        let mut open: Vec<Vec<Resources>> = vec![Vec::new(); catalog.len()];
+        let mut quotas = vec![vec![0usize; n_classes]; catalog.len()];
+        for &n in &class_order {
+            if need[n] == 0 {
+                continue;
+            }
+            let size = self.manager.container_size(TaskClassId(n));
+            let mut remaining = need[n];
+            'types: for &ty in &orders[n] {
+                // Fill leftover room on machines other classes opened.
+                for slot in open[ty.0].iter_mut() {
+                    while remaining > 0 && size.fits_within(*slot) {
+                        *slot -= size;
+                        quotas[ty.0][n] += 1;
+                        remaining -= 1;
+                    }
+                    if remaining == 0 {
+                        break 'types;
+                    }
+                }
+                // Open fresh machines up to the type's population.
+                let mt = catalog.machine_type(ty);
+                while remaining > 0 && open[ty.0].len() < mt.count {
+                    let mut slot = mt.capacity;
+                    let before = remaining;
+                    while remaining > 0 && size.fits_within(slot) {
+                        slot -= size;
+                        quotas[ty.0][n] += 1;
+                        remaining -= 1;
+                    }
+                    open[ty.0].push(slot);
+                    if remaining == before {
+                        break; // a fresh machine fits none: give up on ty
+                    }
+                }
+                if remaining == 0 {
+                    break;
+                }
+            }
+        }
+        // Only a complete failure (demand exists, nothing placed) falls
+        // through to hold; a plan serving most classes beats freezing a
+        // possibly powered-down cluster.
+        let total_need: usize = need.iter().sum();
+        let total_placed: usize = quotas.iter().flatten().sum();
+        let machines: Vec<usize> = open.iter().map(Vec::len).collect();
+        (total_need == 0 || total_placed > 0).then_some(IntegerPlan { machines, quotas })
     }
 }
 
@@ -246,6 +387,10 @@ impl Controller for CbsController {
         }
         decision
     }
+
+    fn take_degradations(&mut self) -> Vec<DegradationEvent> {
+        self.core.take_degradations()
+    }
 }
 
 /// The CBP controller: HARMONY provisioning with the stock scheduler.
@@ -282,6 +427,10 @@ impl Controller for CbpController {
 
     fn decide(&mut self, observation: &Observation<'_>) -> ControlDecision {
         self.core.decide_or_hold(observation).0
+    }
+
+    fn take_degradations(&mut self) -> Vec<DegradationEvent> {
+        self.core.take_degradations()
     }
 }
 
@@ -380,6 +529,73 @@ mod tests {
         }
         assert!(last_total <= 2, "idle cluster should power down, got {last_total}");
         assert_eq!(ctl.core().error_count(), 0);
+    }
+
+    #[test]
+    fn lp_failure_walks_degradation_ladder() {
+        let (classifier, trace, mut config) = fixture();
+        // A one-pivot budget makes every real instance hit the
+        // iteration limit, forcing the ladder.
+        config.max_lp_pivots = 1;
+        let mut ctl = CbpController::new(classifier, config, EnergyPrice::default()).unwrap();
+        let cluster = Cluster::new(MachineCatalog::table2().scaled(100));
+        let arrived: Vec<_> = trace.tasks()[..300].to_vec();
+        let obs = Observation {
+            now: SimTime::ZERO,
+            cluster: &cluster,
+            pending: &arrived,
+            arrived_last_period: &arrived,
+            running: &[],
+        };
+        // No previous plan: greedy per-class sizing.
+        let decision = ctl.decide(&obs);
+        let degradations = ctl.take_degradations();
+        assert!(
+            degradations
+                .iter()
+                .any(|d| matches!(d.kind, DegradationKind::LpGreedyFallback)),
+            "expected a greedy fallback, got {degradations:?}"
+        );
+        let total: usize = decision.target_active.iter().sum();
+        assert!(total > 0, "greedy fallback must still provision for backlog");
+        assert!(ctl.core().error_count() >= 1);
+        // Drained: a second take returns nothing new without a decide.
+        assert!(ctl.take_degradations().is_empty());
+    }
+
+    #[test]
+    fn lp_failure_reuses_previous_plan_when_available() {
+        let (classifier, trace, config) = fixture();
+        let mut ctl = CbpController::new(classifier, config, EnergyPrice::default()).unwrap();
+        let cluster = Cluster::new(MachineCatalog::table2().scaled(100));
+        let arrived: Vec<_> = trace.tasks()[..300].to_vec();
+        // First tick succeeds and caches a plan.
+        let first = ctl.decide(&Observation {
+            now: SimTime::ZERO,
+            cluster: &cluster,
+            pending: &arrived,
+            arrived_last_period: &arrived,
+            running: &[],
+        });
+        assert_eq!(ctl.core().error_count(), 0);
+        let _ = ctl.take_degradations();
+        // Cripple the solver for the second tick.
+        ctl.core.config.max_lp_pivots = 1;
+        let second = ctl.decide(&Observation {
+            now: SimTime::from_secs(600.0),
+            cluster: &cluster,
+            pending: &arrived,
+            arrived_last_period: &arrived,
+            running: &[],
+        });
+        let degradations = ctl.take_degradations();
+        assert!(
+            degradations
+                .iter()
+                .any(|d| matches!(d.kind, DegradationKind::LpReusedPreviousPlan)),
+            "expected plan reuse, got {degradations:?}"
+        );
+        assert_eq!(second.target_active, first.target_active, "reused plan re-actuates");
     }
 
     #[test]

@@ -3,9 +3,27 @@
 
 use harmony_forecast::{Arima, Forecaster, MovingAverage};
 use harmony_model::{SimDuration, Task, TaskClassId};
+use harmony_sim::ForecastTier;
 
 use crate::classify::TaskClassifier;
 use crate::HarmonyError;
+
+/// Forecast outputs above this multiple of the largest observed rate are
+/// rejected as model blow-ups and the next ladder tier is tried instead.
+const OUTLIER_FACTOR: f64 = 10.0;
+
+/// One class's forecast plus the quality tier that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassForecast {
+    /// Predicted arrival rates (tasks/second), one per horizon period;
+    /// always finite and non-negative.
+    pub rates: Vec<f64>,
+    /// The ladder tier that produced `rates`.
+    pub tier: ForecastTier,
+    /// Why the class ran below the tier its history length entitles
+    /// (`None` when it ran at full entitlement).
+    pub degraded: Option<String>,
+}
 
 /// Monitors the arrival rate of every task class, one sample per control
 /// period, and forecasts future rates.
@@ -81,36 +99,103 @@ impl ArrivalMonitor {
         self.history.first().map_or(0, Vec::len)
     }
 
+    /// Appends raw rate samples to one class's history, bypassing
+    /// [`ArrivalMonitor::record_period`] — lets tests feed corrupted
+    /// (non-finite) histories to the forecast guard.
+    #[cfg(test)]
+    pub(crate) fn inject_history(&mut self, class: usize, values: &[f64]) {
+        self.history[class].extend_from_slice(values);
+    }
+
     /// Forecasts arrival rates for the next `horizon` periods, one
     /// series per class.
     ///
-    /// Falls back to a moving average when the history is too short for
-    /// a meaningful ARIMA fit, and to the last observation when even
-    /// that is unavailable; rates are clamped non-negative.
+    /// Convenience wrapper over [`ArrivalMonitor::forecast_tiered`] that
+    /// drops the tier annotations.
     ///
     /// # Errors
     ///
-    /// Returns [`HarmonyError::Forecast`] only when every fallback fails
-    /// (never with a non-empty history).
+    /// Infallible in practice (the ladder's last rung is total); the
+    /// `Result` is kept for signature stability.
     pub fn forecast(&self, horizon: usize) -> Result<Vec<Vec<f64>>, HarmonyError> {
-        let mut out = Vec::with_capacity(self.history.len());
-        for h in &self.history {
-            if h.is_empty() {
-                out.push(vec![0.0; horizon]);
-                continue;
-            }
-            let fc = if h.len() >= self.arima_min_history {
-                match auto_forecast(h, horizon) {
-                    Ok(fc) => fc,
-                    Err(_) => fallback_forecast(h, horizon)?,
-                }
-            } else {
-                fallback_forecast(h, horizon)?
-            };
-            out.push(fc.into_iter().map(|v| v.max(0.0)).collect());
-        }
-        Ok(out)
+        Ok(self.forecast_tiered(horizon).into_iter().map(|c| c.rates).collect())
     }
+
+    /// Forecasts arrival rates for the next `horizon` periods, walking
+    /// the graceful-degradation ladder per class: ARIMA (when the
+    /// history is long enough) → moving average → last observation.
+    ///
+    /// A tier's output is rejected — and the next rung tried — when it
+    /// contains non-finite values or an outlier above
+    /// [`OUTLIER_FACTOR`]× the largest observed rate (a blown-up model
+    /// fit must not drive provisioning). The final rates are always
+    /// finite and non-negative; a class whose history itself is
+    /// corrupted (non-finite) degrades to zero-rate last-observation
+    /// output rather than poisoning the LP.
+    pub fn forecast_tiered(&self, horizon: usize) -> Vec<ClassForecast> {
+        self.history
+            .iter()
+            .map(|h| {
+                if h.is_empty() {
+                    return ClassForecast {
+                        rates: vec![0.0; horizon],
+                        tier: ForecastTier::LastObservation,
+                        degraded: None,
+                    };
+                }
+                let cap = h.iter().copied().filter(|v| v.is_finite()).fold(0.0, f64::max)
+                    * OUTLIER_FACTOR
+                    + 1e-9;
+                let entitled = if h.len() >= self.arima_min_history {
+                    ForecastTier::Arima
+                } else {
+                    ForecastTier::MovingAverage
+                };
+                let mut reason: Option<String> = None;
+                let mut note = |why: String| {
+                    if reason.is_none() {
+                        reason = Some(why);
+                    }
+                };
+                let (rates, tier) = 'ladder: {
+                    if entitled == ForecastTier::Arima {
+                        match auto_forecast(h, horizon) {
+                            Ok(fc) if usable(&fc, cap) => break 'ladder (fc, ForecastTier::Arima),
+                            Ok(_) => note("ARIMA forecast non-finite or outlier".into()),
+                            Err(e) => note(format!("ARIMA failed: {e}")),
+                        }
+                    }
+                    match fallback_forecast(h, horizon) {
+                        Ok(fc) if usable(&fc, cap) => {
+                            break 'ladder (fc, ForecastTier::MovingAverage)
+                        }
+                        Ok(_) => note("moving average non-finite or outlier".into()),
+                        Err(e) => note(format!("moving average failed: {e}")),
+                    }
+                    // Last rung: repeat the most recent finite
+                    // observation (zero when none exists). Total.
+                    let last =
+                        h.iter().rev().copied().find(|v| v.is_finite()).unwrap_or(0.0);
+                    (vec![last; horizon], ForecastTier::LastObservation)
+                };
+                let degraded = if tier == entitled { None } else { reason };
+                ClassForecast {
+                    rates: rates
+                        .into_iter()
+                        .map(|v| if v.is_finite() { v.max(0.0) } else { 0.0 })
+                        .collect(),
+                    tier,
+                    degraded,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A forecast series is usable when every value is finite and none blows
+/// past the outlier cap.
+fn usable(fc: &[f64], cap: f64) -> bool {
+    fc.iter().all(|v| v.is_finite() && *v <= cap)
 }
 
 fn auto_forecast(history: &[f64], horizon: usize) -> Result<Vec<f64>, HarmonyError> {
@@ -121,7 +206,7 @@ fn auto_forecast(history: &[f64], horizon: usize) -> Result<Vec<f64>, HarmonyErr
 }
 
 fn fallback_forecast(history: &[f64], horizon: usize) -> Result<Vec<f64>, HarmonyError> {
-    let window = history.len().min(6).max(1);
+    let window = history.len().clamp(1, 6);
     Ok(MovingAverage::new(window)?.forecast(history, horizon)?)
 }
 
@@ -190,6 +275,41 @@ mod tests {
             assert_eq!(series.len(), 3);
             assert!(series.iter().all(|&v| v >= 0.0 && v.is_finite()));
         }
+    }
+
+    #[test]
+    fn non_finite_history_still_yields_finite_forecast() {
+        // Regression: a corrupted (NaN/∞) history must never reach the
+        // LP as a non-finite rate — the ladder degrades instead.
+        let mut monitor = ArrivalMonitor::new(2, SimDuration::from_mins(10.0), 50, 24);
+        monitor.inject_history(0, &[f64::NAN, f64::INFINITY, 1.0, f64::NAN]);
+        monitor.inject_history(1, &[0.5, 0.6, 0.7]);
+        let fc = monitor.forecast_tiered(4);
+        for class in &fc {
+            assert_eq!(class.rates.len(), 4);
+            assert!(
+                class.rates.iter().all(|v| v.is_finite() && *v >= 0.0),
+                "forecast leaked a non-finite rate: {:?}",
+                class.rates
+            );
+        }
+        // Class 0's moving average is poisoned by NaN, so it lands on
+        // the last-observation rung with the reason recorded.
+        assert_eq!(fc[0].tier, ForecastTier::LastObservation);
+        assert!(fc[0].degraded.is_some());
+        assert_eq!(fc[0].rates, vec![1.0; 4]);
+        // Class 1's clean short history runs at its entitled tier.
+        assert_eq!(fc[1].tier, ForecastTier::MovingAverage);
+        assert!(fc[1].degraded.is_none());
+    }
+
+    #[test]
+    fn usable_rejects_nan_inf_and_outliers() {
+        assert!(usable(&[0.0, 1.0, 2.0], 10.0));
+        assert!(!usable(&[f64::NAN], 10.0));
+        assert!(!usable(&[f64::INFINITY], 10.0));
+        assert!(!usable(&[11.0], 10.0), "outliers above the cap are rejected");
+        assert!(usable(&[-5.0], 10.0), "negatives pass here; the final clamp zeroes them");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use harmony_model::{EnergyPrice, MachineCatalog};
-use harmony_sim::{EnergyEfficientFirstFit, SimReport, Simulation, SimulationConfig};
+use harmony_sim::{EnergyEfficientFirstFit, FaultPlan, SimReport, Simulation, SimulationConfig};
 use harmony_trace::Trace;
 use serde::{Deserialize, Serialize};
 
@@ -56,13 +56,34 @@ pub fn run_variant(
     classifier_config: &ClassifierConfig,
     variant: Variant,
 ) -> Result<SimReport, HarmonyError> {
+    run_variant_with_faults(trace, catalog, harmony_config, classifier_config, variant, None)
+}
+
+/// Like [`run_variant`], but optionally injecting a fault plan into the
+/// simulation — the robustness-evaluation entry point (`replay --faults`
+/// and the `fault_scenarios` bench).
+///
+/// # Errors
+///
+/// Propagates classifier/controller construction failures.
+pub fn run_variant_with_faults(
+    trace: &Trace,
+    catalog: &MachineCatalog,
+    harmony_config: &HarmonyConfig,
+    classifier_config: &ClassifierConfig,
+    variant: Variant,
+    faults: Option<&FaultPlan>,
+) -> Result<SimReport, HarmonyError> {
     let price = EnergyPrice::default();
     // The paper's Section IX evaluation charges queueing (scheduling
     // delay) rather than evicting running tasks; preemption stays off in
     // the controller comparison (it is on for the Section III trace
     // analysis, where the real Google cluster does evict).
-    let sim_config =
+    let mut sim_config =
         SimulationConfig::new(catalog.clone()).price(price.clone()).without_preemption();
+    if let Some(plan) = faults {
+        sim_config = sim_config.with_faults(plan.clone());
+    }
     let report = match variant {
         Variant::Baseline => {
             let controller = BaselineController::new(harmony_config.control_period);

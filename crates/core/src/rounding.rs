@@ -94,16 +94,13 @@ pub fn pack_into_mix(
     let mut free: Vec<(usize, Resources)> = Vec::new();
     for (m, &count) in machines.iter().enumerate() {
         let cap = catalog.machine_type(MachineTypeId(m)).capacity;
-        free.extend(std::iter::repeat((m, cap)).take(count));
+        free.extend(std::iter::repeat_n((m, cap), count));
     }
     let mut packed = vec![vec![0usize; totals.len()]; machines.len()];
     // Largest containers first (First-Fit-Decreasing).
     let mut order: Vec<usize> = (0..totals.len()).collect();
     order.sort_by(|&a, &b| {
-        sizes[b]
-            .sum_components()
-            .partial_cmp(&sizes[a].sum_components())
-            .expect("sizes are finite")
+        f64::total_cmp(&sizes[b].sum_components(), &sizes[a].sum_components())
     });
     for &n in &order {
         let size = sizes[n];
@@ -134,10 +131,7 @@ pub fn first_fit_pack(
     let mut placed = vec![0usize; counts.len()];
     let mut order: Vec<usize> = (0..counts.len()).collect();
     order.sort_by(|&a, &b| {
-        sizes[b]
-            .sum_components()
-            .partial_cmp(&sizes[a].sum_components())
-            .expect("sizes are finite")
+        f64::total_cmp(&sizes[b].sum_components(), &sizes[a].sum_components())
     });
     for &n in &order {
         let size = sizes[n];

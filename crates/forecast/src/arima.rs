@@ -102,7 +102,7 @@ impl Arima {
             vec![0.0; self.p]
         };
         let mut x0 = phi0;
-        x0.extend(std::iter::repeat(0.0).take(self.q));
+        x0.extend(std::iter::repeat_n(0.0, self.q));
 
         let (params, sse) = if self.p + self.q > 0 {
             let p = self.p;
@@ -334,7 +334,7 @@ pub fn auto_arima(
             };
             match spec.fit(history) {
                 Ok(fit) => {
-                    if best.as_ref().map_or(true, |(_, b)| fit.aic() < b.aic()) {
+                    if best.as_ref().is_none_or(|(_, b)| fit.aic() < b.aic()) {
                         best = Some(((p, d, q), fit));
                     }
                 }

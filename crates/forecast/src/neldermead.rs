@@ -80,7 +80,7 @@ where
     const SIGMA: f64 = 0.5; // shrink
 
     while evals < options.max_evals {
-        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objectives are not NaN"));
+        simplex.sort_by(|a, b| f64::total_cmp(&a.1, &b.1));
         let best = simplex[0].1;
         let worst = simplex[n].1;
         if (worst - best).abs() <= options.f_tolerance * (1.0 + best.abs()) {
@@ -135,7 +135,7 @@ where
             }
         }
     }
-    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objectives are not NaN"));
+    simplex.sort_by(|a, b| f64::total_cmp(&a.1, &b.1));
     let (x, fx) = simplex.swap_remove(0);
     (x, fx)
 }

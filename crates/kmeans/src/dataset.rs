@@ -64,7 +64,7 @@ impl Dataset {
         if values.is_empty() || dim == 0 {
             return Err(KMeansError::EmptyDataset);
         }
-        if values.len() % dim != 0 {
+        if !values.len().is_multiple_of(dim) {
             return Err(KMeansError::RaggedRows {
                 row: values.len() / dim,
                 expected: dim,

@@ -85,7 +85,7 @@ impl KMeans {
         for r in 0..self.restarts {
             let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(r as u64));
             let model = self.fit_once(data, &mut rng);
-            if best.as_ref().map_or(true, |b| model.inertia() < b.inertia()) {
+            if best.as_ref().is_none_or(|b| model.inertia() < b.inertia()) {
                 best = Some(model);
             }
         }
@@ -170,8 +170,8 @@ fn plus_plus_init(data: &Dataset, k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
             chosen
         };
         let c = data.row(idx).to_vec();
-        for i in 0..data.len() {
-            dists[i] = dists[i].min(data.distance_sq(i, &c));
+        for (i, d) in dists.iter_mut().enumerate() {
+            *d = d.min(data.distance_sq(i, &c));
         }
         centroids.push(c);
     }

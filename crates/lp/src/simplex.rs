@@ -320,7 +320,7 @@ impl Tableau {
                         entering = Some((j, r)); // first (smallest) index
                         break;
                     }
-                    if entering.map_or(true, |(_, best)| r < best) {
+                    if entering.is_none_or(|(_, best)| r < best) {
                         entering = Some((j, r));
                     }
                 }
@@ -618,15 +618,15 @@ mod tests {
                 vars.push((i, j, p.add_var(format!("x{i}{j}"), 0.0, f64::INFINITY, c)));
             }
         }
-        for i in 0..3 {
+        for (i, &s) in supply.iter().enumerate() {
             let terms: Vec<_> =
                 vars.iter().filter(|(a, _, _)| *a == i).map(|(_, _, v)| (*v, 1.0)).collect();
-            p.add_eq(terms, supply[i]);
+            p.add_eq(terms, s);
         }
-        for j in 0..3 {
+        for (j, &d) in demand.iter().enumerate() {
             let terms: Vec<_> =
                 vars.iter().filter(|(_, b, _)| *b == j).map(|(_, _, v)| (*v, 1.0)).collect();
-            p.add_eq(terms, demand[j]);
+            p.add_eq(terms, d);
         }
         let s = p.solve().unwrap();
         // Verify feasibility and optimality bound: cost must be >= LP bound

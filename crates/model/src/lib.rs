@@ -35,6 +35,7 @@ mod error;
 mod machine;
 mod power;
 mod resources;
+mod serde_impls;
 mod task;
 mod time;
 

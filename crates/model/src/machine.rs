@@ -258,7 +258,7 @@ impl MachineCatalog {
         ids.sort_by(|a, b| {
             let ea = self.machine_type(*a).capacity_per_watt();
             let eb = self.machine_type(*b).capacity_per_watt();
-            eb.partial_cmp(&ea).expect("capacity_per_watt is finite")
+            f64::total_cmp(&eb, &ea)
         });
         ids
     }

@@ -118,8 +118,9 @@ impl Eq for SimTime {}
 
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Construction forbids NaN, so partial_cmp is total here.
-        self.0.partial_cmp(&other.0).expect("SimTime is NaN-free")
+        // Construction forbids NaN; total_cmp keeps the ordering total
+        // even if one slips through (no panic in the event loop).
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -133,7 +134,7 @@ impl Eq for SimDuration {}
 
 impl Ord for SimDuration {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("SimDuration is NaN-free")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -251,7 +252,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut ts = vec![
+        let mut ts = [
             SimTime::from_secs(3.0),
             SimTime::from_secs(1.0),
             SimTime::from_secs(2.0),

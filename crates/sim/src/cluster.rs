@@ -14,6 +14,8 @@ pub struct Cluster {
     by_type: Vec<Vec<MachineId>>,
     switch_count: usize,
     switch_cost: f64,
+    /// Boot-time multiplier, normally 1.0; raised by slow-boot faults.
+    boot_factor: f64,
 }
 
 impl Cluster {
@@ -30,7 +32,7 @@ impl Cluster {
             }
             by_type.push(ids);
         }
-        Cluster { catalog, machines, by_type, switch_count: 0, switch_cost: 0.0 }
+        Cluster { catalog, machines, by_type, switch_count: 0, switch_cost: 0.0, boot_factor: 1.0 }
     }
 
     /// The catalog this cluster was built from.
@@ -138,7 +140,7 @@ impl Cluster {
         now: SimTime,
     ) -> (Vec<MachineId>, SimTime) {
         let ty = self.catalog.machine_type(type_id);
-        let ready_at = now + ty.boot_time;
+        let ready_at = now + ty.boot_time * self.boot_factor;
         let q = ty.switching_cost;
         let mut started = Vec::new();
         for &id in &self.by_type[type_id.0] {
@@ -188,6 +190,45 @@ impl Cluster {
             true
         } else {
             false
+        }
+    }
+
+    /// The boot-time multiplier currently in effect.
+    pub fn boot_factor(&self) -> f64 {
+        self.boot_factor
+    }
+
+    /// Sets the boot-time multiplier (slow-boot fault windows). Values
+    /// below a sane floor are clamped so boots always terminate.
+    pub fn set_boot_factor(&mut self, factor: f64) {
+        self.boot_factor = if factor.is_finite() { factor.max(0.01) } else { 1.0 };
+    }
+
+    /// Crashes one machine (fault injection): it drops every hosted
+    /// allocation and stays unusable until `until`. No switching cost is
+    /// charged — a failure is not a provisioning action. Returns `false`
+    /// if the machine was not active.
+    pub fn crash_machine(&mut self, id: MachineId, now: SimTime, until: SimTime) -> bool {
+        self.machines[id.0].crash(now, until)
+    }
+
+    /// Recovers a crashed machine whose downtime has elapsed, leaving it
+    /// powered off. Returns `false` if it is not failed or still down.
+    pub fn recover_machine(&mut self, id: MachineId, now: SimTime) -> bool {
+        self.machines[id.0].recover(now)
+    }
+
+    /// Reboots one specific powered-off machine without charging
+    /// switching cost — the post-crash automatic restart (a repair
+    /// action, not a provisioning decision). Returns the ready time, or
+    /// `None` if the machine is not off.
+    pub fn restart_machine(&mut self, id: MachineId, now: SimTime) -> Option<SimTime> {
+        let ty = self.catalog.machine_type(self.machines[id.0].type_id());
+        let ready_at = now + ty.boot_time * self.boot_factor;
+        if self.machines[id.0].power_on(now, ready_at) {
+            Some(ready_at)
+        } else {
+            None
         }
     }
 
@@ -324,6 +365,51 @@ mod tests {
         // Double off is a no-op.
         assert!(!c.power_off_machine(ids[1], ready));
         assert_eq!(c.switch_count(), 1);
+    }
+
+    #[test]
+    fn crash_recover_restart_cycle() {
+        let mut c = tiny();
+        let (ids, ready) = c.power_on(MachineTypeId(0), 2, SimTime::ZERO);
+        for id in &ids {
+            c.boot_complete(*id, ready);
+        }
+        assert!(c.allocate(ids[0], Resources::new(0.05, 0.05), ready));
+        let switches_before = c.switch_count();
+        let down_until = ready + harmony_model::SimDuration::from_secs(600.0);
+        assert!(c.crash_machine(ids[0], ready, down_until));
+        assert!(c.machine(ids[0]).is_failed());
+        assert_eq!(c.active_per_type()[0], 1);
+        // Crashes and repairs are free of switching cost.
+        assert_eq!(c.switch_count(), switches_before);
+        assert!(!c.recover_machine(ids[0], ready), "still down");
+        assert!(c.recover_machine(ids[0], down_until));
+        let restart_ready = c.restart_machine(ids[0], down_until).unwrap();
+        assert!(restart_ready > down_until);
+        assert!(c.boot_complete(ids[0], restart_ready));
+        assert!(c.machine(ids[0]).is_on());
+        assert_eq!(c.switch_count(), switches_before);
+        // Restarting a machine that is not off fails.
+        assert!(c.restart_machine(ids[0], restart_ready).is_none());
+    }
+
+    #[test]
+    fn slow_boot_factor_stretches_boots() {
+        let mut c = tiny();
+        let (_, nominal) = c.power_on(MachineTypeId(0), 1, SimTime::ZERO);
+        c.set_boot_factor(3.0);
+        assert_eq!(c.boot_factor(), 3.0);
+        let (ids, slow) = c.power_on(MachineTypeId(0), 1, SimTime::ZERO);
+        assert_eq!(ids.len(), 1);
+        assert!(
+            (slow.as_secs() - 3.0 * nominal.as_secs()).abs() < 1e-9,
+            "slow {slow:?} vs nominal {nominal:?}"
+        );
+        // Non-finite factors reset to nominal; tiny ones are floored.
+        c.set_boot_factor(f64::NAN);
+        assert_eq!(c.boot_factor(), 1.0);
+        c.set_boot_factor(0.0);
+        assert!(c.boot_factor() > 0.0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The dynamic-capacity-provisioning hook.
 
 use harmony_model::{SimTime, Task};
+use serde::{Deserialize, Serialize};
 
 use crate::cluster::Cluster;
 
@@ -58,6 +59,51 @@ impl ControlDecision {
     }
 }
 
+/// The forecast quality tier a controller's predictor ran at: the
+/// graceful-degradation ladder steps down this list when a higher tier
+/// produces unusable output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ForecastTier {
+    /// Full ARIMA fit (the paper's predictor).
+    Arima,
+    /// Moving-average fallback.
+    MovingAverage,
+    /// Last recorded observation, repeated.
+    LastObservation,
+}
+
+/// What part of the control pipeline degraded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DegradationKind {
+    /// A class's forecast fell back below the tier its history entitles
+    /// (non-finite or outlier output from the higher tier).
+    ForecastFallback {
+        /// Dense class index.
+        class: usize,
+        /// The tier actually used.
+        tier: ForecastTier,
+    },
+    /// The provisioning LP failed; the previous plan was re-actuated.
+    LpReusedPreviousPlan,
+    /// The provisioning LP failed with no previous plan to reuse; a
+    /// greedy per-class sizing was actuated instead.
+    LpGreedyFallback,
+    /// The control step failed outright and capacity was held unchanged.
+    ControlHold,
+}
+
+/// One degradation a controller survived, surfaced in
+/// [`crate::SimReport::degradations`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationEvent {
+    /// When the degradation occurred (the control tick's time).
+    pub at: SimTime,
+    /// Which rung of the ladder was taken.
+    pub kind: DegradationKind,
+    /// Human-readable cause (e.g. the underlying error message).
+    pub detail: String,
+}
+
 /// A dynamic capacity provisioner, invoked once per control period.
 pub trait Controller: std::fmt::Debug {
     /// How often [`Controller::decide`] runs.
@@ -65,6 +111,14 @@ pub trait Controller: std::fmt::Debug {
 
     /// Makes a provisioning decision from the current observation.
     fn decide(&mut self, observation: &Observation<'_>) -> ControlDecision;
+
+    /// Drains the degradation events accumulated since the last call.
+    /// The engine collects these after every [`Controller::decide`] into
+    /// the run's [`crate::SimReport`]. Controllers without a degradation
+    /// ladder keep the default (no events).
+    fn take_degradations(&mut self) -> Vec<DegradationEvent> {
+        Vec::new()
+    }
 }
 
 /// A controller that never changes anything — used for open-loop replays

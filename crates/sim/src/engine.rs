@@ -10,7 +10,8 @@ use harmony_model::{
 use harmony_trace::Trace;
 
 use crate::cluster::Cluster;
-use crate::controller::{Controller, Observation};
+use crate::controller::{Controller, DegradationEvent, Observation};
+use crate::faults::{FaultInjector, FaultKind, FaultPlan, FaultRecord, FaultRecordKind};
 use crate::machine::MachineId;
 use crate::metrics::{SimReport, TimePoint};
 use crate::scheduler::Scheduler;
@@ -24,6 +25,8 @@ pub struct SimulationConfig {
     sample_interval: SimDuration,
     drain_failure_limit: usize,
     preemption: bool,
+    faults: Option<FaultPlan>,
+    max_task_retries: u32,
 }
 
 impl SimulationConfig {
@@ -40,6 +43,8 @@ impl SimulationConfig {
             sample_interval: SimDuration::from_mins(15.0),
             drain_failure_limit: 256,
             preemption: true,
+            faults: None,
+            max_task_retries: 3,
         }
     }
 
@@ -79,6 +84,24 @@ impl SimulationConfig {
         self.preemption = false;
         self
     }
+
+    /// Injects the given fault plan into the run. Fault events are
+    /// scheduled into the event loop alongside arrivals and control
+    /// ticks; every applied fault is recorded in
+    /// [`SimReport::faults`](crate::SimReport).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sets how many fault-induced interruptions a task survives before
+    /// it is dropped as failed (default 3). Priority preemption does not
+    /// count against this budget — only injected crashes and evictions
+    /// do.
+    pub fn max_task_retries(mut self, retries: u32) -> Self {
+        self.max_task_retries = retries;
+        self
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,6 +114,12 @@ enum EventKind {
     BootDone(MachineId),
     Control,
     Sample,
+    /// An injected fault fires; the payload indexes the plan's events.
+    Fault(usize),
+    /// A crashed machine's downtime elapsed.
+    FaultRecover(MachineId),
+    /// A slow-boot window ended; boot times return to nominal.
+    SlowBootEnd,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -183,15 +212,21 @@ struct TaskState {
     /// from this instant, matching the per-submission semantics of the
     /// Google trace.
     queued_since: Vec<SimTime>,
+    /// How many fault-induced interruptions (crash or injected
+    /// eviction) the task has absorbed. Priority preemption is not
+    /// counted: the retry budget bounds fault damage, not scheduling
+    /// policy.
+    retries: Vec<u32>,
 }
 
 impl TaskState {
-    fn new(tasks: &[Task]) -> Self {
+    fn new(tasks: &[Task], queued_since: Vec<SimTime>) -> Self {
         TaskState {
             epoch: vec![0; tasks.len()],
             remaining_secs: tasks.iter().map(|t| t.duration.as_secs()).collect(),
             started_at: vec![SimTime::ZERO; tasks.len()],
-            queued_since: tasks.iter().map(|t| t.arrival).collect(),
+            queued_since,
+            retries: vec![0; tasks.len()],
         }
     }
 }
@@ -216,8 +251,11 @@ struct RunState {
     delays: [Vec<f64>; 3],
     completed: usize,
     unschedulable: usize,
+    failed: usize,
     migrations: usize,
     evictions: usize,
+    faults: Vec<FaultRecord>,
+    degradations: Vec<DegradationEvent>,
     heap: BinaryHeap<HeapItem>,
     seq: u64,
 }
@@ -246,17 +284,42 @@ impl<'t> Simulation<'t> {
     pub fn run(mut self) -> SimReport {
         let tasks = self.trace.tasks();
         let end = SimTime::ZERO + self.trace.span();
+        let plan = self.config.faults.clone();
+        let mut injector = plan.as_ref().map(FaultInjector::new);
+        // Arrival-burst faults warp upcoming arrivals to the burst
+        // instant before the run starts: the same tasks arrive, just
+        // compressed in time, so conservation is unaffected.
+        let mut effective_arrival: Vec<SimTime> = tasks.iter().map(|t| t.arrival).collect();
+        let mut burst_counts: HashMap<usize, usize> = HashMap::new();
+        if let Some(plan) = plan.as_ref() {
+            for (ei, ev) in plan.events().iter().enumerate() {
+                if let FaultKind::ArrivalBurst { window } = ev.kind {
+                    let hi = ev.at + window;
+                    let mut warped = 0usize;
+                    for (i, t) in tasks.iter().enumerate() {
+                        if t.arrival > ev.at && t.arrival <= hi {
+                            effective_arrival[i] = effective_arrival[i].min(ev.at);
+                            warped += 1;
+                        }
+                    }
+                    burst_counts.insert(ei, warped);
+                }
+            }
+        }
         let mut st = RunState {
             cluster: Cluster::new(self.config.catalog.clone()),
             pending: BTreeMap::new(),
             placements: Placements::default(),
-            task_state: TaskState::new(tasks),
+            task_state: TaskState::new(tasks, effective_arrival.clone()),
             running_set: BTreeSet::new(),
             delays: [Vec::new(), Vec::new(), Vec::new()],
             completed: 0,
             unschedulable: 0,
+            failed: 0,
             migrations: 0,
             evictions: 0,
+            faults: Vec::new(),
+            degradations: Vec::new(),
             heap: BinaryHeap::new(),
             seq: 0,
         };
@@ -275,8 +338,13 @@ impl<'t> Simulation<'t> {
             st.cluster.reset_switch_accounting();
         }
 
-        for (i, t) in tasks.iter().enumerate() {
-            st.push(t.arrival, EventKind::Arrival(i));
+        for (i, arrival) in effective_arrival.iter().enumerate() {
+            st.push(*arrival, EventKind::Arrival(i));
+        }
+        if let Some(plan) = plan.as_ref() {
+            for (ei, ev) in plan.events().iter().enumerate() {
+                st.push(ev.at, EventKind::Fault(ei));
+            }
         }
         if self.controller.is_some() {
             st.push(SimTime::ZERO, EventKind::Control);
@@ -342,6 +410,7 @@ impl<'t> Simulation<'t> {
                             arrived_last_period: &arrived,
                             running: &running_tasks,
                         });
+                        st.degradations.extend(controller.take_degradations());
                         let active = st.cluster.active_per_type();
                         for (ty, (&target, &current)) in
                             decision.target_active.iter().zip(&active).enumerate()
@@ -392,6 +461,104 @@ impl<'t> Simulation<'t> {
                         st.push(next, EventKind::Sample);
                     }
                 }
+                EventKind::Fault(ei) => {
+                    let Some(plan) = plan.as_ref() else { continue };
+                    let event = plan.events()[ei];
+                    match event.kind {
+                        FaultKind::MachineCrash { down } => {
+                            let candidates = crash_candidates(&st);
+                            let victim =
+                                injector.as_mut().and_then(|inj| inj.pick_machine(&candidates));
+                            if let Some(id) = victim {
+                                // Evict residents first (the crash zeroes
+                                // the machine's allocation wholesale, so
+                                // no per-task release).
+                                let residents = st.placements.on(id).to_vec();
+                                let mut evicted = 0usize;
+                                let mut failed = 0usize;
+                                for t_idx in residents {
+                                    if self.fault_interrupt(&mut st, tasks, t_idx, now, false) {
+                                        evicted += 1;
+                                    } else {
+                                        failed += 1;
+                                    }
+                                }
+                                let until = now + down;
+                                if st.cluster.crash_machine(id, now, until) {
+                                    st.push(until, EventKind::FaultRecover(id));
+                                    st.faults.push(FaultRecord {
+                                        at: now,
+                                        kind: FaultRecordKind::MachineCrash {
+                                            machine: id,
+                                            evicted,
+                                            failed,
+                                        },
+                                    });
+                                    self.drain(&mut st, tasks, now);
+                                }
+                            }
+                        }
+                        FaultKind::SlowBoot { factor, duration } => {
+                            st.cluster.set_boot_factor(factor);
+                            st.push(now + duration, EventKind::SlowBootEnd);
+                            st.faults.push(FaultRecord {
+                                at: now,
+                                kind: FaultRecordKind::SlowBootStart { factor },
+                            });
+                        }
+                        FaultKind::TaskEviction { count } => {
+                            // Evict the lowest-priority running tasks, a
+                            // stand-in for the Google trace's EVICT
+                            // events.
+                            let mut running: Vec<usize> = st.running_set.iter().copied().collect();
+                            running.sort_by_key(|&i| (tasks[i].priority.level(), i));
+                            let mut evicted = 0usize;
+                            let mut failed = 0usize;
+                            for v in running.into_iter().take(count) {
+                                if self.fault_interrupt(&mut st, tasks, v, now, true) {
+                                    evicted += 1;
+                                } else {
+                                    failed += 1;
+                                }
+                            }
+                            if evicted + failed > 0 {
+                                st.faults.push(FaultRecord {
+                                    at: now,
+                                    kind: FaultRecordKind::TaskEviction { evicted, failed },
+                                });
+                                self.drain(&mut st, tasks, now);
+                            }
+                        }
+                        FaultKind::ArrivalBurst { .. } => {
+                            // The warp was applied before the run (see
+                            // `effective_arrival`); record its size here
+                            // so the report lists the burst in time
+                            // order with the other faults.
+                            let tasks_warped = burst_counts.get(&ei).copied().unwrap_or(0);
+                            st.faults.push(FaultRecord {
+                                at: now,
+                                kind: FaultRecordKind::ArrivalBurst { tasks_warped },
+                            });
+                        }
+                    }
+                }
+                EventKind::FaultRecover(id) => {
+                    if st.cluster.recover_machine(id, now) {
+                        st.faults.push(FaultRecord {
+                            at: now,
+                            kind: FaultRecordKind::MachineRecovered { machine: id },
+                        });
+                        // A repaired machine comes straight back (no
+                        // switch cost: this is repair, not provisioning).
+                        if let Some(ready) = st.cluster.restart_machine(id, now) {
+                            st.push(ready, EventKind::BootDone(id));
+                        }
+                    }
+                }
+                EventKind::SlowBootEnd => {
+                    st.cluster.set_boot_factor(1.0);
+                    st.faults.push(FaultRecord { at: now, kind: FaultRecordKind::SlowBootEnd });
+                }
             }
         }
 
@@ -405,13 +572,51 @@ impl<'t> Simulation<'t> {
             tasks_running_at_end: st.running_set.len(),
             tasks_pending_at_end: st.pending.len(),
             tasks_unschedulable: st.unschedulable,
+            tasks_failed: st.failed,
             total_energy_wh: energy,
             energy_cost_dollars: energy_cost,
             switch_count: st.cluster.switch_count(),
             switch_cost_dollars: st.cluster.switch_cost(),
             migrations: st.migrations,
             evictions: st.evictions,
+            faults: st.faults,
+            degradations: st.degradations,
             series,
+        }
+    }
+
+    /// Interrupts a running task because of an injected fault: removes
+    /// it from its host (releasing the allocation when `release` —
+    /// machine crashes zero the whole machine instead), keeps the work
+    /// done so far, and re-queues it unless its retry budget is
+    /// exhausted. Returns `true` if the task was re-queued, `false` if
+    /// it was dropped as failed.
+    fn fault_interrupt(
+        &mut self,
+        st: &mut RunState,
+        tasks: &[Task],
+        idx: usize,
+        now: SimTime,
+        release: bool,
+    ) -> bool {
+        let task = &tasks[idx];
+        let machine = st.placements.remove(idx);
+        if release {
+            st.cluster.release(machine, task.demand, now);
+        }
+        self.scheduler.on_finished(task, machine, &st.cluster);
+        st.running_set.remove(&idx);
+        let ran = now.saturating_since(st.task_state.started_at[idx]).as_secs();
+        st.task_state.remaining_secs[idx] = (st.task_state.remaining_secs[idx] - ran).max(1.0);
+        st.task_state.epoch[idx] += 1;
+        st.task_state.retries[idx] += 1;
+        if st.task_state.retries[idx] > self.config.max_task_retries {
+            st.failed += 1;
+            false
+        } else {
+            st.task_state.queued_since[idx] = now;
+            st.pending.insert(PendKey::of(task), idx);
+            true
         }
     }
 
@@ -574,6 +779,23 @@ impl<'t> Simulation<'t> {
     }
 }
 
+/// Machines an injected crash may hit: busy active machines when any
+/// exist (a crash that lands on an empty machine tests little),
+/// otherwise any active machine.
+fn crash_candidates(st: &RunState) -> Vec<MachineId> {
+    let busy: Vec<MachineId> = st
+        .cluster
+        .machines()
+        .iter()
+        .filter(|m| m.is_active() && m.running_tasks() > 0)
+        .map(|m| m.id())
+        .collect();
+    if !busy.is_empty() {
+        return busy;
+    }
+    st.cluster.machines().iter().filter(|m| m.is_active()).map(|m| m.id()).collect()
+}
+
 /// Finds the machine where evicting the fewest lower-priority-group
 /// tasks makes room for `task`. Returns the machine and the victim set.
 fn find_preemption(
@@ -599,11 +821,7 @@ fn find_preemption(
         }
         // Evict the largest victims first to minimize the victim count.
         lower.sort_by(|&a, &b| {
-            tasks[b]
-                .demand
-                .sum_components()
-                .partial_cmp(&tasks[a].demand.sum_components())
-                .expect("demands are finite")
+            f64::total_cmp(&tasks[b].demand.sum_components(), &tasks[a].demand.sum_components())
         });
         let mut freed = m.free();
         let mut victims = Vec::new();
@@ -615,7 +833,7 @@ fn find_preemption(
             victims.push(i);
         }
         if task.demand.fits_within(freed)
-            && best.as_ref().map_or(true, |(_, b)| victims.len() < b.len())
+            && best.as_ref().is_none_or(|(_, b)| victims.len() < b.len())
         {
             let done = victims.len() == 1;
             best = Some((m.id(), victims));
@@ -673,7 +891,7 @@ fn repack(
                 .map(|m| (m.id(), m.free(), m.running_tasks()))
                 .collect();
             // Consolidate onto the busiest machines first.
-            free.sort_by(|a, b| b.2.cmp(&a.2));
+            free.sort_by_key(|m| std::cmp::Reverse(m.2));
             let mut plan: Vec<(usize, MachineId)> = Vec::new();
             let mut feasible = true;
             for &idx in &resident {
@@ -722,7 +940,8 @@ mod tests {
             report.tasks_completed
                 + report.tasks_running_at_end
                 + report.tasks_pending_at_end
-                + report.tasks_unschedulable,
+                + report.tasks_unschedulable
+                + report.tasks_failed,
             trace.len()
         );
     }
@@ -831,7 +1050,7 @@ mod tests {
             self.tick += 1;
             let full: Vec<usize> =
                 observation.cluster.catalog().iter().map(|t| t.count).collect();
-            if self.tick % 2 == 0 {
+            if self.tick.is_multiple_of(2) {
                 ControlDecision::targets(vec![0; full.len()])
             } else {
                 ControlDecision::targets(full)
@@ -902,6 +1121,102 @@ mod tests {
             prod_with.mean,
             prod_without.mean
         );
+    }
+
+    #[test]
+    fn crash_storm_conserves_tasks_and_records_faults() {
+        use crate::faults::FaultPlan;
+        let trace = small_trace();
+        let plan = FaultPlan::scenario("crash-storm", 7, trace.span()).unwrap();
+        let config = SimulationConfig::new(MachineCatalog::table2().scaled(50))
+            .all_machines_on()
+            .with_faults(plan);
+        let report = Simulation::new(config, &trace, Box::new(FirstFit)).run();
+        conservation(&report, &trace);
+        assert!(
+            report
+                .faults
+                .iter()
+                .any(|f| matches!(f.kind, FaultRecordKind::MachineCrash { .. })),
+            "crash-storm should land at least one crash"
+        );
+        // Every crash eventually recovers (downtimes are well inside the
+        // span for this scenario, though late crashes may recover after
+        // the horizon).
+        let crashes = report
+            .faults
+            .iter()
+            .filter(|f| matches!(f.kind, FaultRecordKind::MachineCrash { .. }))
+            .count();
+        let recoveries = report
+            .faults
+            .iter()
+            .filter(|f| matches!(f.kind, FaultRecordKind::MachineRecovered { .. }))
+            .count();
+        assert!(recoveries <= crashes);
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic() {
+        use crate::faults::FaultPlan;
+        let trace = small_trace();
+        let run = |seed: u64| {
+            let plan = FaultPlan::scenario("mixed", seed, trace.span()).unwrap();
+            let config = SimulationConfig::new(MachineCatalog::table2().scaled(50))
+                .all_machines_on()
+                .with_faults(plan);
+            Simulation::new(config, &trace, Box::new(FirstFit)).run()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.tasks_completed, b.tasks_completed);
+        assert_eq!(a.tasks_failed, b.tasks_failed);
+    }
+
+    #[test]
+    fn arrival_burst_warps_but_conserves() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let trace = small_trace();
+        let plan = FaultPlan::new(3).with_event(
+            SimTime::from_secs(600.0),
+            FaultKind::ArrivalBurst { window: SimDuration::from_mins(30.0) },
+        );
+        let config = SimulationConfig::new(MachineCatalog::table2().scaled(50))
+            .all_machines_on()
+            .with_faults(plan);
+        let report = Simulation::new(config, &trace, Box::new(FirstFit)).run();
+        conservation(&report, &trace);
+        let warped = report.faults.iter().find_map(|f| match f.kind {
+            FaultRecordKind::ArrivalBurst { tasks_warped } => Some(tasks_warped),
+            _ => None,
+        });
+        assert!(warped.unwrap_or(0) > 0, "a 30-minute window should catch arrivals");
+    }
+
+    #[test]
+    fn retry_budget_zero_fails_interrupted_tasks() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let trace = small_trace();
+        let plan = FaultPlan::new(9)
+            .with_event(SimTime::from_secs(1800.0), FaultKind::TaskEviction { count: 5 });
+        let config = SimulationConfig::new(MachineCatalog::table2().scaled(50))
+            .all_machines_on()
+            .with_faults(plan)
+            .max_task_retries(0);
+        let report = Simulation::new(config, &trace, Box::new(FirstFit)).run();
+        conservation(&report, &trace);
+        let evicted_or_failed: usize = report
+            .faults
+            .iter()
+            .map(|f| match f.kind {
+                FaultRecordKind::TaskEviction { evicted, failed } => evicted + failed,
+                _ => 0,
+            })
+            .sum();
+        if evicted_or_failed > 0 {
+            assert_eq!(report.tasks_failed, evicted_or_failed, "budget 0 drops every victim");
+        }
     }
 
     #[test]

@@ -45,13 +45,20 @@
 mod cluster;
 mod controller;
 mod engine;
+mod faults;
 mod machine;
 mod metrics;
 mod scheduler;
 
 pub use cluster::Cluster;
-pub use controller::{ControlDecision, Controller, NullController, Observation};
+pub use controller::{
+    ControlDecision, Controller, DegradationEvent, DegradationKind, ForecastTier, NullController,
+    Observation,
+};
 pub use engine::{Simulation, SimulationConfig};
+pub use faults::{
+    FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord, FaultRecordKind, SCENARIOS,
+};
 pub use machine::{Machine, MachineId, MachineState};
 pub use metrics::{DelayStats, SimReport, TimePoint};
 pub use scheduler::{BestFit, EnergyEfficientFirstFit, FirstFit, Scheduler};

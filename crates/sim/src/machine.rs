@@ -21,6 +21,12 @@ pub enum MachineState {
     },
     /// On and schedulable.
     On,
+    /// Crashed by an injected fault; draws nothing, hosts nothing, and
+    /// cannot be powered on until it recovers at `until`.
+    Failed {
+        /// When the machine becomes recoverable.
+        until: SimTime,
+    },
 }
 
 /// One physical machine: capacity, current allocation, lifecycle state,
@@ -100,9 +106,16 @@ impl Machine {
     }
 
     /// `true` if the machine is `On` or `Booting` (counts toward the
-    /// provisioned-capacity targets).
+    /// provisioned-capacity targets). Crashed machines are not active:
+    /// the controller cannot count on them and may provision around
+    /// them.
     pub fn is_active(&self) -> bool {
-        !matches!(self.state, MachineState::Off)
+        matches!(self.state, MachineState::On | MachineState::Booting { .. })
+    }
+
+    /// `true` if the machine is crashed and waiting out its downtime.
+    pub fn is_failed(&self) -> bool {
+        matches!(self.state, MachineState::Failed { .. })
     }
 
     /// `true` if `demand` fits in the remaining capacity of an `On`
@@ -120,7 +133,7 @@ impl Machine {
     /// booting, zero when off.
     pub fn power_watts(&self) -> f64 {
         match self.state {
-            MachineState::Off => 0.0,
+            MachineState::Off | MachineState::Failed { .. } => 0.0,
             MachineState::Booting { .. } => self.power.idle_watts,
             MachineState::On => self.power.power_watts(self.utilization()),
         }
@@ -174,6 +187,33 @@ impl Machine {
             self.accrue_energy(now);
             self.state = MachineState::Off;
             self.used = Resources::ZERO;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Crashes the machine: it stops drawing power and drops every
+    /// hosted allocation (the engine re-queues the tasks). Legal from
+    /// `On` or `Booting`; returns `false` otherwise.
+    pub(crate) fn crash(&mut self, now: SimTime, until: SimTime) -> bool {
+        if !self.is_active() {
+            return false;
+        }
+        self.accrue_energy(now);
+        self.state = MachineState::Failed { until };
+        self.used = Resources::ZERO;
+        self.running_tasks = 0;
+        true
+    }
+
+    /// Ends a crash: the machine becomes `Off` (and may be powered on
+    /// again). Legal only from `Failed` with a downtime at or before
+    /// `now`; returns `false` otherwise.
+    pub(crate) fn recover(&mut self, now: SimTime) -> bool {
+        if matches!(self.state, MachineState::Failed { until } if until <= now) {
+            self.accrue_energy(now);
+            self.state = MachineState::Off;
             true
         } else {
             false
@@ -294,6 +334,43 @@ mod tests {
         assert!(m.allocate(SimTime::from_hours(3.0), Resources::new(0.5, 0.5)));
         m.accrue_energy(SimTime::from_hours(4.0));
         assert!((m.energy_wh() - 450.0).abs() < 1e-9, "wh = {}", m.energy_wh());
+    }
+
+    #[test]
+    fn crash_and_recover_lifecycle() {
+        let mut m = machine();
+        // Crashing an off machine is a no-op.
+        assert!(!m.crash(SimTime::ZERO, SimTime::from_secs(100.0)));
+        m.power_on(SimTime::ZERO, SimTime::ZERO);
+        m.boot_complete(SimTime::ZERO);
+        assert!(m.allocate(SimTime::ZERO, Resources::new(0.3, 0.3)));
+        assert!(m.crash(SimTime::from_secs(10.0), SimTime::from_secs(110.0)));
+        assert!(m.is_failed());
+        assert!(!m.is_active());
+        assert_eq!(m.running_tasks(), 0);
+        assert_eq!(m.used(), Resources::ZERO);
+        assert_eq!(m.power_watts(), 0.0);
+        // Cannot allocate, power on, or power off while failed.
+        assert!(!m.allocate(SimTime::from_secs(20.0), Resources::new(0.1, 0.1)));
+        assert!(!m.power_on(SimTime::from_secs(20.0), SimTime::from_secs(30.0)));
+        assert!(!m.power_off(SimTime::from_secs(20.0)));
+        // Recovery before the downtime elapses is refused.
+        assert!(!m.recover(SimTime::from_secs(50.0)));
+        assert!(m.recover(SimTime::from_secs(110.0)));
+        assert!(matches!(m.state(), MachineState::Off));
+        // And the machine boots normally again.
+        assert!(m.power_on(SimTime::from_secs(120.0), SimTime::from_secs(240.0)));
+    }
+
+    #[test]
+    fn failed_machine_draws_no_energy() {
+        let mut m = machine();
+        m.power_on(SimTime::ZERO, SimTime::ZERO);
+        m.boot_complete(SimTime::ZERO);
+        m.accrue_energy(SimTime::from_hours(1.0)); // 100 Wh idle
+        assert!(m.crash(SimTime::from_hours(1.0), SimTime::from_hours(3.0)));
+        m.accrue_energy(SimTime::from_hours(2.0));
+        assert!((m.energy_wh() - 100.0).abs() < 1e-9, "wh = {}", m.energy_wh());
     }
 
     #[test]

@@ -3,6 +3,9 @@
 use harmony_model::{PriorityGroup, SimTime};
 use serde::{Deserialize, Serialize};
 
+use crate::controller::DegradationEvent;
+use crate::faults::FaultRecord;
+
 /// One sampled point of cluster state over time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimePoint {
@@ -29,6 +32,8 @@ pub struct DelayStats {
     pub p50: f64,
     /// 90th percentile in seconds.
     pub p90: f64,
+    /// 95th percentile in seconds.
+    pub p95: f64,
     /// 99th percentile in seconds.
     pub p99: f64,
     /// Maximum observed delay in seconds.
@@ -47,13 +52,14 @@ impl DelayStats {
                 mean: 0.0,
                 p50: 0.0,
                 p90: 0.0,
+                p95: 0.0,
                 p99: 0.0,
                 max: 0.0,
                 immediate_fraction: 0.0,
             };
         }
         let mut sorted = delays.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("delays are finite"));
+        sorted.sort_by(f64::total_cmp);
         let q = |p: f64| -> f64 {
             let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
             sorted[idx - 1]
@@ -64,8 +70,9 @@ impl DelayStats {
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
             p50: q(0.5),
             p90: q(0.9),
+            p95: q(0.95),
             p99: q(0.99),
-            max: *sorted.last().expect("non-empty"),
+            max: sorted[sorted.len() - 1],
             immediate_fraction: immediate as f64 / sorted.len() as f64,
         }
     }
@@ -86,6 +93,9 @@ pub struct SimReport {
     pub tasks_pending_at_end: usize,
     /// Tasks whose demand fits no machine type in the catalog.
     pub tasks_unschedulable: usize,
+    /// Tasks dropped after exhausting their fault-eviction retry budget
+    /// (zero without fault injection).
+    pub tasks_failed: usize,
     /// Total energy in watt-hours.
     pub total_energy_wh: f64,
     /// Energy cost in dollars under the configured price curve
@@ -99,6 +109,11 @@ pub struct SimReport {
     pub migrations: usize,
     /// Tasks evicted by priority preemption.
     pub evictions: usize,
+    /// Injected faults actually applied during the run, in time order.
+    pub faults: Vec<FaultRecord>,
+    /// Degradation-ladder events the controller survived (forecast
+    /// fallbacks, LP plan reuse, greedy sizing, holds), in time order.
+    pub degradations: Vec<DegradationEvent>,
     /// Sampled cluster state over time.
     pub series: Vec<TimePoint>,
 }
@@ -141,6 +156,7 @@ mod tests {
         assert_eq!(s.count, 100);
         assert_eq!(s.p50, 50.0);
         assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p95, 95.0);
         assert_eq!(s.p99, 99.0);
         assert_eq!(s.max, 100.0);
         assert!((s.mean - 50.5).abs() < 1e-12);
@@ -168,12 +184,15 @@ mod tests {
             tasks_running_at_end: 0,
             tasks_pending_at_end: 0,
             tasks_unschedulable: 0,
+            tasks_failed: 0,
             total_energy_wh: 100.0,
             energy_cost_dollars: 2.0,
             switch_count: 4,
             switch_cost_dollars: 0.5,
             migrations: 0,
             evictions: 0,
+            faults: Vec::new(),
+            degradations: Vec::new(),
             series: vec![
                 TimePoint {
                     time: SimTime::ZERO,

@@ -58,7 +58,7 @@ impl Scheduler for BestFit {
                 continue;
             }
             let leftover = (m.free() - task.demand).sum_components();
-            if best.map_or(true, |(_, b)| leftover < b) {
+            if best.is_none_or(|(_, b)| leftover < b) {
                 best = Some((m.id(), leftover));
             }
         }

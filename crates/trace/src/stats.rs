@@ -26,7 +26,7 @@ impl Cdf {
     /// Builds a CDF, dropping NaN samples and sorting the rest.
     pub fn from_values(mut values: Vec<f64>) -> Self {
         values.retain(|v| !v.is_nan());
-        values.sort_by(|a, b| a.partial_cmp(b).expect("NaNs removed"));
+        values.sort_by(f64::total_cmp);
         Cdf { sorted: values }
     }
 
@@ -89,7 +89,7 @@ pub fn demand_over_time(trace: &Trace, bin: SimDuration) -> Vec<(SimTime, Resour
         events.push((start, t.demand, true));
         events.push((end, t.demand, false));
     }
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("times are finite"));
+    events.sort_by(|a, b| f64::total_cmp(&a.0, &b.0));
     let span = trace.span().as_secs();
     let mut out = Vec::new();
     let mut current = Resources::ZERO;

@@ -150,12 +150,18 @@ impl Trace {
                 return Ok(Trace { tasks: Vec::new(), span: SimDuration::ZERO });
             }
         };
-        #[derive(Deserialize)]
-        struct Header {
-            span_secs: f64,
-        }
-        let header: Header = serde_json::from_str(&header_line)
+        let header: serde_json::Value = serde_json::from_str(&header_line)
             .map_err(|source| TraceError::Malformed { line: 1, source })?;
+        let span_secs = header
+            .get("span_secs")
+            .and_then(serde_json::Value::as_f64)
+            .ok_or_else(|| TraceError::Malformed {
+                line: 1,
+                source: serde_json::Error::io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "header is missing a numeric `span_secs` field",
+                )),
+            })?;
         let mut tasks = Vec::new();
         for (i, line) in lines.enumerate() {
             let line = line?;
@@ -169,7 +175,7 @@ impl Trace {
         if let Some(index) = first_unsorted(&tasks) {
             return Err(TraceError::Unsorted { index });
         }
-        Ok(Trace { tasks, span: SimDuration::from_secs(header.span_secs) })
+        Ok(Trace { tasks, span: SimDuration::from_secs(span_secs) })
     }
 }
 
@@ -178,7 +184,7 @@ fn first_unsorted(tasks: &[Task]) -> Option<usize> {
 }
 
 fn io_err(e: serde_json::Error) -> TraceError {
-    TraceError::Io(std::io::Error::new(std::io::ErrorKind::Other, e))
+    TraceError::Io(std::io::Error::other(e))
 }
 
 #[cfg(test)]

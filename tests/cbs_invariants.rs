@@ -77,9 +77,9 @@ proptest! {
                 }
             }
             // Demand caps.
-            for n in 0..sizes.len() {
+            for (n, &cap) in demand[t].iter().enumerate() {
                 let served: f64 = (0..catalog.len()).map(|m| plan.x[t][m][n]).sum();
-                prop_assert!(served <= demand[t][n] + 1e-5, "overserved class {n} at {t}");
+                prop_assert!(served <= cap + 1e-5, "overserved class {n} at {t}");
             }
         }
     }

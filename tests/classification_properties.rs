@@ -42,7 +42,7 @@ proptest! {
             for secs in [1.0, 60.0, 600.0, 3600.0, 86_400.0] {
                 let label = classifier.class(classifier.relabel(task, SimDuration::from_secs(secs)));
                 let is_long = label.regime == Regime::Long;
-                prop_assert!(!(was_long && !is_long), "long → short flip at {secs}s");
+                prop_assert!(!was_long || is_long, "long → short flip at {secs}s");
                 was_long = is_long;
             }
         }

@@ -61,7 +61,10 @@ fn analytic_wait_matches_simulation_heavier_load() {
     let n = 10;
     let queue = MgnQueue::new(lambda, mu, 1.0).unwrap();
     let analytic = queue.mean_wait(n).unwrap();
-    let simulated = simulate_mmn(lambda, mu, n, 400_000, 2);
+    // Heavy-traffic mean-wait estimates converge slowly (highly
+    // autocorrelated waits near saturation), so this case needs a much
+    // longer run than the rho=0.67 one above to stay inside tolerance.
+    let simulated = simulate_mmn(lambda, mu, n, 4_000_000, 2);
     let rel = (analytic - simulated).abs() / analytic;
     assert!(
         rel < 0.08,
@@ -98,9 +101,9 @@ proptest! {
         prop_assert!(n >= 1);
         prop_assert!(queue.mean_wait(n).unwrap() <= target);
         if n > 1 {
-            match queue.mean_wait(n - 1) {
-                Ok(w) => prop_assert!(w > target, "n not minimal: wait({}) = {w}", n - 1),
-                Err(_) => {} // unstable with one fewer server
+            // Err means unstable with one fewer server — also fine.
+            if let Ok(w) = queue.mean_wait(n - 1) {
+                prop_assert!(w > target, "n not minimal: wait({}) = {w}", n - 1);
             }
         }
     }

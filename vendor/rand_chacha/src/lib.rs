@@ -1,0 +1,120 @@
+//! Offline stand-in for `rand_chacha`: a real ChaCha8 block generator
+//! implementing the vendored [`rand`] traits. Deterministic for a given
+//! seed, but not bit-compatible with the upstream crate.
+
+#![forbid(unsafe_code)]
+
+/// Re-export of the trait home, mirroring the upstream crate layout
+/// (`rand_chacha::rand_core::SeedableRng`).
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + counter + nonce state words.
+    state: [u32; 16],
+    /// Current 64-byte output block as sixteen words.
+    block: [u32; 16],
+    /// Next word index within `block` (16 = exhausted).
+    cursor: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in
+            self.block.iter_mut().zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.cursor + 2 > 16 {
+            self.refill();
+        }
+        let lo = self.block[self.cursor] as u64;
+        let hi = self.block[self.cursor + 1] as u64;
+        self.cursor += 2;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        for (i, chunk) in seed.chunks(4).enumerate() {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(chunk);
+            state[4 + i] = u32::from_le_bytes(b);
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng { state, block: [0; 16], cursor: 16 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniform_unit_floats() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let draws: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>()).collect();
+        assert!(draws.iter().all(|&v| (0.0..1.0).contains(&v)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean = {mean}");
+    }
+}

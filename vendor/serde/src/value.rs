@@ -1,0 +1,115 @@
+//! The JSON-like value tree shared by the vendored `serde` and
+//! `serde_json` crates.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// A key-sorted object.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Looks up a required object field, with a shape error otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] if `self` is not an object or lacks `key`.
+    pub fn field(&self, key: &str) -> Result<&Value, DeError> {
+        self.get(key).ok_or_else(|| DeError::new(format!("missing field `{key}`")))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Number(v as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Number(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+/// A deserialization shape error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError { message: message.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization failed: {}", self.message)
+    }
+}
+
+impl Error for DeError {}

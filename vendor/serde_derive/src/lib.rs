@@ -1,0 +1,25 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde
+//! stand-in.
+//!
+//! The workspace derives these traits on many types but only a handful
+//! are ever serialized (trace tasks and the JSONL header); those carry
+//! hand-written impls next to their definitions. The derives here accept
+//! the same attribute surface (`#[serde(...)]`) and expand to nothing,
+//! so the remaining `#[derive(Serialize, Deserialize)]` sites stay
+//! source-compatible without pulling in syn/quote.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

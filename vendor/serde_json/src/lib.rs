@@ -1,0 +1,236 @@
+//! Offline stand-in for `serde_json`: a small, strict JSON
+//! reader/writer over the vendored [`serde`] value model.
+
+#![forbid(unsafe_code)]
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::io::Write;
+
+pub use serde::value::{DeError, Value};
+use serde::{Deserialize, Serialize};
+
+mod parse;
+
+/// Errors from JSON encoding, decoding, or the underlying writer.
+#[derive(Debug)]
+pub struct Error {
+    kind: ErrorKind,
+}
+
+#[derive(Debug)]
+enum ErrorKind {
+    /// Malformed JSON text.
+    Syntax {
+        message: String,
+        offset: usize,
+    },
+    /// Structurally valid JSON of the wrong shape.
+    Shape(DeError),
+    /// An I/O failure.
+    Io(std::io::Error),
+}
+
+impl Error {
+    /// Wraps an I/O error (mirrors `serde_json::Error::io`).
+    pub fn io(e: std::io::Error) -> Self {
+        Error { kind: ErrorKind::Io(e) }
+    }
+
+    pub(crate) fn syntax(message: impl Into<String>, offset: usize) -> Self {
+        Error { kind: ErrorKind::Syntax { message: message.into(), offset } }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ErrorKind::Syntax { message, offset } => {
+                write!(f, "invalid JSON at byte {offset}: {message}")
+            }
+            ErrorKind::Shape(e) => write!(f, "{e}"),
+            ErrorKind::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match &self.kind {
+            ErrorKind::Io(e) => Some(e),
+            ErrorKind::Shape(e) => Some(e),
+            ErrorKind::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error { kind: ErrorKind::Shape(e) }
+    }
+}
+
+/// Serializes a value to compact JSON text.
+///
+/// # Errors
+///
+/// Infallible for the value model, but keeps the upstream signature.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Serializes a value to JSON text (this stand-in does not indent).
+///
+/// # Errors
+///
+/// See [`to_string`].
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+/// Serializes a value as compact JSON into a writer.
+///
+/// # Errors
+///
+/// Returns an I/O error if the writer fails.
+pub fn to_writer<W: Write, T: Serialize>(mut writer: W, value: &T) -> Result<(), Error> {
+    let text = to_string(value)?;
+    writer.write_all(text.as_bytes()).map_err(Error::io)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns a syntax error for malformed text or a shape error when the
+/// JSON does not match `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/inf; encode as null like upstream's lossy modes.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        // Ryu-style shortest form is overkill; 17 significant digits
+        // round-trips every f64.
+        let s = format!("{n:e}");
+        if s.parse::<f64>() == Ok(n) {
+            out.push_str(&s);
+        } else {
+            out.push_str(&format!("{n:.17e}"));
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Value`] object literal: `json!({ "key": expr, ... })`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {{
+        let mut map = ::std::collections::BTreeMap::new();
+        $( map.insert($key.to_string(), $crate::Value::from($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::Value::from($val)),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_object() {
+        let v = json!({ "a": 1.5, "b": "x\"y", "c": true });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn roundtrip_awkward_numbers() {
+        for n in [0.0, -0.0, 1.0, -17.0, 0.1, 1e-12, 6.02e23, f64::MAX, f64::MIN_POSITIVE] {
+            let text = to_string(&n).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, n, "text = {text}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("{}extra").is_err());
+    }
+
+    #[test]
+    fn shape_errors_surface() {
+        let err = from_str::<f64>("\"str\"").unwrap_err();
+        assert!(err.to_string().contains("number"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn io_constructor() {
+        let err = Error::io(std::io::Error::other("boom"));
+        assert!(err.to_string().contains("boom"));
+    }
+}
