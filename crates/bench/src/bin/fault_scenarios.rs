@@ -8,12 +8,16 @@
 //! advantage survives infrastructure faults — and whether any variant
 //! loses tasks (none may: task conservation is asserted per run).
 //!
-//! Honors `HARMONY_SCALE` and `HARMONY_SEED`.
+//! Honors `HARMONY_SCALE` and `HARMONY_SEED`. Besides the stdout
+//! tables, writes a machine-readable copy of every row to
+//! `results/BENCH_fault_scenarios.json` (see [`harmony_bench::json`]).
 
 use harmony::pipeline::{run_variant_with_faults, Variant};
+use harmony_bench::json::{self, object};
 use harmony_bench::{evaluation_setup, fmt, section, seed_from_env, table, Scale};
 use harmony_model::PriorityGroup;
 use harmony_sim::{FaultPlan, SCENARIOS};
+use serde::value::Value;
 
 fn main() {
     let scale = Scale::from_env();
@@ -24,6 +28,7 @@ fn main() {
         trace.span().as_hours(),
         catalog.total_machines(),
     );
+    let mut json_rows = Vec::new();
 
     for scenario in SCENARIOS {
         let plan = FaultPlan::scenario(scenario, seed_from_env(), trace.span())
@@ -55,6 +60,21 @@ fn main() {
 
             let prod = report.delay_stats(PriorityGroup::Production);
             let others = report.delay_stats(PriorityGroup::Other);
+            json_rows.push(object(&[
+                ("scenario", Value::String(scenario.to_string())),
+                ("variant", Value::String(variant.name().to_owned())),
+                ("energy_kwh", Value::Number(report.total_energy_wh / 1000.0)),
+                (
+                    "total_dollars",
+                    Value::Number(report.energy_cost_dollars + report.switch_cost_dollars),
+                ),
+                ("tasks_completed", Value::Number(report.tasks_completed as f64)),
+                ("tasks_failed", Value::Number(report.tasks_failed as f64)),
+                ("prod_p95_s", Value::Number(prod.p95)),
+                ("others_p95_s", Value::Number(others.p95)),
+                ("faults", Value::Number(report.faults.len() as f64)),
+                ("degradations", Value::Number(report.degradations.len() as f64)),
+            ]));
             rows.push(vec![
                 variant.name().to_owned(),
                 fmt(report.total_energy_wh / 1000.0),
@@ -81,5 +101,16 @@ fn main() {
             ],
             &rows,
         );
+    }
+
+    let payload = object(&[
+        ("bench", Value::String("fault_scenarios".to_owned())),
+        ("scale", Value::String(scale.name().to_owned())),
+        ("seed", Value::Number(seed_from_env() as f64)),
+        ("rows", Value::Array(json_rows)),
+    ]);
+    match json::write_bench_json("fault_scenarios", &payload) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_fault_scenarios.json: {e}"),
     }
 }

@@ -20,19 +20,27 @@
 //! `mixed`) and the report lists every injected fault and degradation
 //! event. The trace file is optional in this mode — omitting it replays
 //! the synthetic evaluation trace.
+//!
+//! Fault mode is resumable: `--snapshot <path>` checkpoints the run
+//! after every finished variant (atomic tmp+rename), `--resume <path>`
+//! picks an interrupted run back up with bit-identical results, and
+//! `--stop-after <n>` exits deliberately after `n` variants (the hook
+//! the resume test uses to simulate an interruption).
 
 use std::fs::File;
 use std::io::BufReader;
+use std::path::PathBuf;
 use std::process::exit;
 
 use harmony::classify::ClassifierConfig;
-use harmony::pipeline::{run_variant, run_variant_with_faults, Variant};
+use harmony::pipeline::{run_variant, Variant};
 use harmony::HarmonyConfig;
-use harmony_bench::{evaluation_setup, fmt, section, table, Scale};
+use harmony_bench::checkpoint::{self, ReplayInputs, ResumableRun};
+use harmony_bench::{fmt, section, seed_from_env, table, Scale};
 use harmony_model::{MachineCatalog, PriorityGroup, SimDuration};
 use harmony_sim::{
-    DegradationKind, FaultPlan, FaultRecordKind, FirstFit, SimReport, Simulation,
-    SimulationConfig, SCENARIOS,
+    DegradationKind, FaultRecordKind, FirstFit, SimReport, Simulation, SimulationConfig,
+    SCENARIOS,
 };
 use harmony_trace::{google_csv, Trace};
 
@@ -41,7 +49,8 @@ fn usage() -> ! {
         "usage: replay [<trace-file>] [--controller baseline|cbs|cbp|none] \
          [--catalog table2|google10] [--scale <divisor>] \
          [--format jsonl|google-csv] [--period-mins <f64>] \
-         [--faults <scenario>] [--fault-seed <u64>]\n\
+         [--faults <scenario>] [--fault-seed <u64>] \
+         [--snapshot <path>] [--resume <path>] [--stop-after <n>]\n\
          fault scenarios: {}",
         SCENARIOS.join(", ")
     );
@@ -58,6 +67,9 @@ fn main() {
     let mut period_mins = 15.0f64;
     let mut fault_scenario: Option<String> = None;
     let mut fault_seed = 2013u64;
+    let mut snapshot: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
+    let mut stop_after: Option<usize> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -79,6 +91,11 @@ fn main() {
             "--fault-seed" => {
                 fault_seed = grab("--fault-seed").parse().unwrap_or_else(|_| usage());
             }
+            "--snapshot" => snapshot = Some(PathBuf::from(grab("--snapshot"))),
+            "--resume" => resume = Some(PathBuf::from(grab("--resume"))),
+            "--stop-after" => {
+                stop_after = Some(grab("--stop-after").parse().unwrap_or_else(|_| usage()));
+            }
             "--help" | "-h" => usage(),
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
             other => {
@@ -87,8 +104,42 @@ fn main() {
             }
         }
     }
+    if let Some(resume_path) = resume {
+        // The checkpoint records the full setup; workload flags on the
+        // command line are ignored on resume.
+        let loaded = checkpoint::load(&resume_path).unwrap_or_else(|e| {
+            eprintln!("cannot load checkpoint {}: {e}", resume_path.display());
+            exit(1);
+        });
+        let run = ResumableRun::from_checkpoint(loaded).unwrap_or_else(|e| {
+            eprintln!("cannot resume: {e}");
+            exit(1);
+        });
+        fault_mode(run, snapshot.or(Some(resume_path)), stop_after);
+        return;
+    }
     if let Some(scenario) = fault_scenario {
-        fault_mode(&scenario, fault_seed, path.as_deref(), &format, &catalog_name, scale, period_mins);
+        if !SCENARIOS.contains(&scenario.as_str()) {
+            eprintln!("unknown fault scenario `{scenario}`");
+            usage();
+        }
+        let inputs = ReplayInputs {
+            scenario,
+            fault_seed,
+            trace_path: path.clone(),
+            trace_format: format.clone(),
+            trace_hash: None,
+            scale: Scale::from_env().name().to_owned(),
+            workload_seed: seed_from_env(),
+            catalog: catalog_name.clone(),
+            catalog_scale: scale,
+            period_mins,
+        };
+        let run = ResumableRun::from_inputs(inputs).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1);
+        });
+        fault_mode(run, snapshot, stop_after);
         return;
     }
 
@@ -192,58 +243,60 @@ fn parse_catalog(name: &str) -> MachineCatalog {
 
 /// Robustness mode: all three controller variants run under one named
 /// fault scenario; the output lists every injected fault, every
-/// degradation event, and a cross-variant comparison.
-fn fault_mode(
-    scenario: &str,
-    fault_seed: u64,
-    path: Option<&str>,
-    format: &str,
-    catalog_name: &str,
-    scale: usize,
-    period_mins: f64,
-) {
-    // With a trace file, honor the CLI catalog/period flags; without
-    // one, replay the synthetic evaluation setup (whose catalog divisor
-    // is tuned to the trace).
-    let (trace, catalog, config, classifier_config) = match path {
-        Some(p) => {
-            let trace = load_trace(p, format);
-            let catalog = parse_catalog(catalog_name).scaled(scale.max(1));
-            let config = HarmonyConfig {
-                control_period: SimDuration::from_mins(period_mins),
-                ..Default::default()
-            };
-            (trace, catalog, config, ClassifierConfig::default())
-        }
-        None => evaluation_setup(Scale::from_env()),
-    };
-    let Some(plan) = FaultPlan::scenario(scenario, fault_seed, trace.span()) else {
-        eprintln!("unknown fault scenario {scenario} (one of: {})", SCENARIOS.join(", "));
-        exit(2);
-    };
+/// degradation event, and a cross-variant comparison. With a snapshot
+/// path the run checkpoints after every variant; `stop_after` exits
+/// deliberately partway through (for the resume test).
+fn fault_mode(mut run: ResumableRun, snapshot: Option<PathBuf>, stop_after: Option<usize>) {
+    let scenario = run.inputs().scenario.clone();
     eprintln!(
-        "fault replay: {} tasks over {:.1} h on {} machines, scenario {scenario} \
-         ({} events, seed {fault_seed})",
-        trace.len(),
-        trace.span().as_hours(),
-        catalog.total_machines(),
-        plan.events().len(),
+        "fault replay: {} tasks over {:.1} h, scenario {scenario} ({} events, seed {})",
+        run.trace().len(),
+        run.trace().span().as_hours(),
+        run.plan().events().len(),
+        run.inputs().fault_seed,
     );
+    if !run.completed().is_empty() {
+        eprintln!(
+            "resumed from checkpoint: {} of {} variants already complete",
+            run.completed().len(),
+            Variant::ALL.len(),
+        );
+    }
 
-    let mut rows = Vec::new();
-    for variant in Variant::ALL {
-        let report = run_variant_with_faults(
-            &trace,
-            &catalog,
-            &config,
-            &classifier_config,
-            variant,
-            Some(&plan),
-        )
-        .unwrap_or_else(|e| {
-            eprintln!("{} failed: {e}", variant.name());
+    let save = |run: &ResumableRun, path: &PathBuf| {
+        checkpoint::save_atomic(&run.checkpoint(), path).unwrap_or_else(|e| {
+            eprintln!("cannot write checkpoint {}: {e}", path.display());
             exit(1);
         });
+    };
+
+    while !run.is_done() {
+        if let Some(limit) = stop_after {
+            if run.completed().len() >= limit {
+                let Some(path) = &snapshot else {
+                    eprintln!("--stop-after requires --snapshot");
+                    exit(2);
+                };
+                save(&run, path);
+                eprintln!(
+                    "stopped after {} variant(s); resume with --resume {}",
+                    run.completed().len(),
+                    path.display(),
+                );
+                return;
+            }
+        }
+        let variant = match run.run_next() {
+            Ok((variant, _)) => variant,
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1);
+            }
+        };
+        if let Some(path) = &snapshot {
+            save(&run, path);
+        }
+        let (_, report) = run.completed().last().expect("variant just completed");
 
         let accounted = report.tasks_completed
             + report.tasks_running_at_end
@@ -252,7 +305,7 @@ fn fault_mode(
             + report.tasks_failed;
         assert_eq!(
             accounted,
-            trace.len(),
+            run.trace().len(),
             "{}: task conservation violated under {scenario}",
             variant.name()
         );
@@ -266,23 +319,28 @@ fn fault_mode(
             report.tasks_unschedulable,
             report.tasks_failed,
             accounted,
-            trace.len(),
+            run.trace().len(),
         );
-        print_faults(&report);
-        print_degradations(&report);
-
-        let p95 = report.delay_stats(PriorityGroup::Production).p95;
-        rows.push(vec![
-            variant.name().to_owned(),
-            fmt(report.total_energy_wh / 1000.0),
-            fmt(report.energy_cost_dollars),
-            report.tasks_failed.to_string(),
-            fmt(p95),
-            report.faults.len().to_string(),
-            report.degradations.len().to_string(),
-        ]);
+        print_faults(report);
+        print_degradations(report);
     }
 
+    let rows: Vec<Vec<String>> = run
+        .completed()
+        .iter()
+        .map(|(variant, report)| {
+            let p95 = report.delay_stats(PriorityGroup::Production).p95;
+            vec![
+                variant.name().to_owned(),
+                fmt(report.total_energy_wh / 1000.0),
+                fmt(report.energy_cost_dollars),
+                report.tasks_failed.to_string(),
+                fmt(p95),
+                report.faults.len().to_string(),
+                report.degradations.len().to_string(),
+            ]
+        })
+        .collect();
     section(&format!("comparison under {scenario}"));
     table(
         &["variant", "energy kWh", "energy $", "failed", "prod p95 delay s", "faults", "degradations"],

@@ -1,0 +1,77 @@
+//! Machine-readable benchmark output.
+//!
+//! Benchmarks print human-readable tables on stdout; this module gives
+//! them a parallel `results/BENCH_<name>.json` artifact so plots and CI
+//! checks can consume the same numbers without screen-scraping. Files
+//! are written atomically (`<path>.tmp` + rename) so a killed benchmark
+//! never leaves a torn artifact.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+use serde::value::Value;
+use serde::Serialize;
+
+/// Where JSON artifacts land: `$HARMONY_RESULTS_DIR`, or `results/`
+/// relative to the working directory.
+pub fn results_dir() -> PathBuf {
+    std::env::var("HARMONY_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Builds a JSON object from `(key, value)` pairs, in the given order.
+pub fn object(fields: &[(&str, Value)]) -> Value {
+    let mut map = std::collections::BTreeMap::new();
+    for (k, v) in fields {
+        map.insert((*k).to_owned(), v.clone());
+    }
+    Value::Object(map)
+}
+
+/// Writes `results/BENCH_<name>.json` atomically and returns its path.
+///
+/// # Errors
+///
+/// Propagates directory-creation and write failures.
+pub fn write_bench_json<T: Serialize>(name: &str, payload: &T) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let text = serde_json::to_string_pretty(payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let tmp = dir.join(format!("BENCH_{name}.json.tmp"));
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_lands_atomically() {
+        let dir = std::env::temp_dir().join(format!("harmony-json-test-{}", std::process::id()));
+        // The target directory is taken from the environment by
+        // results_dir(); emulate that here without mutating the global
+        // process environment.
+        std::fs::create_dir_all(&dir).unwrap();
+        let payload = object(&[
+            ("answer", Value::Number(42.0)),
+            ("name", Value::String("fault_scenarios".to_owned())),
+        ]);
+        // Exercise the serialization path write_bench_json uses.
+        let text = serde_json::to_string_pretty(&payload).unwrap();
+        assert!(text.contains("\"answer\":42"), "{text}");
+        let parsed: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed, payload);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

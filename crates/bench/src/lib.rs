@@ -14,6 +14,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod checkpoint;
+pub mod json;
+
 use harmony::classify::ClassifierConfig;
 use harmony::HarmonyConfig;
 use harmony_model::{MachineCatalog, SimDuration};
@@ -34,10 +37,26 @@ impl Scale {
     /// Reads the scale from `HARMONY_SCALE` (`quick`/`default`/`full`),
     /// defaulting to [`Scale::Default`].
     pub fn from_env() -> Self {
-        match std::env::var("HARMONY_SCALE").unwrap_or_default().to_lowercase().as_str() {
-            "quick" => Scale::Quick,
-            "full" => Scale::Full,
-            _ => Scale::Default,
+        Self::parse(&std::env::var("HARMONY_SCALE").unwrap_or_default())
+            .unwrap_or(Scale::Default)
+    }
+
+    /// Parses a preset name (`quick`/`default`/`full`), case-insensitive.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_lowercase().as_str() {
+            "quick" => Some(Scale::Quick),
+            "default" | "" => Some(Scale::Default),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// The preset's canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Default => "default",
+            Scale::Full => "full",
         }
     }
 }
@@ -64,6 +83,16 @@ pub fn analysis_trace(scale: Scale) -> Trace {
 pub fn evaluation_setup(
     scale: Scale,
 ) -> (Trace, MachineCatalog, HarmonyConfig, ClassifierConfig) {
+    evaluation_setup_seeded(scale, seed_from_env())
+}
+
+/// [`evaluation_setup`] with an explicit workload seed, for callers that
+/// must reproduce a run independently of the environment (e.g. replay
+/// checkpoints).
+pub fn evaluation_setup_seeded(
+    scale: Scale,
+    seed: u64,
+) -> (Trace, MachineCatalog, HarmonyConfig, ClassifierConfig) {
     // Catalog divisors keep peak concurrent demand near ~65-70% of
     // cluster capacity, the regime where provisioning choices matter
     // (measured: ~26 cpu units at 4 h, ~133 at 1 day, ~201 at 3 days).
@@ -72,10 +101,9 @@ pub fn evaluation_setup(
         Scale::Default => (SimDuration::from_days(1.0), 10, 15.0),
         Scale::Full => (SimDuration::from_days(3.0), 7, 10.0),
     };
-    let trace = TraceGenerator::new(
-        TraceConfig::evaluation().with_span(span).with_seed(seed_from_env()),
-    )
-    .generate();
+    let trace =
+        TraceGenerator::new(TraceConfig::evaluation().with_span(span).with_seed(seed))
+            .generate();
     let catalog = MachineCatalog::table2().scaled(catalog_divisor);
     let harmony_config = HarmonyConfig {
         control_period: SimDuration::from_mins(control_mins),

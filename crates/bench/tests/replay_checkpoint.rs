@@ -1,0 +1,115 @@
+//! Resume test: a fault-scenario replay interrupted partway through and
+//! resumed from its checkpoint must produce bit-identical `SimReport`s
+//! to an uninterrupted run.
+
+use std::path::PathBuf;
+
+use harmony_bench::checkpoint::{self, ReplayInputs, ResumableRun};
+use harmony_sim::SimReport;
+use harmony_trace::{TraceConfig, TraceGenerator};
+use serde::Serialize;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("harmony-replay-ckpt-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Serialized form — the strictest equality we can assert.
+fn fingerprint(reports: &[(harmony::pipeline::Variant, SimReport)]) -> Vec<String> {
+    reports
+        .iter()
+        .map(|(v, r)| format!("{}:{}", v.name(), serde_json::to_string(&r.to_value()).unwrap()))
+        .collect()
+}
+
+#[test]
+fn interrupted_replay_resumes_bit_identically() {
+    let dir = temp_dir("resume");
+    let trace_path = dir.join("trace.jsonl");
+    let trace = TraceGenerator::new(TraceConfig::small().with_seed(5)).generate();
+    let mut file = std::fs::File::create(&trace_path).expect("create trace file");
+    trace.write_jsonl(&mut file).expect("write trace");
+    drop(file);
+
+    let inputs = ReplayInputs {
+        scenario: "mixed".to_owned(),
+        fault_seed: 7,
+        trace_path: Some(trace_path.to_str().expect("utf-8 path").to_owned()),
+        trace_format: "jsonl".to_owned(),
+        trace_hash: None,
+        scale: "quick".to_owned(),
+        workload_seed: 2013,
+        catalog: "table2".to_owned(),
+        catalog_scale: 100,
+        period_mins: 15.0,
+    };
+
+    // Reference: run all variants in one go.
+    let mut reference = ResumableRun::from_inputs(inputs.clone()).expect("build reference run");
+    while !reference.is_done() {
+        reference.run_next().expect("reference variant");
+    }
+
+    // Interrupted: run one variant, checkpoint to disk, drop everything.
+    let ckpt_path = dir.join("replay.ckpt.json");
+    let mut interrupted = ResumableRun::from_inputs(inputs).expect("build interrupted run");
+    interrupted.run_next().expect("first variant");
+    checkpoint::save_atomic(&interrupted.checkpoint(), &ckpt_path).expect("save checkpoint");
+    assert!(!dir.join("replay.ckpt.json.tmp").exists(), "tmp renamed away");
+    drop(interrupted);
+
+    // Resume from the file and finish.
+    let loaded = checkpoint::load(&ckpt_path).expect("load checkpoint");
+    let mut resumed = ResumableRun::from_checkpoint(loaded).expect("resume");
+    assert_eq!(resumed.completed().len(), 1, "one variant restored");
+    assert_eq!(resumed.remaining().len(), 2, "two variants left");
+    while !resumed.is_done() {
+        resumed.run_next().expect("resumed variant");
+    }
+
+    assert_eq!(
+        fingerprint(resumed.completed()),
+        fingerprint(reference.completed()),
+        "resumed reports must be bit-identical to the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn resume_rejects_a_swapped_trace_file() {
+    let dir = temp_dir("swap");
+    let trace_path = dir.join("trace.jsonl");
+    let trace = TraceGenerator::new(TraceConfig::small().with_seed(5)).generate();
+    trace
+        .write_jsonl(std::fs::File::create(&trace_path).expect("create trace file"))
+        .expect("write trace");
+
+    let inputs = ReplayInputs {
+        scenario: "crash-storm".to_owned(),
+        fault_seed: 7,
+        trace_path: Some(trace_path.to_str().expect("utf-8 path").to_owned()),
+        trace_format: "jsonl".to_owned(),
+        trace_hash: None,
+        scale: "quick".to_owned(),
+        workload_seed: 2013,
+        catalog: "table2".to_owned(),
+        catalog_scale: 100,
+        period_mins: 15.0,
+    };
+    let run = ResumableRun::from_inputs(inputs).expect("build run");
+    let saved = run.checkpoint();
+    drop(run);
+
+    // Swap the trace file underneath the checkpoint.
+    let other = TraceGenerator::new(TraceConfig::small().with_seed(6)).generate();
+    other
+        .write_jsonl(std::fs::File::create(&trace_path).expect("recreate trace file"))
+        .expect("write trace");
+
+    let err = ResumableRun::from_checkpoint(saved).expect_err("hash mismatch");
+    assert!(err.contains("changed since the checkpoint"), "{err}");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -31,7 +31,9 @@
 //!    [`controllers::BaselineController`] (80% bottleneck utilization,
 //!    energy-greedy machine order) the paper compares against.
 //!
-//! [`pipeline`] wires everything together for the evaluation scenarios.
+//! [`pipeline`] wires everything together for the evaluation scenarios;
+//! [`online`] exposes the same loop incrementally for long-running
+//! services (the `harmonyd` provisioning daemon in `crates/server`).
 //!
 //! # Examples
 //!
@@ -57,8 +59,11 @@ pub mod containers;
 pub mod controllers;
 mod error;
 pub mod monitor;
+pub mod online;
 pub mod pipeline;
 pub mod rounding;
+mod serde_impls;
 
 pub use config::HarmonyConfig;
 pub use error::HarmonyError;
+pub use online::{OnlinePipeline, OnlineState};

@@ -99,6 +99,49 @@ impl ArrivalMonitor {
         self.history.first().map_or(0, Vec::len)
     }
 
+    /// The full rate history of every class — the monitor's checkpoint
+    /// payload (see `harmony::online`).
+    pub fn histories(&self) -> &[Vec<f64>] {
+        &self.history
+    }
+
+    /// Replaces the rate histories wholesale — the checkpoint-restore
+    /// path. Rejects payloads whose class count differs from the
+    /// monitor's, whose per-class lengths are unequal, or that exceed the
+    /// configured history bound (a truncated-on-write checkpoint can
+    /// never be longer than `history_len`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarmonyError::InvalidConfig`] describing the mismatch.
+    pub fn restore_histories(&mut self, histories: Vec<Vec<f64>>) -> Result<(), HarmonyError> {
+        if histories.len() != self.history.len() {
+            return Err(HarmonyError::InvalidConfig {
+                reason: format!(
+                    "history class count {} does not match monitor's {}",
+                    histories.len(),
+                    self.history.len()
+                ),
+            });
+        }
+        let len = histories.first().map_or(0, Vec::len);
+        if histories.iter().any(|h| h.len() != len) {
+            return Err(HarmonyError::InvalidConfig {
+                reason: "per-class history lengths differ".into(),
+            });
+        }
+        if len > self.history_len {
+            return Err(HarmonyError::InvalidConfig {
+                reason: format!(
+                    "history length {len} exceeds the configured bound {}",
+                    self.history_len
+                ),
+            });
+        }
+        self.history = histories;
+        Ok(())
+    }
+
     /// Appends raw rate samples to one class's history, bypassing
     /// [`ArrivalMonitor::record_period`] — lets tests feed corrupted
     /// (non-finite) histories to the forecast guard.
@@ -323,5 +366,41 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_period_panics() {
         let _ = ArrivalMonitor::new(1, SimDuration::ZERO, 10, 5);
+    }
+
+    #[test]
+    fn histories_roundtrip_through_restore() {
+        let (classifier, trace) = setup();
+        let mut monitor =
+            ArrivalMonitor::new(classifier.classes().len(), SimDuration::from_mins(10.0), 50, 8);
+        for i in 0..6 {
+            let lo = i * 100;
+            let hi = (lo + 100).min(trace.len());
+            monitor.record_period(&trace.tasks()[lo..hi], &classifier);
+        }
+        let saved = monitor.histories().to_vec();
+        let mut fresh =
+            ArrivalMonitor::new(classifier.classes().len(), SimDuration::from_mins(10.0), 50, 8);
+        fresh.restore_histories(saved.clone()).unwrap();
+        assert_eq!(fresh.histories(), monitor.histories());
+        assert_eq!(fresh.periods_recorded(), 6);
+        // The restored monitor forecasts identically.
+        assert_eq!(fresh.forecast(3).unwrap(), monitor.forecast(3).unwrap());
+    }
+
+    #[test]
+    fn restore_rejects_malformed_payloads() {
+        let mut monitor = ArrivalMonitor::new(2, SimDuration::from_mins(10.0), 4, 3);
+        // Wrong class count.
+        assert!(monitor.restore_histories(vec![vec![1.0]]).is_err());
+        // Ragged lengths.
+        assert!(monitor.restore_histories(vec![vec![1.0, 2.0], vec![1.0]]).is_err());
+        // Over the configured bound.
+        assert!(monitor
+            .restore_histories(vec![vec![0.0; 5], vec![0.0; 5]])
+            .is_err());
+        // A valid payload still lands.
+        monitor.restore_histories(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(monitor.periods_recorded(), 2);
     }
 }

@@ -1,0 +1,470 @@
+//! The incremental (online) HARMONY pipeline behind `harmonyd`.
+//!
+//! [`crate::pipeline`] wires the controllers into the discrete-event
+//! simulator for batch replays; this module exposes the same monitor →
+//! forecast → size → CBS-RELAX → round loop as a long-lived object that
+//! is fed one control period of observations at a time — the shape a
+//! real cluster manager (or the provisioning daemon) consumes. Unlike
+//! the simulator controllers it holds no cluster reference: the previous
+//! integer plan stands in for "machines currently active", which is
+//! exactly what the daemon actuated last period.
+//!
+//! The pipeline's mutable state is small and fully serializable
+//! ([`OnlineState`]): arrival histories, the previous plan, the tick
+//! counter, the error count, and any degradation events not yet drained
+//! by a client. [`OnlinePipeline::state`] / [`OnlinePipeline::restore`]
+//! are the daemon's checkpoint/restore hooks; restoring a state into a
+//! freshly-built pipeline (same trace-fitted classifier, same config)
+//! reproduces the exact plan sequence an uninterrupted pipeline would
+//! have produced, which the server crate's end-to-end test asserts
+//! through a `kill -9`.
+
+use std::collections::BTreeMap;
+
+use harmony_model::{EnergyPrice, MachineCatalog, Resources, SimTime, Task, TaskClassId};
+use harmony_sim::{DegradationEvent, DegradationKind};
+use serde::value::{DeError, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::cbs::{solve_cbs_relax, CbsInputs};
+use crate::classify::TaskClassifier;
+use crate::containers::ContainerManager;
+use crate::monitor::{ArrivalMonitor, ClassForecast};
+use crate::rounding::{round_first_step, IntegerPlan};
+use crate::{HarmonyConfig, HarmonyError};
+
+/// The serializable mutable state of an [`OnlinePipeline`] — everything
+/// a checkpoint must carry so a restored pipeline continues the exact
+/// decision sequence. The immutable parts (classifier, catalog, config)
+/// are rebuilt deterministically from their sources and are not part of
+/// this snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineState {
+    /// Control ticks completed so far.
+    pub ticks: u64,
+    /// Ticks that failed the full pipeline and took a degradation rung.
+    pub errors: usize,
+    /// Per-class arrival-rate history (tasks/second).
+    pub histories: Vec<Vec<f64>>,
+    /// The last successfully-solved integer plan.
+    pub last_plan: Option<IntegerPlan>,
+    /// Degradation events not yet drained by a client.
+    pub pending_events: Vec<DegradationEvent>,
+}
+
+impl Serialize for OnlineState {
+    fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("ticks".to_owned(), self.ticks.to_value());
+        map.insert("errors".to_owned(), self.errors.to_value());
+        map.insert("histories".to_owned(), self.histories.to_value());
+        map.insert("last_plan".to_owned(), self.last_plan.to_value());
+        map.insert("pending_events".to_owned(), self.pending_events.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for OnlineState {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(OnlineState {
+            ticks: u64::from_value(v.field("ticks")?)?,
+            errors: usize::from_value(v.field("errors")?)?,
+            histories: Vec::from_value(v.field("histories")?)?,
+            last_plan: Option::from_value(v.field("last_plan")?)?,
+            pending_events: Vec::from_value(v.field("pending_events")?)?,
+        })
+    }
+}
+
+/// The long-lived online control pipeline: one [`OnlinePipeline::tick`]
+/// per control period.
+#[derive(Debug)]
+pub struct OnlinePipeline {
+    classifier: TaskClassifier,
+    catalog: MachineCatalog,
+    config: HarmonyConfig,
+    price: EnergyPrice,
+    manager: ContainerManager,
+    monitor: ArrivalMonitor,
+    last_plan: Option<IntegerPlan>,
+    ticks: u64,
+    errors: usize,
+    degradations: Vec<DegradationEvent>,
+}
+
+impl OnlinePipeline {
+    /// Builds the pipeline from a fitted classifier and a machine
+    /// catalog.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and container-sizing errors.
+    pub fn new(
+        classifier: TaskClassifier,
+        catalog: MachineCatalog,
+        config: HarmonyConfig,
+        price: EnergyPrice,
+    ) -> Result<Self, HarmonyError> {
+        config.validate()?;
+        let manager = ContainerManager::new(&classifier, &config)?;
+        let monitor = ArrivalMonitor::new(
+            classifier.classes().len(),
+            config.control_period,
+            config.history_len,
+            config.arima_min_history,
+        );
+        Ok(OnlinePipeline {
+            classifier,
+            catalog,
+            config,
+            price,
+            manager,
+            monitor,
+            last_plan: None,
+            ticks: 0,
+            errors: 0,
+            degradations: Vec::new(),
+        })
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &HarmonyConfig {
+        &self.config
+    }
+
+    /// The machine catalog provisioned against.
+    pub fn catalog(&self) -> &MachineCatalog {
+        &self.catalog
+    }
+
+    /// The fitted classifier.
+    pub fn classifier(&self) -> &TaskClassifier {
+        &self.classifier
+    }
+
+    /// Number of task classes in the pipeline.
+    pub fn n_classes(&self) -> usize {
+        self.manager.n_classes()
+    }
+
+    /// Control ticks completed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Ticks that failed the full pipeline and degraded instead.
+    pub fn error_count(&self) -> usize {
+        self.errors
+    }
+
+    /// The logical clock: control periods completed × period length.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_secs(self.ticks as f64 * self.config.control_period.as_secs())
+    }
+
+    /// The last successfully-solved plan, if any.
+    pub fn last_plan(&self) -> Option<&IntegerPlan> {
+        self.last_plan.as_ref()
+    }
+
+    /// Degradation events accumulated and not yet drained.
+    pub fn pending_degradations(&self) -> &[DegradationEvent] {
+        &self.degradations
+    }
+
+    /// Drains the degradation events accumulated since the last call.
+    pub fn take_degradations(&mut self) -> Vec<DegradationEvent> {
+        std::mem::take(&mut self.degradations)
+    }
+
+    /// Per-class tiered forecast from the current histories (does not
+    /// advance the clock or record events).
+    pub fn forecast_tiered(&self, horizon: usize) -> Vec<ClassForecast> {
+        self.monitor.forecast_tiered(horizon)
+    }
+
+    /// One control period: records `arrived` into the monitor, forecasts
+    /// over the MPC horizon, sizes containers, solves CBS-RELAX, and
+    /// rounds to an [`IntegerPlan`]. `pending` is the unserved backlog
+    /// that must be provisioned for immediately, on top of the forecast.
+    ///
+    /// Never fails: on a pipeline error the degradation ladder re-actuates
+    /// the previous plan ([`DegradationKind::LpReusedPreviousPlan`]) or,
+    /// lacking one, holds at zero capacity
+    /// ([`DegradationKind::ControlHold`]), recording the event either way.
+    pub fn tick(&mut self, arrived: &[Task], pending: &[Task]) -> IntegerPlan {
+        let now = self.now();
+        self.monitor.record_period(arrived, &self.classifier);
+        let plan = match self.step(now, pending) {
+            Ok(plan) => {
+                self.last_plan = Some(plan.clone());
+                plan
+            }
+            Err(err) => {
+                self.errors += 1;
+                if let Some(prev) = self.last_plan.clone() {
+                    self.degrade(now, DegradationKind::LpReusedPreviousPlan, &err);
+                    prev
+                } else {
+                    self.degrade(now, DegradationKind::ControlHold, &err);
+                    IntegerPlan {
+                        machines: vec![0; self.catalog.len()],
+                        quotas: vec![vec![0; self.n_classes()]; self.catalog.len()],
+                    }
+                }
+            }
+        };
+        self.ticks += 1;
+        plan
+    }
+
+    fn degrade(&mut self, at: SimTime, kind: DegradationKind, err: &HarmonyError) {
+        self.degradations.push(DegradationEvent { at, kind, detail: err.to_string() });
+    }
+
+    /// The full pipeline for one period (fallible half of
+    /// [`OnlinePipeline::tick`]).
+    fn step(&mut self, now: SimTime, pending: &[Task]) -> Result<IntegerPlan, HarmonyError> {
+        let n_classes = self.n_classes();
+        let tiered = self.monitor.forecast_tiered(self.config.horizon);
+        for (n, class_fc) in tiered.iter().enumerate() {
+            if let Some(reason) = &class_fc.degraded {
+                self.degradations.push(DegradationEvent {
+                    at: now,
+                    kind: DegradationKind::ForecastFallback { class: n, tier: class_fc.tier },
+                    detail: reason.clone(),
+                });
+            }
+        }
+
+        let mut backlog = vec![0.0f64; n_classes];
+        for task in pending {
+            backlog[self.classifier.initial_label(task).0] += 1.0;
+        }
+
+        let mut demand = vec![vec![0.0f64; n_classes]; self.config.horizon];
+        for n in 0..n_classes {
+            for (t, row) in demand.iter_mut().enumerate() {
+                let rate = tiered[n].rates[t];
+                let containers =
+                    self.manager.containers_for_rate(TaskClassId(n), rate)? as f64;
+                row[n] = containers + backlog[n];
+            }
+        }
+
+        let container_sizes: Vec<Resources> =
+            (0..n_classes).map(|n| self.manager.container_size(TaskClassId(n))).collect();
+        let utility: Vec<f64> = self
+            .classifier
+            .classes()
+            .iter()
+            .map(|c| self.config.utility_for(c.group))
+            .collect();
+        // The previous plan is what the daemon actuated last period, so
+        // it is the switching-cost baseline for this solve.
+        let initial: Vec<f64> = match &self.last_plan {
+            Some(plan) => plan.machines.iter().map(|&m| m as f64).collect(),
+            None => vec![0.0; self.catalog.len()],
+        };
+        let plan = solve_cbs_relax(
+            &CbsInputs {
+                catalog: &self.catalog,
+                container_sizes: &container_sizes,
+                utility_per_hour: &utility,
+                demand: &demand,
+                initial_active: &initial,
+                price: &self.price,
+                now,
+            },
+            &self.config,
+        )?;
+        Ok(round_first_step(&plan, &self.catalog, &container_sizes))
+    }
+
+    /// Snapshots the pipeline's mutable state for a checkpoint.
+    pub fn state(&self) -> OnlineState {
+        OnlineState {
+            ticks: self.ticks,
+            errors: self.errors,
+            histories: self.monitor.histories().to_vec(),
+            last_plan: self.last_plan.clone(),
+            pending_events: self.degradations.clone(),
+        }
+    }
+
+    /// Restores a checkpointed state into this (freshly-built) pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarmonyError::InvalidConfig`] when the snapshot's shape
+    /// does not match this pipeline (class count, history bound, or plan
+    /// dimensions) — a checkpoint from a different configuration must
+    /// not be silently accepted.
+    pub fn restore(&mut self, state: OnlineState) -> Result<(), HarmonyError> {
+        if let Some(plan) = &state.last_plan {
+            if plan.machines.len() != self.catalog.len() {
+                return Err(HarmonyError::InvalidConfig {
+                    reason: format!(
+                        "checkpoint plan has {} machine types, catalog has {}",
+                        plan.machines.len(),
+                        self.catalog.len()
+                    ),
+                });
+            }
+            if plan.quotas.len() != self.catalog.len()
+                || plan.quotas.iter().any(|q| q.len() != self.n_classes())
+            {
+                return Err(HarmonyError::InvalidConfig {
+                    reason: "checkpoint plan quota dimensions do not match".into(),
+                });
+            }
+        }
+        self.monitor.restore_histories(state.histories)?;
+        self.ticks = state.ticks;
+        self.errors = state.errors;
+        self.last_plan = state.last_plan;
+        self.degradations = state.pending_events;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::ClassifierConfig;
+    use harmony_model::SimDuration;
+    use harmony_trace::{TraceConfig, TraceGenerator};
+
+    fn fixture() -> (OnlinePipeline, harmony_trace::Trace) {
+        let trace = TraceGenerator::new(TraceConfig::small().with_seed(33)).generate();
+        let classifier = TaskClassifier::fit(
+            trace.tasks(),
+            &ClassifierConfig { k_per_group: Some([2, 2, 2]), ..Default::default() },
+        )
+        .unwrap();
+        let config = HarmonyConfig {
+            horizon: 2,
+            control_period: SimDuration::from_mins(10.0),
+            ..Default::default()
+        };
+        let pipeline = OnlinePipeline::new(
+            classifier,
+            harmony_model::MachineCatalog::table2().scaled(100),
+            config,
+            EnergyPrice::default(),
+        )
+        .unwrap();
+        (pipeline, trace)
+    }
+
+    /// Feed the trace in fixed-size chunks, collecting each tick's plan.
+    fn drive(pipeline: &mut OnlinePipeline, trace: &harmony_trace::Trace, chunks: usize) -> Vec<IntegerPlan> {
+        (0..chunks)
+            .map(|i| {
+                let lo = (i * 150).min(trace.len());
+                let hi = ((i + 1) * 150).min(trace.len());
+                let chunk = &trace.tasks()[lo..hi];
+                pipeline.tick(chunk, chunk)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tick_provisions_for_demand_and_advances_clock() {
+        let (mut pipeline, trace) = fixture();
+        assert_eq!(pipeline.now(), SimTime::ZERO);
+        let plans = drive(&mut pipeline, &trace, 3);
+        assert_eq!(pipeline.ticks(), 3);
+        assert_eq!(pipeline.now(), SimTime::from_secs(3.0 * 600.0));
+        assert_eq!(pipeline.error_count(), 0);
+        let total: usize = plans[0].machines.iter().sum();
+        assert!(total > 0, "arrivals must bring machines up: {plans:?}");
+        assert!(pipeline.last_plan().is_some());
+    }
+
+    #[test]
+    fn empty_ticks_scale_down() {
+        let (mut pipeline, trace) = fixture();
+        drive(&mut pipeline, &trace, 2);
+        // Enough empty periods to flush the moving-average window (6).
+        let mut last_total = usize::MAX;
+        for _ in 0..8 {
+            let plan = pipeline.tick(&[], &[]);
+            last_total = plan.machines.iter().sum();
+        }
+        assert!(last_total <= 2, "idle pipeline should power down, got {last_total}");
+    }
+
+    #[test]
+    fn restore_reproduces_plan_sequence() {
+        let (mut uninterrupted, trace) = fixture();
+        let full = drive(&mut uninterrupted, &trace, 6);
+
+        // Run 3 ticks, checkpoint, rebuild, restore, run 3 more.
+        let (mut first_half, _) = fixture();
+        let mut prefix = drive(&mut first_half, &trace, 3);
+        let snapshot = first_half.state();
+        let text = serde_json::to_string(&snapshot).unwrap();
+        let state: OnlineState = serde_json::from_str(&text).unwrap();
+        assert_eq!(state, snapshot);
+
+        let (mut second_half, _) = fixture();
+        second_half.restore(state).unwrap();
+        assert_eq!(second_half.ticks(), 3);
+        for i in 3..6 {
+            let lo = (i * 150).min(trace.len());
+            let hi = ((i + 1) * 150).min(trace.len());
+            let chunk = &trace.tasks()[lo..hi];
+            prefix.push(second_half.tick(chunk, chunk));
+        }
+        assert_eq!(prefix, full, "restored pipeline must reproduce the plan sequence");
+    }
+
+    #[test]
+    fn failure_without_previous_plan_holds_at_zero() {
+        let (mut pipeline, trace) = fixture();
+        pipeline.config.max_lp_pivots = 1;
+        let chunk = &trace.tasks()[..150];
+        let plan = pipeline.tick(chunk, chunk);
+        assert_eq!(plan.machines.iter().sum::<usize>(), 0);
+        assert_eq!(pipeline.error_count(), 1);
+        let events = pipeline.take_degradations();
+        assert!(events.iter().any(|d| matches!(d.kind, DegradationKind::ControlHold)));
+        assert!(pipeline.take_degradations().is_empty());
+    }
+
+    #[test]
+    fn failure_with_previous_plan_reuses_it() {
+        let (mut pipeline, trace) = fixture();
+        let chunk = &trace.tasks()[..150];
+        let first = pipeline.tick(chunk, chunk);
+        pipeline.config.max_lp_pivots = 1;
+        let second = pipeline.tick(chunk, chunk);
+        assert_eq!(second, first, "reused plan re-actuates");
+        let events = pipeline.take_degradations();
+        assert!(events
+            .iter()
+            .any(|d| matches!(d.kind, DegradationKind::LpReusedPreviousPlan)));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_plan_shape() {
+        let (mut pipeline, _) = fixture();
+        let bad = OnlineState {
+            ticks: 1,
+            errors: 0,
+            histories: vec![Vec::new(); pipeline.n_classes()],
+            last_plan: Some(IntegerPlan { machines: vec![1], quotas: vec![vec![0]] }),
+            pending_events: Vec::new(),
+        };
+        assert!(pipeline.restore(bad).is_err());
+        let bad_classes = OnlineState {
+            ticks: 0,
+            errors: 0,
+            histories: vec![Vec::new()],
+            last_plan: None,
+            pending_events: Vec::new(),
+        };
+        assert!(pipeline.restore(bad_classes).is_err());
+    }
+}

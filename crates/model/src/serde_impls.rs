@@ -11,7 +11,8 @@ use serde::value::{DeError, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    JobId, Priority, Resources, SchedulingClass, SimDuration, SimTime, Task, TaskId,
+    JobId, MachineTypeId, Priority, Resources, SchedulingClass, SimDuration, SimTime, Task,
+    TaskClassId, TaskId,
 };
 
 macro_rules! impl_u64_newtype {
@@ -31,6 +32,24 @@ macro_rules! impl_u64_newtype {
 }
 
 impl_u64_newtype!(TaskId, JobId);
+
+macro_rules! impl_usize_newtype {
+    ($($t:ident),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                self.0.to_value()
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                usize::from_value(v).map($t)
+            }
+        }
+    )*};
+}
+
+impl_usize_newtype!(MachineTypeId, TaskClassId);
 
 impl Serialize for SimTime {
     fn to_value(&self) -> Value {

@@ -1,0 +1,186 @@
+//! `harmonyd` — the HARMONY online provisioning daemon.
+//!
+//! Boots a classifier (from a trace file or the synthetic evaluation
+//! workload), binds a TCP listener, and serves the newline-delimited
+//! JSON protocol until a `shutdown` request arrives. With `--snapshot`
+//! the controller state is checkpointed crash-safely; `--resume` picks
+//! a previous run back up bit-identically.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use harmony::classify::{ClassifierConfig, TaskClassifier};
+use harmony::{HarmonyConfig, OnlinePipeline};
+use harmony_model::SimDuration;
+use harmony_server::state::{self, CatalogSpec};
+use harmony_server::{net, Service};
+
+const USAGE: &str = "\
+harmonyd — HARMONY online provisioning daemon
+
+USAGE:
+  harmonyd [OPTIONS]
+
+OPTIONS:
+  --listen ADDR            bind address (default 127.0.0.1:0; the bound
+                           address is printed on stdout)
+  --snapshot PATH          checkpoint controller state to PATH (atomic
+                           tmp+rename) after every tick and on shutdown
+  --resume PATH            restore from a checkpoint written by a prior
+                           run; also becomes the snapshot path unless
+                           --snapshot overrides it
+  --trace PATH             fit the classifier from this trace file
+  --format FMT             trace format: jsonl | google-csv (default jsonl)
+  --synthetic-seed N       synthetic workload seed (default 2013)
+  --synthetic-span-hours H synthetic workload span (default 24)
+  --catalog NAME           machine catalog: table2 | google10 (default table2)
+  --scale N                catalog population divisor (default 100)
+  --period-mins M          control period override in minutes
+  --tick-secs S            wall-clock seconds between automatic control
+                           ticks; 0 = manual ticks only (default 0)
+  --help                   show this help
+";
+
+struct Args {
+    listen: String,
+    snapshot: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    trace: Option<String>,
+    format: String,
+    synthetic_seed: u64,
+    synthetic_span_hours: f64,
+    catalog: String,
+    scale: usize,
+    period_mins: Option<f64>,
+    tick_secs: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:0".to_owned(),
+        snapshot: None,
+        resume: None,
+        trace: None,
+        format: "jsonl".to_owned(),
+        synthetic_seed: 2013,
+        synthetic_span_hours: 24.0,
+        catalog: "table2".to_owned(),
+        scale: 100,
+        period_mins: None,
+        tick_secs: 0.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--listen" => args.listen = grab("--listen")?,
+            "--snapshot" => args.snapshot = Some(PathBuf::from(grab("--snapshot")?)),
+            "--resume" => args.resume = Some(PathBuf::from(grab("--resume")?)),
+            "--trace" => args.trace = Some(grab("--trace")?),
+            "--format" => args.format = grab("--format")?,
+            "--synthetic-seed" => {
+                args.synthetic_seed = grab("--synthetic-seed")?
+                    .parse()
+                    .map_err(|e| format!("--synthetic-seed: {e}"))?;
+            }
+            "--synthetic-span-hours" => {
+                args.synthetic_span_hours = grab("--synthetic-span-hours")?
+                    .parse()
+                    .map_err(|e| format!("--synthetic-span-hours: {e}"))?;
+            }
+            "--catalog" => args.catalog = grab("--catalog")?,
+            "--scale" => {
+                args.scale =
+                    grab("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
+            }
+            "--period-mins" => {
+                args.period_mins = Some(
+                    grab("--period-mins")?
+                        .parse()
+                        .map_err(|e| format!("--period-mins: {e}"))?,
+                );
+            }
+            "--tick-secs" => {
+                args.tick_secs =
+                    grab("--tick-secs")?.parse().map_err(|e| format!("--tick-secs: {e}"))?;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_service(args: &Args) -> Result<Service, String> {
+    let snapshot = args.snapshot.clone().or_else(|| args.resume.clone());
+    if let Some(resume) = &args.resume {
+        let checkpoint = state::load(resume)
+            .map_err(|e| format!("cannot load checkpoint {}: {e}", resume.display()))?;
+        let service = Service::from_checkpoint(checkpoint, snapshot)?;
+        eprintln!(
+            "harmonyd: resumed from {} at tick {}",
+            resume.display(),
+            service.pipeline().ticks()
+        );
+        return Ok(service);
+    }
+
+    let span = SimDuration::from_secs(args.synthetic_span_hours * 3600.0);
+    let (trace, source) = state::load_source(
+        args.trace.as_deref(),
+        &args.format,
+        args.synthetic_seed,
+        span,
+        None,
+    )?;
+    let classifier_config = ClassifierConfig::default();
+    let classifier = TaskClassifier::fit(trace.tasks(), &classifier_config)
+        .map_err(|e| format!("classifier fit failed: {e}"))?;
+    let catalog_spec = CatalogSpec { name: args.catalog.clone(), divisor: args.scale.max(1) };
+    let catalog = catalog_spec.build()?;
+    let mut config = HarmonyConfig::default();
+    if let Some(mins) = args.period_mins {
+        config.control_period = SimDuration::from_mins(mins);
+    }
+    let pipeline = OnlinePipeline::new(classifier, catalog, config, Default::default())
+        .map_err(|e| format!("pipeline construction failed: {e}"))?;
+    Ok(Service::new(pipeline, classifier_config, source, catalog_spec, snapshot))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let service = build_service(&args)?;
+    let listener = TcpListener::bind(&args.listen)
+        .map_err(|e| format!("cannot bind {}: {e}", args.listen))?;
+    let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+    // The e2e harness and smoke script parse this exact line.
+    println!("harmonyd listening on {addr}");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    let tick_period = (args.tick_secs > 0.0)
+        .then(|| Duration::from_millis((args.tick_secs * 1000.0).max(1.0) as u64));
+    net::serve(listener, Arc::new(RwLock::new(service)), tick_period)
+        .map_err(|e| format!("server error: {e}"))?;
+    eprintln!("harmonyd: shut down cleanly");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("harmonyd: {message}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Blocking client library for `harmonyd`.
+//!
+//! One request/response round-trip per call, over the same
+//! newline-delimited JSON frames the daemon speaks. `harmonyctl` and
+//! the end-to-end tests are both built on [`Client`].
+
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use harmony::monitor::ClassForecast;
+use harmony::rounding::IntegerPlan;
+use harmony_model::Task;
+use harmony_sim::DegradationEvent;
+
+use crate::protocol::{read_line, write_line, Request, Response, StatusBody};
+
+/// A connected `harmonyd` client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn unexpected(response: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        match response {
+            Response::Error { message } => format!("daemon error: {message}"),
+            other => format!("unexpected response: {other:?}"),
+        },
+    )
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a closed connection yields
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        write_line(&mut self.writer, request)?;
+        let line = read_line(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+        })?;
+        serde_json::from_str(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Submits observations; returns (buffered, lifetime total).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a daemon-side error response.
+    pub fn submit(&mut self, tasks: Vec<Task>) -> io::Result<(usize, u64)> {
+        match self.request(&Request::SubmitObservations { tasks })? {
+            Response::Submitted { buffered, total } => Ok((buffered, total)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the current plan (None before the first tick).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a daemon-side error response.
+    pub fn get_plan(&mut self) -> io::Result<(u64, Option<IntegerPlan>)> {
+        match self.request(&Request::GetPlan)? {
+            Response::Plan { tick, plan } => Ok((tick, plan)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches per-class forecasts over `horizon` periods (daemon
+    /// default when `None`).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a daemon-side error response.
+    pub fn get_forecast(&mut self, horizon: Option<usize>) -> io::Result<Vec<ClassForecast>> {
+        match self.request(&Request::GetForecast { horizon })? {
+            Response::Forecast { classes, .. } => Ok(classes),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches daemon status.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a daemon-side error response.
+    pub fn status(&mut self) -> io::Result<StatusBody> {
+        match self.request(&Request::Status)? {
+            Response::Status(body) => Ok(body),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Forces one control period now; returns (tick, actuated plan).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a daemon-side error response.
+    pub fn tick(&mut self) -> io::Result<(u64, IntegerPlan)> {
+        match self.request(&Request::Tick)? {
+            Response::Ticked { tick, plan } => Ok((tick, plan)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Drains accumulated degradation events.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a daemon-side error response.
+    pub fn drain_events(&mut self) -> io::Result<Vec<DegradationEvent>> {
+        match self.request(&Request::DrainEvents)? {
+            Response::Events { events } => Ok(events),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Forces a checkpoint; returns (path, bytes written).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a daemon-side error response (e.g. no snapshot
+    /// path configured).
+    pub fn snapshot(&mut self) -> io::Result<(String, u64)> {
+        match self.request(&Request::Snapshot)? {
+            Response::Snapshotted { path, bytes } => Ok((path, bytes)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the daemon to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a daemon-side error response.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}

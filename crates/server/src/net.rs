@@ -1,0 +1,195 @@
+//! TCP server loop for `harmonyd`.
+//!
+//! Thread-per-connection over std-only primitives: the accept loop
+//! spawns a handler per client, handlers share the [`Service`] behind
+//! an `Arc<RwLock<_>>`, and an optional ticker thread runs the control
+//! loop on a fixed cadence. Graceful shutdown (triggered by a
+//! `shutdown` request) stops accepting, unblocks in-flight readers by
+//! half-closing their sockets, joins every thread, and writes a final
+//! checkpoint.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread;
+use std::time::Duration;
+
+use crate::protocol::{read_line, write_line, Request, Response};
+use crate::service::Service;
+
+/// Hard cap on concurrent client connections; excess connections get an
+/// error response and are closed immediately.
+pub const MAX_CONNECTIONS: usize = 64;
+
+/// Registry of live connection sockets so shutdown can unblock readers.
+type Registry = Arc<Mutex<BTreeMap<u64, TcpStream>>>;
+
+fn lock_write(service: &RwLock<Service>) -> std::sync::RwLockWriteGuard<'_, Service> {
+    service.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock_read(service: &RwLock<Service>) -> std::sync::RwLockReadGuard<'_, Service> {
+    service.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs the daemon: accepts connections on `listener`, serves requests
+/// against `service`, and — when `tick_period` is set — runs the
+/// control loop on that cadence (checkpointing after each tick if a
+/// snapshot path is configured). Returns after a graceful shutdown,
+/// once every thread is joined and the final checkpoint is on disk.
+///
+/// # Errors
+///
+/// Propagates failures to resolve the listener's local address and
+/// fatal accept-loop errors.
+pub fn serve(
+    listener: TcpListener,
+    service: Arc<RwLock<Service>>,
+    tick_period: Option<Duration>,
+) -> io::Result<()> {
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let registry: Registry = Arc::new(Mutex::new(BTreeMap::new()));
+
+    let ticker = tick_period.map(|period| {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || run_ticker(&service, &stop, period))
+    });
+
+    let mut handles = Vec::new();
+    let mut next_id: u64 = 0;
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        handles.retain(|h: &thread::JoinHandle<()>| !h.is_finished());
+        if active.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
+            let mut stream = stream;
+            let _ = write_line(
+                &mut stream,
+                &Response::Error { message: "connection limit reached".to_owned() },
+            );
+            continue;
+        }
+        let id = next_id;
+        next_id += 1;
+        if let (Ok(clone), Ok(mut reg)) = (stream.try_clone(), registry.lock()) {
+            reg.insert(id, clone);
+        }
+        active.fetch_add(1, Ordering::SeqCst);
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let active = Arc::clone(&active);
+        let registry = Arc::clone(&registry);
+        handles.push(thread::spawn(move || {
+            handle_connection(stream, &service, &stop, &registry, local);
+            if let Ok(mut reg) = registry.lock() {
+                reg.remove(&id);
+            }
+            active.fetch_sub(1, Ordering::SeqCst);
+        }));
+    }
+
+    for handle in handles {
+        let _ = handle.join();
+    }
+    if let Some(ticker) = ticker {
+        let _ = ticker.join();
+    }
+    if let Err(e) = lock_read(&service).save_checkpoint() {
+        eprintln!("harmonyd: final checkpoint failed: {e}");
+    }
+    Ok(())
+}
+
+fn run_ticker(service: &RwLock<Service>, stop: &AtomicBool, period: Duration) {
+    let slice = Duration::from_millis(100);
+    loop {
+        let mut waited = Duration::ZERO;
+        while waited < period {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            thread::sleep(slice.min(period - waited));
+            waited += slice;
+        }
+        let mut svc = lock_write(service);
+        svc.tick_once();
+        if let Err(e) = svc.save_checkpoint() {
+            eprintln!("harmonyd: periodic checkpoint failed: {e}");
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &RwLock<Service>,
+    stop: &AtomicBool,
+    registry: &Registry,
+    local: SocketAddr,
+) {
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let line = match read_line(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(e) => {
+                let _ = write_line(
+                    &mut writer,
+                    &Response::Error { message: format!("bad frame: {e}") },
+                );
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request: Request = match serde_json::from_str(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                let response = Response::Error { message: format!("bad request: {e}") };
+                if write_line(&mut writer, &response).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
+        let response = lock_write(service).handle(request);
+        if write_line(&mut writer, &response).is_err() {
+            break;
+        }
+        if is_shutdown {
+            begin_shutdown(stop, registry, local);
+            break;
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// Flips the stop flag, half-closes every registered socket so blocked
+/// readers see EOF, and pokes the accept loop awake.
+fn begin_shutdown(stop: &AtomicBool, registry: &Registry, local: SocketAddr) {
+    stop.store(true, Ordering::SeqCst);
+    if let Ok(reg) = registry.lock() {
+        for socket in reg.values() {
+            let _ = socket.shutdown(Shutdown::Both);
+        }
+    }
+    let _ = TcpStream::connect(local);
+}

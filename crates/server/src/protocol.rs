@@ -1,0 +1,448 @@
+//! The `harmonyd` wire protocol: newline-delimited JSON over TCP.
+//!
+//! Each request is one JSON object on one line, tagged by a `verb`
+//! field; each response is one JSON object on one line with an `ok`
+//! boolean — `{"ok":false,"error":"..."}` on failure, or
+//! `{"ok":true,"type":"<tag>",...}` with a type-specific body on
+//! success. Lines are capped at [`MAX_LINE_BYTES`]; an over-long line is
+//! a protocol error and closes the connection.
+//!
+//! The grammar (see DESIGN.md §8 for the prose version):
+//!
+//! ```text
+//! request  = submit | get-plan | get-forecast | status | tick
+//!          | drain-events | snapshot | shutdown
+//! submit   = {"verb":"submit-observations","tasks":[Task...]}
+//! get-plan = {"verb":"get-plan"}
+//! forecast = {"verb":"get-forecast","horizon":N?}     (null/absent → config horizon)
+//! status   = {"verb":"status"}
+//! tick     = {"verb":"tick"}
+//! drain    = {"verb":"drain-events"}
+//! snapshot = {"verb":"snapshot"}
+//! shutdown = {"verb":"shutdown"}
+//! ```
+//!
+//! Checkpoints and the wire protocol share one schema: the payload
+//! types ([`harmony_model::Task`], [`harmony::rounding::IntegerPlan`],
+//! [`harmony_sim::DegradationEvent`], [`harmony::monitor::ClassForecast`])
+//! serialize identically in both.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Read, Write};
+
+use harmony::monitor::ClassForecast;
+use harmony::rounding::IntegerPlan;
+use harmony_model::Task;
+use harmony_sim::DegradationEvent;
+use serde::value::{DeError, Value};
+use serde::{Deserialize, Serialize};
+
+/// Hard cap on one protocol line (request or response), in bytes.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Feed tasks observed since the last submission; they buffer until
+    /// the next control tick consumes them as arrivals + backlog.
+    SubmitObservations {
+        /// The observed tasks.
+        tasks: Vec<Task>,
+    },
+    /// The most recent provisioning plan.
+    GetPlan,
+    /// A per-class arrival forecast over `horizon` periods (`None` →
+    /// the configured MPC horizon).
+    GetForecast {
+        /// Number of control periods to forecast.
+        horizon: Option<usize>,
+    },
+    /// Daemon status counters.
+    Status,
+    /// Run one control tick now (also available on the daemon's
+    /// background ticker).
+    Tick,
+    /// Drain accumulated degradation events.
+    DrainEvents,
+    /// Write a checkpoint now.
+    Snapshot,
+    /// Graceful shutdown: stop accepting, finish in-flight work, write a
+    /// final checkpoint.
+    Shutdown,
+}
+
+impl Request {
+    /// The wire verb for this request.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::SubmitObservations { .. } => "submit-observations",
+            Request::GetPlan => "get-plan",
+            Request::GetForecast { .. } => "get-forecast",
+            Request::Status => "status",
+            Request::Tick => "tick",
+            Request::DrainEvents => "drain-events",
+            Request::Snapshot => "snapshot",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("verb".to_owned(), self.verb().to_value());
+        match self {
+            Request::SubmitObservations { tasks } => {
+                map.insert("tasks".to_owned(), tasks.to_value());
+            }
+            Request::GetForecast { horizon } => {
+                map.insert("horizon".to_owned(), horizon.to_value());
+            }
+            _ => {}
+        }
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let verb = String::from_value(v.field("verb")?)?;
+        match verb.as_str() {
+            "submit-observations" => Ok(Request::SubmitObservations {
+                tasks: Vec::from_value(v.field("tasks")?)?,
+            }),
+            "get-plan" => Ok(Request::GetPlan),
+            "get-forecast" => Ok(Request::GetForecast {
+                horizon: match v.get("horizon") {
+                    Some(h) => Option::from_value(h)?,
+                    None => None,
+                },
+            }),
+            "status" => Ok(Request::Status),
+            "tick" => Ok(Request::Tick),
+            "drain-events" => Ok(Request::DrainEvents),
+            "snapshot" => Ok(Request::Snapshot),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(DeError::new(format!("unknown verb `{other}`"))),
+        }
+    }
+}
+
+/// Daemon status counters (the `status` response body).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusBody {
+    /// Control ticks completed.
+    pub ticks: u64,
+    /// The logical clock in seconds (ticks × control period).
+    pub now_secs: f64,
+    /// Ticks that degraded instead of completing the full pipeline.
+    pub errors: usize,
+    /// Observations buffered for the next tick.
+    pub buffered: usize,
+    /// Observations accepted over the daemon's lifetime.
+    pub total_observations: u64,
+    /// Task classes in the fitted classifier.
+    pub n_classes: usize,
+    /// Machine types in the catalog.
+    pub machine_types: usize,
+    /// Total machine population.
+    pub total_machines: usize,
+    /// Degradation events awaiting `drain-events`.
+    pub pending_events: usize,
+    /// Whether a provisioning plan has been computed yet.
+    pub has_plan: bool,
+    /// Checkpoint path, when checkpointing is enabled.
+    pub snapshot_path: Option<String>,
+}
+
+impl Serialize for StatusBody {
+    fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("ticks".to_owned(), self.ticks.to_value());
+        map.insert("now_secs".to_owned(), self.now_secs.to_value());
+        map.insert("errors".to_owned(), self.errors.to_value());
+        map.insert("buffered".to_owned(), self.buffered.to_value());
+        map.insert("total_observations".to_owned(), self.total_observations.to_value());
+        map.insert("n_classes".to_owned(), self.n_classes.to_value());
+        map.insert("machine_types".to_owned(), self.machine_types.to_value());
+        map.insert("total_machines".to_owned(), self.total_machines.to_value());
+        map.insert("pending_events".to_owned(), self.pending_events.to_value());
+        map.insert("has_plan".to_owned(), self.has_plan.to_value());
+        map.insert("snapshot_path".to_owned(), self.snapshot_path.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for StatusBody {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(StatusBody {
+            ticks: u64::from_value(v.field("ticks")?)?,
+            now_secs: f64::from_value(v.field("now_secs")?)?,
+            errors: usize::from_value(v.field("errors")?)?,
+            buffered: usize::from_value(v.field("buffered")?)?,
+            total_observations: u64::from_value(v.field("total_observations")?)?,
+            n_classes: usize::from_value(v.field("n_classes")?)?,
+            machine_types: usize::from_value(v.field("machine_types")?)?,
+            total_machines: usize::from_value(v.field("total_machines")?)?,
+            pending_events: usize::from_value(v.field("pending_events")?)?,
+            has_plan: bool::from_value(v.field("has_plan")?)?,
+            snapshot_path: Option::from_value(v.field("snapshot_path")?)?,
+        })
+    }
+}
+
+/// A daemon response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request failed; the connection stays usable.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// Observations accepted.
+    Submitted {
+        /// Tasks now buffered for the next tick.
+        buffered: usize,
+        /// Lifetime observation count.
+        total: u64,
+    },
+    /// The current plan (`None` before the first successful tick).
+    Plan {
+        /// Ticks completed when the plan was produced.
+        tick: u64,
+        /// The plan, if one exists.
+        plan: Option<IntegerPlan>,
+    },
+    /// A per-class forecast.
+    Forecast {
+        /// Horizon actually used.
+        horizon: usize,
+        /// One forecast per task class.
+        classes: Vec<ClassForecast>,
+    },
+    /// Status counters.
+    Status(StatusBody),
+    /// A control tick ran.
+    Ticked {
+        /// Ticks completed after this one.
+        tick: u64,
+        /// The plan it produced.
+        plan: IntegerPlan,
+    },
+    /// Drained degradation events.
+    Events {
+        /// The events, oldest first.
+        events: Vec<DegradationEvent>,
+    },
+    /// A checkpoint was written.
+    Snapshotted {
+        /// Where it landed.
+        path: String,
+        /// Its size in bytes.
+        bytes: u64,
+    },
+    /// The daemon acknowledged a graceful shutdown.
+    ShuttingDown,
+}
+
+impl Response {
+    /// The wire type tag (`None` for errors, which carry no tag).
+    pub fn tag(&self) -> Option<&'static str> {
+        match self {
+            Response::Error { .. } => None,
+            Response::Submitted { .. } => Some("submitted"),
+            Response::Plan { .. } => Some("plan"),
+            Response::Forecast { .. } => Some("forecast"),
+            Response::Status(_) => Some("status"),
+            Response::Ticked { .. } => Some("ticked"),
+            Response::Events { .. } => Some("events"),
+            Response::Snapshotted { .. } => Some("snapshotted"),
+            Response::ShuttingDown => Some("shutting-down"),
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        if let Response::Error { message } = self {
+            map.insert("ok".to_owned(), false.to_value());
+            map.insert("error".to_owned(), message.to_value());
+            return Value::Object(map);
+        }
+        map.insert("ok".to_owned(), true.to_value());
+        map.insert(
+            "type".to_owned(),
+            self.tag().unwrap_or_default().to_value(),
+        );
+        match self {
+            Response::Error { .. } => unreachable!("handled above"),
+            Response::Submitted { buffered, total } => {
+                map.insert("buffered".to_owned(), buffered.to_value());
+                map.insert("total".to_owned(), total.to_value());
+            }
+            Response::Plan { tick, plan } => {
+                map.insert("tick".to_owned(), tick.to_value());
+                map.insert("plan".to_owned(), plan.to_value());
+            }
+            Response::Forecast { horizon, classes } => {
+                map.insert("horizon".to_owned(), horizon.to_value());
+                map.insert("classes".to_owned(), classes.to_value());
+            }
+            Response::Status(body) => {
+                if let Value::Object(fields) = body.to_value() {
+                    map.extend(fields);
+                }
+            }
+            Response::Ticked { tick, plan } => {
+                map.insert("tick".to_owned(), tick.to_value());
+                map.insert("plan".to_owned(), plan.to_value());
+            }
+            Response::Events { events } => {
+                map.insert("events".to_owned(), events.to_value());
+            }
+            Response::Snapshotted { path, bytes } => {
+                map.insert("path".to_owned(), path.to_value());
+                map.insert("bytes".to_owned(), bytes.to_value());
+            }
+            Response::ShuttingDown => {}
+        }
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if !bool::from_value(v.field("ok")?)? {
+            return Ok(Response::Error { message: String::from_value(v.field("error")?)? });
+        }
+        let tag = String::from_value(v.field("type")?)?;
+        match tag.as_str() {
+            "submitted" => Ok(Response::Submitted {
+                buffered: usize::from_value(v.field("buffered")?)?,
+                total: u64::from_value(v.field("total")?)?,
+            }),
+            "plan" => Ok(Response::Plan {
+                tick: u64::from_value(v.field("tick")?)?,
+                plan: Option::from_value(v.field("plan")?)?,
+            }),
+            "forecast" => Ok(Response::Forecast {
+                horizon: usize::from_value(v.field("horizon")?)?,
+                classes: Vec::from_value(v.field("classes")?)?,
+            }),
+            "status" => Ok(Response::Status(StatusBody::from_value(v)?)),
+            "ticked" => Ok(Response::Ticked {
+                tick: u64::from_value(v.field("tick")?)?,
+                plan: IntegerPlan::from_value(v.field("plan")?)?,
+            }),
+            "events" => Ok(Response::Events { events: Vec::from_value(v.field("events")?)? }),
+            "snapshotted" => Ok(Response::Snapshotted {
+                path: String::from_value(v.field("path")?)?,
+                bytes: u64::from_value(v.field("bytes")?)?,
+            }),
+            "shutting-down" => Ok(Response::ShuttingDown),
+            other => Err(DeError::new(format!("unknown response type `{other}`"))),
+        }
+    }
+}
+
+/// Writes one message as a JSON line and flushes.
+///
+/// # Errors
+///
+/// Propagates writer failures; rejects messages over [`MAX_LINE_BYTES`].
+pub fn write_line<W: Write, T: Serialize>(writer: &mut W, message: &T) -> io::Result<()> {
+    let text = serde_json::to_string(message)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if text.len() > MAX_LINE_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("message of {} bytes exceeds the {MAX_LINE_BYTES}-byte line cap", text.len()),
+        ));
+    }
+    writer.write_all(text.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Reads one line, enforcing [`MAX_LINE_BYTES`]. Returns `None` on a
+/// clean EOF.
+///
+/// # Errors
+///
+/// Propagates reader failures; an over-long line yields
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_line<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let mut limited = reader.take(MAX_LINE_BYTES as u64 + 1);
+    let n = limited.read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.len() > MAX_LINE_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("line exceeds the {MAX_LINE_BYTES}-byte cap"),
+        ));
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "line is not valid UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_roundtrip_via_text() {
+        let requests = vec![
+            Request::GetPlan,
+            Request::GetForecast { horizon: Some(6) },
+            Request::GetForecast { horizon: None },
+            Request::Status,
+            Request::Tick,
+            Request::DrainEvents,
+            Request::Snapshot,
+            Request::Shutdown,
+            Request::SubmitObservations { tasks: Vec::new() },
+        ];
+        for req in requests {
+            let text = serde_json::to_string(&req).unwrap();
+            let back: Request = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, req, "wire text: {text}");
+        }
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let resp = Response::Error { message: "bad verb".to_owned() };
+        let text = serde_json::to_string(&resp).unwrap();
+        assert!(text.contains("\"ok\":false"), "{text}");
+        let back: Response = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn line_framing_enforces_cap() {
+        let mut out = Vec::new();
+        write_line(&mut out, &Request::Status).unwrap();
+        assert!(out.ends_with(b"\n"));
+        let mut reader = io::BufReader::new(&out[..]);
+        assert_eq!(read_line(&mut reader).unwrap().unwrap(), "{\"verb\":\"status\"}");
+        assert!(read_line(&mut reader).unwrap().is_none(), "EOF after one line");
+
+        let long = vec![b'x'; MAX_LINE_BYTES + 10];
+        let mut reader = io::BufReader::new(&long[..]);
+        assert_eq!(read_line(&mut reader).unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn missing_verb_rejected() {
+        assert!(serde_json::from_str::<Request>("{}").is_err());
+        assert!(serde_json::from_str::<Request>("{\"verb\":\"frobnicate\"}").is_err());
+    }
+}

@@ -1,0 +1,340 @@
+//! Request handling for `harmonyd`.
+//!
+//! A [`Service`] owns the [`OnlinePipeline`] plus the daemon-level
+//! state around it: the buffer of submitted-but-unconsumed
+//! observations, lifetime counters, and checkpoint provenance. Network
+//! and ticker threads share one `Service` behind a lock and call
+//! [`Service::handle`] / [`Service::tick_once`].
+
+use std::io;
+use std::path::PathBuf;
+
+use harmony::classify::ClassifierConfig;
+use harmony::OnlinePipeline;
+use harmony_model::Task;
+
+use crate::protocol::{Request, Response, StatusBody};
+use crate::state::{self, CatalogSpec, Checkpoint, ClassifierSource, CHECKPOINT_VERSION};
+
+/// The daemon's shared state: pipeline + observation buffer +
+/// checkpoint provenance.
+#[derive(Debug)]
+pub struct Service {
+    pipeline: OnlinePipeline,
+    classifier_config: ClassifierConfig,
+    source: ClassifierSource,
+    catalog_spec: CatalogSpec,
+    buffered: Vec<Task>,
+    total_observations: u64,
+    snapshot_path: Option<PathBuf>,
+}
+
+impl Service {
+    /// Wraps a freshly built pipeline.
+    pub fn new(
+        pipeline: OnlinePipeline,
+        classifier_config: ClassifierConfig,
+        source: ClassifierSource,
+        catalog_spec: CatalogSpec,
+        snapshot_path: Option<PathBuf>,
+    ) -> Self {
+        Service {
+            pipeline,
+            classifier_config,
+            source,
+            catalog_spec,
+            buffered: Vec::new(),
+            total_observations: 0,
+            snapshot_path,
+        }
+    }
+
+    /// Rebuilds a service from a checkpoint: refits the classifier from
+    /// the recorded source (verifying the trace hash), rebuilds the
+    /// catalog from its spec, and restores the pipeline state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the source cannot be reloaded, the
+    /// catalog name is unknown, or the restored state is malformed.
+    pub fn from_checkpoint(
+        checkpoint: Checkpoint,
+        snapshot_path: Option<PathBuf>,
+    ) -> Result<Self, String> {
+        let classifier = state::refit_classifier(&checkpoint.source, &checkpoint.classifier)?;
+        let catalog = checkpoint.catalog.build()?;
+        let mut pipeline =
+            OnlinePipeline::new(classifier, catalog, checkpoint.config, Default::default())
+                .map_err(|e| format!("pipeline rebuild failed: {e}"))?;
+        pipeline
+            .restore(checkpoint.state)
+            .map_err(|e| format!("state restore failed: {e}"))?;
+        Ok(Service {
+            pipeline,
+            classifier_config: checkpoint.classifier,
+            source: checkpoint.source,
+            catalog_spec: checkpoint.catalog,
+            buffered: checkpoint.buffered,
+            total_observations: checkpoint.total_observations,
+            snapshot_path,
+        })
+    }
+
+    /// The underlying pipeline (read-only).
+    pub fn pipeline(&self) -> &OnlinePipeline {
+        &self.pipeline
+    }
+
+    /// Observations buffered for the next tick.
+    pub fn buffered(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// Where checkpoints go, if configured.
+    pub fn snapshot_path(&self) -> Option<&PathBuf> {
+        self.snapshot_path.as_ref()
+    }
+
+    /// Runs one control period over the buffered observations (they act
+    /// as both the period's arrivals and its pending backlog), clears
+    /// the buffer, and returns the actuated plan via the tick counter.
+    pub fn tick_once(&mut self) -> u64 {
+        let tasks = std::mem::take(&mut self.buffered);
+        let _ = self.pipeline.tick(&tasks, &tasks);
+        self.pipeline.ticks()
+    }
+
+    /// Snapshot of everything a restart needs.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            config: self.pipeline.config().clone(),
+            classifier: self.classifier_config.clone(),
+            source: self.source.clone(),
+            catalog: self.catalog_spec.clone(),
+            state: self.pipeline.state(),
+            buffered: self.buffered.clone(),
+            total_observations: self.total_observations,
+        }
+    }
+
+    /// Writes a checkpoint to the configured snapshot path (no-op
+    /// returning `Ok(None)` when none is configured).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the atomic save.
+    pub fn save_checkpoint(&self) -> io::Result<Option<u64>> {
+        match &self.snapshot_path {
+            Some(path) => state::save_atomic(&self.checkpoint(), path).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn autosave(&self) {
+        if let Err(e) = self.save_checkpoint() {
+            eprintln!("harmonyd: checkpoint failed: {e}");
+        }
+    }
+
+    fn status(&self) -> StatusBody {
+        StatusBody {
+            ticks: self.pipeline.ticks(),
+            now_secs: self.pipeline.now().as_secs(),
+            errors: self.pipeline.error_count(),
+            buffered: self.buffered.len(),
+            total_observations: self.total_observations,
+            n_classes: self.pipeline.n_classes(),
+            machine_types: self.pipeline.catalog().len(),
+            total_machines: self.pipeline.catalog().total_machines(),
+            pending_events: self.pipeline.pending_degradations().len(),
+            has_plan: self.pipeline.last_plan().is_some(),
+            snapshot_path: self
+                .snapshot_path
+                .as_ref()
+                .map(|p| p.display().to_string()),
+        }
+    }
+
+    /// Executes one request. `Shutdown` returns [`Response::ShuttingDown`];
+    /// actually stopping the daemon is the caller's job. State-mutating
+    /// requests (`submit-observations`, `tick`) checkpoint automatically
+    /// when a snapshot path is configured, so a `kill -9` at any point
+    /// loses at most the request in flight.
+    pub fn handle(&mut self, request: Request) -> Response {
+        match request {
+            Request::SubmitObservations { tasks } => {
+                self.total_observations += tasks.len() as u64;
+                self.buffered.extend(tasks);
+                let response = Response::Submitted {
+                    buffered: self.buffered.len(),
+                    total: self.total_observations,
+                };
+                self.autosave();
+                response
+            }
+            Request::GetPlan => Response::Plan {
+                tick: self.pipeline.ticks(),
+                plan: self.pipeline.last_plan().cloned(),
+            },
+            Request::GetForecast { horizon } => {
+                let horizon = horizon.unwrap_or(self.pipeline.config().horizon).max(1);
+                Response::Forecast {
+                    horizon,
+                    classes: self.pipeline.forecast_tiered(horizon),
+                }
+            }
+            Request::Status => Response::Status(self.status()),
+            Request::Tick => {
+                let tick = self.tick_once();
+                self.autosave();
+                match self.pipeline.last_plan().cloned() {
+                    Some(plan) => Response::Ticked { tick, plan },
+                    None => Response::Error {
+                        message: "tick produced no plan".to_owned(),
+                    },
+                }
+            }
+            Request::DrainEvents => Response::Events {
+                events: self.pipeline.take_degradations(),
+            },
+            Request::Snapshot => match self.save_checkpoint() {
+                Ok(Some(bytes)) => Response::Snapshotted {
+                    path: self
+                        .snapshot_path
+                        .as_ref()
+                        .map(|p| p.display().to_string())
+                        .unwrap_or_default(),
+                    bytes,
+                },
+                Ok(None) => Response::Error {
+                    message: "no snapshot path configured (start harmonyd with --snapshot)"
+                        .to_owned(),
+                },
+                Err(e) => Response::Error {
+                    message: format!("snapshot failed: {e}"),
+                },
+            },
+            Request::Shutdown => Response::ShuttingDown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony::classify::{ClassifierConfig, TaskClassifier};
+    use harmony::HarmonyConfig;
+    use harmony_model::{MachineCatalog, SimDuration};
+
+    fn test_service(snapshot: Option<PathBuf>) -> (Service, Vec<Task>) {
+        // Build from the same source description a resume would refit
+        // from, so checkpoint round-trips are exact.
+        let span = SimDuration::from_hours(2.0);
+        let (trace, source) =
+            state::load_source(None, "jsonl", 33, span, None).unwrap();
+        let classifier_config = ClassifierConfig {
+            k_per_group: Some([2, 2, 2]),
+            ..ClassifierConfig::default()
+        };
+        let classifier = TaskClassifier::fit(trace.tasks(), &classifier_config).unwrap();
+        let config = HarmonyConfig {
+            horizon: 2,
+            control_period: SimDuration::from_mins(10.0),
+            ..HarmonyConfig::default()
+        };
+        let pipeline = OnlinePipeline::new(
+            classifier,
+            MachineCatalog::table2().scaled(100),
+            config,
+            Default::default(),
+        )
+        .unwrap();
+        let spec = CatalogSpec { name: "table2".to_owned(), divisor: 100 };
+        let tasks: Vec<Task> = trace.tasks().iter().take(200).cloned().collect();
+        (Service::new(pipeline, classifier_config, source, spec, snapshot), tasks)
+    }
+
+    #[test]
+    fn submit_then_tick_produces_a_plan() {
+        let (mut service, tasks) = test_service(None);
+        let n = tasks.len();
+        let response = service.handle(Request::SubmitObservations { tasks });
+        assert!(
+            matches!(response, Response::Submitted { buffered, total } if buffered == n && total == n as u64)
+        );
+        let response = service.handle(Request::Tick);
+        match response {
+            Response::Ticked { tick, plan } => {
+                assert_eq!(tick, 1);
+                assert!(plan.machines.iter().sum::<usize>() > 0);
+            }
+            other => panic!("expected Ticked, got {other:?}"),
+        }
+        assert_eq!(service.buffered(), 0, "tick consumes the buffer");
+        let response = service.handle(Request::GetPlan);
+        assert!(matches!(response, Response::Plan { tick: 1, plan: Some(_) }));
+    }
+
+    #[test]
+    fn status_reflects_state() {
+        let (mut service, tasks) = test_service(None);
+        let n = tasks.len();
+        service.handle(Request::SubmitObservations { tasks });
+        match service.handle(Request::Status) {
+            Response::Status(body) => {
+                assert_eq!(body.ticks, 0);
+                assert_eq!(body.buffered, n);
+                assert_eq!(body.total_observations, n as u64);
+                assert!(!body.has_plan);
+                assert!(body.snapshot_path.is_none());
+            }
+            other => panic!("expected Status, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_without_path_is_an_error() {
+        let (mut service, _) = test_service(None);
+        assert!(matches!(service.handle(Request::Snapshot), Response::Error { .. }));
+    }
+
+    #[test]
+    fn checkpoint_restores_identical_plan_sequence() {
+        let dir = std::env::temp_dir()
+            .join(format!("harmonyd-service-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("svc.json");
+
+        let (mut uninterrupted, tasks) = test_service(None);
+        let (mut original, _) = test_service(Some(path.clone()));
+        let chunks: Vec<Vec<Task>> = tasks.chunks(40).map(<[Task]>::to_vec).collect();
+
+        let mut expected = Vec::new();
+        for chunk in &chunks {
+            uninterrupted.handle(Request::SubmitObservations { tasks: chunk.clone() });
+            uninterrupted.handle(Request::Tick);
+            expected.push(uninterrupted.pipeline().last_plan().cloned());
+        }
+
+        let mut actual = Vec::new();
+        for chunk in &chunks[..2] {
+            original.handle(Request::SubmitObservations { tasks: chunk.clone() });
+            original.handle(Request::Tick);
+            actual.push(original.pipeline().last_plan().cloned());
+        }
+        assert!(matches!(original.handle(Request::Snapshot), Response::Snapshotted { .. }));
+        drop(original);
+
+        let checkpoint = state::load(&path).unwrap();
+        let mut resumed = Service::from_checkpoint(checkpoint, Some(path.clone())).unwrap();
+        assert_eq!(resumed.pipeline().ticks(), 2);
+        for chunk in &chunks[2..] {
+            resumed.handle(Request::SubmitObservations { tasks: chunk.clone() });
+            resumed.handle(Request::Tick);
+            actual.push(resumed.pipeline().last_plan().cloned());
+        }
+        assert_eq!(actual, expected, "resume must reproduce the plan sequence");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,406 @@
+//! Crash-safe checkpoints for `harmonyd`.
+//!
+//! A [`Checkpoint`] carries everything needed to resurrect a daemon:
+//! the controller configuration, the *source* the task classifier was
+//! fitted from (a trace file with an integrity hash, or a synthetic
+//! generator seed — the fit is deterministic, so the classifier is
+//! rebuilt rather than serialized), the catalog spec, the
+//! [`OnlineState`] (arrival histories, previous plan, tick counter,
+//! pending degradation events), and any observations buffered but not
+//! yet consumed by a tick.
+//!
+//! # Atomicity
+//!
+//! [`save_atomic`] serializes to `<path>.tmp` (fsynced) and then
+//! `rename(2)`s over the target. On POSIX the rename is atomic within a
+//! filesystem, so a reader — including a daemon restarted after
+//! `kill -9` — sees either the previous complete checkpoint or the new
+//! complete checkpoint, never a torn file. A leftover `.tmp` after a
+//! crash is garbage and is ignored (and overwritten) by the next save.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use harmony::classify::{ClassifierConfig, TaskClassifier};
+use harmony::{HarmonyConfig, OnlineState};
+use harmony_model::{MachineCatalog, SimDuration, Task};
+use harmony_trace::{google_csv, Trace, TraceConfig, TraceGenerator};
+use serde::value::{DeError, Value};
+use serde::{Deserialize, Serialize};
+
+/// Bumped whenever the checkpoint schema changes incompatibly.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Where the daemon's classifier (and logical workload) came from.
+/// Refitting from the same source is deterministic, so the checkpoint
+/// records the source instead of the fitted model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassifierSource {
+    /// A trace file on disk, with an FNV-1a-64 hash of its bytes so a
+    /// resume detects a swapped file.
+    TraceFile {
+        /// Path to the trace file.
+        path: String,
+        /// `jsonl` or `google-csv`.
+        format: String,
+        /// FNV-1a-64 of the file contents at fit time.
+        hash: u64,
+    },
+    /// The synthetic evaluation workload.
+    Synthetic {
+        /// Generator seed.
+        seed: u64,
+        /// Trace span in seconds.
+        span_secs: f64,
+    },
+}
+
+impl Serialize for ClassifierSource {
+    fn to_value(&self) -> Value {
+        let mut map = std::collections::BTreeMap::new();
+        match self {
+            ClassifierSource::TraceFile { path, format, hash } => {
+                map.insert("kind".to_owned(), "trace-file".to_value());
+                map.insert("path".to_owned(), path.to_value());
+                map.insert("format".to_owned(), format.to_value());
+                // 64-bit hashes exceed the f64-exact integer range of
+                // the JSON value model, so they travel as hex strings.
+                map.insert("hash".to_owned(), Value::String(format!("{hash:#018x}")));
+            }
+            ClassifierSource::Synthetic { seed, span_secs } => {
+                map.insert("kind".to_owned(), "synthetic".to_value());
+                map.insert("seed".to_owned(), seed.to_value());
+                map.insert("span_secs".to_owned(), span_secs.to_value());
+            }
+        }
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for ClassifierSource {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match String::from_value(v.field("kind")?)?.as_str() {
+            "trace-file" => {
+                let text = String::from_value(v.field("hash")?)?;
+                let hash = u64::from_str_radix(text.trim_start_matches("0x"), 16)
+                    .map_err(|e| DeError::new(format!("bad hash `{text}`: {e}")))?;
+                Ok(ClassifierSource::TraceFile {
+                    path: String::from_value(v.field("path")?)?,
+                    format: String::from_value(v.field("format")?)?,
+                    hash,
+                })
+            }
+            "synthetic" => Ok(ClassifierSource::Synthetic {
+                seed: u64::from_value(v.field("seed")?)?,
+                span_secs: f64::from_value(v.field("span_secs")?)?,
+            }),
+            other => Err(DeError::new(format!("unknown classifier source `{other}`"))),
+        }
+    }
+}
+
+/// The machine catalog, by name and divisor (catalogs are code-defined,
+/// so a spec rebuilds one exactly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogSpec {
+    /// `table2` or `google10`.
+    pub name: String,
+    /// Population divisor passed to [`MachineCatalog::scaled`].
+    pub divisor: usize,
+}
+
+impl CatalogSpec {
+    /// Rebuilds the catalog this spec names.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown catalog name.
+    pub fn build(&self) -> Result<MachineCatalog, String> {
+        let base = match self.name.as_str() {
+            "table2" => MachineCatalog::table2(),
+            "google10" => MachineCatalog::google_ten_types(),
+            other => return Err(format!("unknown catalog `{other}` (table2 or google10)")),
+        };
+        Ok(base.scaled(self.divisor.max(1)))
+    }
+}
+
+impl Serialize for CatalogSpec {
+    fn to_value(&self) -> Value {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("name".to_owned(), self.name.to_value());
+        map.insert("divisor".to_owned(), self.divisor.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for CatalogSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(CatalogSpec {
+            name: String::from_value(v.field("name")?)?,
+            divisor: usize::from_value(v.field("divisor")?)?,
+        })
+    }
+}
+
+/// One complete daemon checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Schema version ([`CHECKPOINT_VERSION`]).
+    pub version: u64,
+    /// Controller configuration.
+    pub config: HarmonyConfig,
+    /// Classifier calibration (the fit is deterministic given source +
+    /// calibration, so refitting on resume reproduces the same classes).
+    pub classifier: ClassifierConfig,
+    /// Classifier provenance.
+    pub source: ClassifierSource,
+    /// Catalog provenance.
+    pub catalog: CatalogSpec,
+    /// The pipeline's mutable state.
+    pub state: OnlineState,
+    /// Observations buffered and not yet consumed by a tick.
+    pub buffered: Vec<Task>,
+    /// Lifetime observation count.
+    pub total_observations: u64,
+}
+
+impl Serialize for Checkpoint {
+    fn to_value(&self) -> Value {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("version".to_owned(), self.version.to_value());
+        map.insert("config".to_owned(), self.config.to_value());
+        map.insert("classifier".to_owned(), self.classifier.to_value());
+        map.insert("source".to_owned(), self.source.to_value());
+        map.insert("catalog".to_owned(), self.catalog.to_value());
+        map.insert("state".to_owned(), self.state.to_value());
+        map.insert("buffered".to_owned(), self.buffered.to_value());
+        map.insert("total_observations".to_owned(), self.total_observations.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for Checkpoint {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let version = u64::from_value(v.field("version")?)?;
+        if version != CHECKPOINT_VERSION {
+            return Err(DeError::new(format!(
+                "checkpoint version {version} is not supported (expected {CHECKPOINT_VERSION})"
+            )));
+        }
+        Ok(Checkpoint {
+            version,
+            config: HarmonyConfig::from_value(v.field("config")?)?,
+            classifier: ClassifierConfig::from_value(v.field("classifier")?)?,
+            source: ClassifierSource::from_value(v.field("source")?)?,
+            catalog: CatalogSpec::from_value(v.field("catalog")?)?,
+            state: OnlineState::from_value(v.field("state")?)?,
+            buffered: Vec::from_value(v.field("buffered")?)?,
+            total_observations: u64::from_value(v.field("total_observations")?)?,
+        })
+    }
+}
+
+/// FNV-1a-64 over a byte slice — the trace-file integrity hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Loads a trace from a source, verifying the integrity hash for file
+/// sources (`expected_hash` is `None` on first load, `Some` on resume).
+/// Returns the trace and the hash that a checkpoint should record.
+///
+/// # Errors
+///
+/// Returns a message on I/O failures, parse failures, unknown formats,
+/// or a hash mismatch.
+pub fn load_source(
+    source_path: Option<&str>,
+    format: &str,
+    synthetic_seed: u64,
+    synthetic_span: SimDuration,
+    expected_hash: Option<u64>,
+) -> Result<(Trace, ClassifierSource), String> {
+    match source_path {
+        Some(path) => {
+            let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let hash = fnv1a64(&bytes);
+            if let Some(expected) = expected_hash {
+                if hash != expected {
+                    return Err(format!(
+                        "trace file {path} changed since the checkpoint was written \
+                         (hash {hash:#018x}, expected {expected:#018x})"
+                    ));
+                }
+            }
+            let trace = match format {
+                "jsonl" => Trace::read_jsonl(&bytes[..]),
+                "google-csv" => google_csv::read_task_events(&bytes[..]),
+                other => return Err(format!("unknown trace format `{other}`")),
+            }
+            .map_err(|e| format!("cannot parse {path}: {e}"))?;
+            let source = ClassifierSource::TraceFile {
+                path: path.to_owned(),
+                format: format.to_owned(),
+                hash,
+            };
+            Ok((trace, source))
+        }
+        None => {
+            let trace = TraceGenerator::new(
+                TraceConfig::evaluation().with_seed(synthetic_seed).with_span(synthetic_span),
+            )
+            .generate();
+            let source = ClassifierSource::Synthetic {
+                seed: synthetic_seed,
+                span_secs: synthetic_span.as_secs(),
+            };
+            Ok((trace, source))
+        }
+    }
+}
+
+/// Refits the classifier recorded by a [`ClassifierSource`]
+/// (deterministic given the source and calibration).
+///
+/// # Errors
+///
+/// Returns a message on source-loading or fit failures.
+pub fn refit_classifier(
+    source: &ClassifierSource,
+    config: &ClassifierConfig,
+) -> Result<TaskClassifier, String> {
+    let (trace, _) = match source {
+        ClassifierSource::TraceFile { path, format, hash } => {
+            load_source(Some(path), format, 0, SimDuration::ZERO, Some(*hash))?
+        }
+        ClassifierSource::Synthetic { seed, span_secs } => {
+            load_source(None, "jsonl", *seed, SimDuration::from_secs(*span_secs), None)?
+        }
+    };
+    TaskClassifier::fit(trace.tasks(), config).map_err(|e| format!("classifier fit failed: {e}"))
+}
+
+/// Serializes a checkpoint to `<path>.tmp`, fsyncs, and atomically
+/// renames it over `path`.
+///
+/// # Errors
+///
+/// Propagates I/O failures (the `.tmp` file may remain; it is inert).
+pub fn save_atomic(checkpoint: &Checkpoint, path: &Path) -> io::Result<u64> {
+    let text = serde_json::to_string(checkpoint)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let tmp: PathBuf = {
+        let mut os = path.as_os_str().to_owned();
+        os.push(".tmp");
+        PathBuf::from(os)
+    };
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(text.len() as u64 + 1)
+}
+
+/// Loads a checkpoint from disk.
+///
+/// # Errors
+///
+/// Propagates I/O failures; malformed or version-mismatched contents
+/// yield [`io::ErrorKind::InvalidData`].
+pub fn load(path: &Path) -> io::Result<Checkpoint> {
+    let text = fs::read_to_string(path)?;
+    serde_json::from_str(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a-64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_atomic_save() {
+        let dir = std::env::temp_dir().join(format!("harmonyd-state-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let checkpoint = Checkpoint {
+            version: CHECKPOINT_VERSION,
+            config: HarmonyConfig::default(),
+            classifier: ClassifierConfig { k_per_group: Some([2, 2, 2]), ..Default::default() },
+            // Hash above 2^53 exercises the hex-string encoding.
+            source: ClassifierSource::TraceFile {
+                path: "/data/trace.jsonl".to_owned(),
+                format: "jsonl".to_owned(),
+                hash: 0xdead_beef_cafe_f00d,
+            },
+            catalog: CatalogSpec { name: "table2".to_owned(), divisor: 100 },
+            state: OnlineState {
+                ticks: 5,
+                errors: 1,
+                histories: vec![vec![0.5, 0.25], vec![0.0, 1.0]],
+                last_plan: None,
+                pending_events: Vec::new(),
+            },
+            buffered: Vec::new(),
+            total_observations: 123,
+        };
+        let bytes = save_atomic(&checkpoint, &path).unwrap();
+        assert!(bytes > 0);
+        assert!(!dir.join("ckpt.json.tmp").exists(), "tmp renamed away");
+        let back = load(&path).unwrap();
+        assert_eq!(back, checkpoint);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let checkpoint = Checkpoint {
+            version: CHECKPOINT_VERSION,
+            config: HarmonyConfig::default(),
+            classifier: ClassifierConfig::default(),
+            source: ClassifierSource::Synthetic { seed: 1, span_secs: 60.0 },
+            catalog: CatalogSpec { name: "table2".to_owned(), divisor: 1 },
+            state: OnlineState {
+                ticks: 0,
+                errors: 0,
+                histories: Vec::new(),
+                last_plan: None,
+                pending_events: Vec::new(),
+            },
+            buffered: Vec::new(),
+            total_observations: 0,
+        };
+        let mut v = checkpoint.to_value();
+        if let Value::Object(map) = &mut v {
+            map.insert("version".to_owned(), Value::Number(99.0));
+        }
+        assert!(Checkpoint::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn catalog_spec_builds_known_catalogs() {
+        let spec = CatalogSpec { name: "table2".to_owned(), divisor: 100 };
+        assert_eq!(spec.build().unwrap().len(), 4);
+        let spec = CatalogSpec { name: "google10".to_owned(), divisor: 100 };
+        assert!(spec.build().unwrap().len() >= 10);
+        let spec = CatalogSpec { name: "nope".to_owned(), divisor: 1 };
+        assert!(spec.build().is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! End-to-end tests: boot the real `harmonyd` binary on an ephemeral
+//! port, drive it through the client library, kill it without warning,
+//! and verify that `--resume` picks the session back up with the exact
+//! same provisioning plans an uninterrupted daemon would have produced.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use harmony::rounding::IntegerPlan;
+use harmony_model::Task;
+use harmony_server::Client;
+use harmony_trace::{TraceConfig, TraceGenerator};
+
+/// The synthetic workload both daemons fit their classifier from.
+const SEED: &str = "33";
+const SPAN_HOURS: &str = "2";
+
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Boots `harmonyd` on an ephemeral port and parses the bound
+    /// address from its stdout banner.
+    fn spawn(extra: &[&str]) -> Daemon {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_harmonyd"));
+        cmd.args([
+            "--listen",
+            "127.0.0.1:0",
+            "--synthetic-seed",
+            SEED,
+            "--synthetic-span-hours",
+            SPAN_HOURS,
+            "--scale",
+            "100",
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+        let mut child = cmd.spawn().expect("spawn harmonyd");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let banner = lines
+            .next()
+            .expect("daemon printed a banner")
+            .expect("banner readable");
+        let addr = banner
+            .strip_prefix("harmonyd listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+            .parse()
+            .expect("parseable address");
+        Daemon { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.addr).expect("connect to daemon")
+    }
+
+    /// SIGKILL — no shutdown handshake, no final checkpoint.
+    fn kill(mut self) {
+        self.child.kill().expect("kill daemon");
+        self.child.wait().expect("reap daemon");
+    }
+
+    /// Waits for a voluntary exit and asserts it was clean.
+    fn wait_clean(mut self) {
+        let status = self.child.wait().expect("reap daemon");
+        assert!(status.success(), "daemon exited with {status}");
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("harmonyd-e2e-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Three batches of observations, the same for every daemon in a test.
+fn observation_chunks() -> Vec<Vec<Task>> {
+    let trace = TraceGenerator::new(TraceConfig::small().with_seed(77)).generate();
+    let tasks: Vec<Task> = trace.tasks().iter().take(240).cloned().collect();
+    tasks.chunks(80).map(<[Task]>::to_vec).collect()
+}
+
+fn assert_no_tmp_files(dir: &Path) {
+    let leftovers: Vec<_> = std::fs::read_dir(dir)
+        .expect("read temp dir")
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "leftover checkpoint temp files: {leftovers:?}");
+}
+
+#[test]
+fn scripted_session_covers_every_verb() {
+    let dir = temp_dir("session");
+    let snapshot = dir.join("session.ckpt.json");
+    let daemon = Daemon::spawn(&["--snapshot", snapshot.to_str().expect("utf-8 path")]);
+    let mut client = daemon.client();
+
+    let status = client.status().expect("status");
+    assert_eq!(status.ticks, 0);
+    assert!(!status.has_plan);
+    assert!(status.n_classes > 0);
+
+    let chunks = observation_chunks();
+    let (buffered, total) = client.submit(chunks[0].clone()).expect("submit");
+    assert_eq!(buffered, chunks[0].len());
+    assert_eq!(total, chunks[0].len() as u64);
+
+    let (tick, plan) = client.tick().expect("tick");
+    assert_eq!(tick, 1);
+    assert!(plan.machines.iter().sum::<usize>() > 0, "plan powers machines on");
+
+    let (tick, fetched) = client.get_plan().expect("get-plan");
+    assert_eq!(tick, 1);
+    assert_eq!(fetched.as_ref(), Some(&plan), "get-plan returns the tick's plan");
+
+    let forecast = client.get_forecast(Some(3)).expect("get-forecast");
+    assert_eq!(forecast.len(), status.n_classes);
+    assert!(forecast.iter().all(|f| f.rates.len() == 3));
+
+    let _events = client.drain_events().expect("drain-events");
+
+    let (path, bytes) = client.snapshot().expect("snapshot");
+    assert_eq!(PathBuf::from(path), snapshot);
+    assert!(bytes > 0);
+    assert!(snapshot.exists(), "checkpoint on disk");
+
+    client.shutdown().expect("shutdown");
+    daemon.wait_clean();
+    assert_no_tmp_files(&dir);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn kill_nine_then_resume_reproduces_the_plan_sequence() {
+    let chunks = observation_chunks();
+
+    // Reference run: one daemon, never interrupted.
+    let reference = Daemon::spawn(&[]);
+    let mut client = reference.client();
+    let mut expected: Vec<IntegerPlan> = Vec::new();
+    for chunk in &chunks {
+        client.submit(chunk.clone()).expect("submit");
+        let (_, plan) = client.tick().expect("tick");
+        expected.push(plan);
+    }
+    client.shutdown().expect("shutdown");
+    reference.wait_clean();
+
+    // Interrupted run: same session, but SIGKILLed after two ticks.
+    let dir = temp_dir("resume");
+    let snapshot = dir.join("resume.ckpt.json");
+    let snapshot_arg = snapshot.to_str().expect("utf-8 path");
+    let victim = Daemon::spawn(&["--snapshot", snapshot_arg]);
+    let mut client = victim.client();
+    let mut actual: Vec<IntegerPlan> = Vec::new();
+    for chunk in &chunks[..2] {
+        client.submit(chunk.clone()).expect("submit");
+        let (_, plan) = client.tick().expect("tick");
+        actual.push(plan);
+    }
+    victim.kill();
+    assert!(snapshot.exists(), "auto-checkpoint survived the kill");
+
+    let resumed = Daemon::spawn(&["--resume", snapshot_arg]);
+    let mut client = resumed.client();
+    let status = client.status().expect("status");
+    assert_eq!(status.ticks, 2, "resume restores the tick counter");
+    assert_eq!(
+        status.total_observations,
+        (chunks[0].len() + chunks[1].len()) as u64,
+        "resume restores lifetime counters"
+    );
+    let (_, plan) = client.get_plan().expect("get-plan");
+    assert_eq!(plan.as_ref(), Some(&actual[1]), "resume restores the last plan");
+
+    for chunk in &chunks[2..] {
+        client.submit(chunk.clone()).expect("submit");
+        let (_, plan) = client.tick().expect("tick");
+        actual.push(plan);
+    }
+    client.shutdown().expect("shutdown");
+    resumed.wait_clean();
+
+    assert_eq!(actual, expected, "interrupted + resumed run must match the reference run");
+    assert_no_tmp_files(&dir);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

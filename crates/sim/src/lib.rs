@@ -49,6 +49,7 @@ mod faults;
 mod machine;
 mod metrics;
 mod scheduler;
+mod serde_impls;
 
 pub use cluster::Cluster;
 pub use controller::{

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Smoke test for the harmonyd daemon and harmonyctl client.
+#
+# Boots a release harmonyd on an ephemeral port with a snapshot path,
+# drives one scripted provisioning session end to end, and verifies a
+# clean shutdown:
+#
+#   submit-observations -> tick -> get-plan -> snapshot
+#     -> status (written to results/BENCH_harmonyd_smoke.json) -> shutdown
+#
+# Fails on any non-zero harmonyctl exit, a daemon that refuses to die,
+# or leftover *.tmp snapshot files (which would mean the atomic
+# tmp+rename checkpoint protocol was violated).
+set -euo pipefail
+
+HARMONYD=${HARMONYD:-target/release/harmonyd}
+HARMONYCTL=${HARMONYCTL:-target/release/harmonyctl}
+RESULTS_DIR=${HARMONY_RESULTS_DIR:-results}
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/harmonyd-smoke.XXXXXX")
+daemon_pid=""
+cleanup() {
+    if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+snapshot="$workdir/harmonyd.ckpt.json"
+
+"$HARMONYD" \
+    --listen 127.0.0.1:0 \
+    --snapshot "$snapshot" \
+    --synthetic-seed 33 \
+    --synthetic-span-hours 2 \
+    --scale 100 \
+    >"$workdir/harmonyd.out" 2>"$workdir/harmonyd.err" &
+daemon_pid=$!
+
+# The daemon prints exactly one banner line once it is accepting
+# connections: "harmonyd listening on HOST:PORT".
+addr=""
+for _ in $(seq 1 100); do
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "harmonyd exited before accepting connections" >&2
+        cat "$workdir/harmonyd.err" >&2
+        exit 1
+    fi
+    addr=$(sed -n 's/^harmonyd listening on //p' "$workdir/harmonyd.out" | head -n1)
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+    echo "timed out waiting for the harmonyd banner" >&2
+    cat "$workdir/harmonyd.err" >&2
+    exit 1
+fi
+echo "harmonyd up at $addr (pid $daemon_pid)"
+
+ctl() { "$HARMONYCTL" --addr "$addr" "$@"; }
+
+ctl submit-observations --count 120 --seed 77
+ctl tick
+ctl get-plan
+ctl snapshot
+mkdir -p "$RESULTS_DIR"
+ctl --output "$RESULTS_DIR/BENCH_harmonyd_smoke.json" status
+ctl shutdown
+
+# Graceful shutdown: the process must exit on its own, promptly.
+for _ in $(seq 1 100); do
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "harmonyd still running after shutdown verb" >&2
+    exit 1
+fi
+wait "$daemon_pid" || {
+    echo "harmonyd exited non-zero" >&2
+    exit 1
+}
+daemon_pid=""
+
+[[ -f "$snapshot" ]] || { echo "missing snapshot $snapshot" >&2; exit 1; }
+tmp_files=$(find "$workdir" -name '*.tmp' -print)
+if [[ -n "$tmp_files" ]]; then
+    echo "leftover temp snapshot files:" >&2
+    echo "$tmp_files" >&2
+    exit 1
+fi
+[[ -s "$RESULTS_DIR/BENCH_harmonyd_smoke.json" ]] || {
+    echo "missing $RESULTS_DIR/BENCH_harmonyd_smoke.json" >&2
+    exit 1
+}
+
+echo "harmonyd smoke test passed"
