@@ -26,6 +26,11 @@
 //! picks an interrupted run back up with bit-identical results, and
 //! `--stop-after <n>` exits deliberately after `n` variants (the hook
 //! the resume test uses to simulate an interruption).
+//!
+//! `--metrics` resets the global telemetry registry before the run and
+//! writes the post-run snapshot (per-stage control-loop timings, simplex
+//! pivot counters, forecast tier counts, simulator event tallies) to
+//! `results/BENCH_telemetry.json` via the atomic artifact writer.
 
 use std::fs::File;
 use std::io::BufReader;
@@ -50,7 +55,7 @@ fn usage() -> ! {
          [--catalog table2|google10] [--scale <divisor>] \
          [--format jsonl|google-csv] [--period-mins <f64>] \
          [--faults <scenario>] [--fault-seed <u64>] \
-         [--snapshot <path>] [--resume <path>] [--stop-after <n>]\n\
+         [--snapshot <path>] [--resume <path>] [--stop-after <n>] [--metrics]\n\
          fault scenarios: {}",
         SCENARIOS.join(", ")
     );
@@ -70,6 +75,7 @@ fn main() {
     let mut snapshot: Option<PathBuf> = None;
     let mut resume: Option<PathBuf> = None;
     let mut stop_after: Option<usize> = None;
+    let mut metrics = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -96,6 +102,7 @@ fn main() {
             "--stop-after" => {
                 stop_after = Some(grab("--stop-after").parse().unwrap_or_else(|_| usage()));
             }
+            "--metrics" => metrics = true,
             "--help" | "-h" => usage(),
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
             other => {
@@ -103,6 +110,11 @@ fn main() {
                 usage();
             }
         }
+    }
+    if metrics {
+        // Clean measurement window: only this run's instrumentation
+        // lands in the artifact, not counts from earlier activity.
+        harmony_telemetry::global().reset();
     }
     if let Some(resume_path) = resume {
         // The checkpoint records the full setup; workload flags on the
@@ -116,6 +128,9 @@ fn main() {
             exit(1);
         });
         fault_mode(run, snapshot.or(Some(resume_path)), stop_after);
+        if metrics {
+            write_metrics_artifact();
+        }
         return;
     }
     if let Some(scenario) = fault_scenario {
@@ -140,6 +155,9 @@ fn main() {
             exit(1);
         });
         fault_mode(run, snapshot, stop_after);
+        if metrics {
+            write_metrics_artifact();
+        }
         return;
     }
 
@@ -208,6 +226,99 @@ fn main() {
         })
         .collect();
     table(&["group", "placements", "immediate", "mean", "p50", "p90", "p99", "max"], &rows);
+
+    if metrics {
+        write_metrics_artifact();
+    }
+}
+
+/// Snapshots the global telemetry registry, prints a per-stage timing
+/// table plus the simplex pivot counters, and writes the full snapshot
+/// to `results/BENCH_telemetry.json` (atomic tmp+rename).
+fn write_metrics_artifact() {
+    use harmony_bench::json::{object, write_bench_json};
+    use serde::value::Value;
+
+    let snapshot = harmony_telemetry::global().snapshot();
+
+    section("telemetry: control-loop stage timings");
+    let stages = [
+        ("classify", "pipeline.classify_seconds"),
+        ("forecast", "pipeline.forecast_seconds"),
+        ("sizing", "pipeline.sizing_seconds"),
+        ("lp", "pipeline.lp_seconds"),
+        ("rounding", "pipeline.rounding_seconds"),
+        ("whole period", "pipeline.period_seconds"),
+    ];
+    let rows: Vec<Vec<String>> = stages
+        .iter()
+        .map(|&(label, name)| match snapshot.histogram(name) {
+            Some(h) => vec![
+                label.to_owned(),
+                h.count.to_string(),
+                fmt(h.sum),
+                fmt(h.mean()),
+                fmt(h.quantile(0.50)),
+                fmt(h.quantile(0.99)),
+            ],
+            None => {
+                let mut row = vec![label.to_owned()];
+                row.resize(6, "-".to_owned());
+                row
+            }
+        })
+        .collect();
+    table(&["stage", "periods", "total s", "mean s", "p50 s", "p99 s"], &rows);
+    println!(
+        "simplex: {} solves, {} pivots ({} in phase 1), {} failures",
+        snapshot.counter("lp.solves"),
+        snapshot.counter("lp.pivots"),
+        snapshot.counter("lp.phase1_pivots"),
+        snapshot.counter("lp.failures"),
+    );
+
+    let counters = Value::Object(
+        snapshot
+            .counters
+            .iter()
+            .map(|(name, v)| (name.clone(), Value::Number(*v as f64)))
+            .collect(),
+    );
+    let gauges = Value::Object(
+        snapshot
+            .gauges
+            .iter()
+            .map(|(name, v)| (name.clone(), Value::Number(*v)))
+            .collect(),
+    );
+    let histograms = Value::Array(
+        snapshot
+            .histograms
+            .iter()
+            .map(|h| {
+                object(&[
+                    ("name", Value::String(h.name.clone())),
+                    ("count", Value::Number(h.count as f64)),
+                    ("sum_seconds", Value::Number(h.sum)),
+                    ("mean_seconds", Value::Number(h.mean())),
+                    ("p50_seconds", Value::Number(h.quantile(0.50))),
+                    ("p99_seconds", Value::Number(h.quantile(0.99))),
+                ])
+            })
+            .collect(),
+    );
+    let payload = object(&[
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+    ]);
+    match write_bench_json("telemetry", &payload) {
+        Ok(path) => eprintln!("telemetry snapshot written to {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write telemetry artifact: {e}");
+            exit(1);
+        }
+    }
 }
 
 fn load_trace(path: &str, format: &str) -> Trace {

@@ -228,7 +228,14 @@ pub fn solve_cbs_relax(
         max_pivots: Some(config.max_lp_pivots),
         ..Default::default()
     };
-    let solution = p.solve_with(&options).map_err(HarmonyError::Optimization)?;
+    let solution = p.solve_with(&options).map_err(|e| {
+        harmony_telemetry::global().counter("lp.failures").inc();
+        HarmonyError::Optimization(e)
+    })?;
+    let registry = harmony_telemetry::global();
+    registry.counter("lp.solves").inc();
+    registry.counter("lp.pivots").add(solution.pivots() as u64);
+    registry.counter("lp.phase1_pivots").add(solution.phase1_pivots() as u64);
 
     let z_out: Vec<Vec<f64>> = z
         .iter()

@@ -16,6 +16,7 @@ use harmony_model::{EnergyPrice, MachineTypeId, Resources, SimDuration, TaskClas
 use harmony_sim::{
     ControlDecision, Controller, DegradationEvent, DegradationKind, Observation,
 };
+use harmony_telemetry as telemetry;
 
 use crate::cbs::{solve_cbs_relax, CbsInputs, CbsPlan};
 use crate::classify::TaskClassifier;
@@ -129,8 +130,18 @@ impl HarmonyCore {
         &mut self,
         observation: &Observation<'_>,
     ) -> Result<(CbsPlan, IntegerPlan), HarmonyError> {
+        let registry = telemetry::global();
+        registry.counter("pipeline.ticks").inc();
+        // The guard records the whole period even when a stage errors out.
+        let _period_span = registry.timer("pipeline.period_seconds");
+
+        let span = registry.timer("pipeline.classify_seconds");
         self.monitor.record_period(observation.arrived_last_period, &self.classifier);
+        drop(span);
+
+        let span = registry.timer("pipeline.forecast_seconds");
         let tiered = self.monitor.forecast_tiered(self.config.horizon);
+        drop(span);
         for (n, class_fc) in tiered.iter().enumerate() {
             if let Some(reason) = &class_fc.degraded {
                 self.degradations.push(DegradationEvent {
@@ -142,6 +153,7 @@ impl HarmonyCore {
         }
         let rates: Vec<Vec<f64>> = tiered.into_iter().map(|c| c.rates).collect();
 
+        let sizing_span = registry.timer("pipeline.sizing_seconds");
         // Pending backlog per class: must be served *now*, on top of the
         // predicted new arrivals.
         let mut backlog = vec![0.0f64; self.manager.n_classes()];
@@ -182,6 +194,7 @@ impl HarmonyCore {
                 row[n] = containers + occupied[n] + backlog[n];
             }
         }
+        drop(sizing_span);
 
         let container_sizes: Vec<harmony_model::Resources> = (0..self.manager.n_classes())
             .map(|n| self.manager.container_size(harmony_model::TaskClassId(n)))
@@ -198,6 +211,7 @@ impl HarmonyCore {
             .into_iter()
             .map(|n| n as f64)
             .collect();
+        let lp_span = registry.timer("pipeline.lp_seconds");
         let plan = solve_cbs_relax(
             &CbsInputs {
                 catalog: observation.cluster.catalog(),
@@ -210,7 +224,10 @@ impl HarmonyCore {
             },
             &self.config,
         )?;
-        let integer = round_first_step(&plan, observation.cluster.catalog(), &container_sizes);
+        drop(lp_span);
+        let integer = registry.time("pipeline.rounding_seconds", || {
+            round_first_step(&plan, observation.cluster.catalog(), &container_sizes)
+        });
         Ok((plan, integer))
     }
 
@@ -227,6 +244,7 @@ impl HarmonyCore {
             }
             Err(err) => {
                 self.errors += 1;
+                telemetry::global().counter("pipeline.errors").inc();
                 if let Some(prev) = self.last_plan.clone() {
                     self.degrade(observation, DegradationKind::LpReusedPreviousPlan, &err);
                     (ControlDecision::targets(prev.machines.clone()), Some(prev))

@@ -4,6 +4,7 @@
 use harmony_forecast::{Arima, Forecaster, MovingAverage};
 use harmony_model::{SimDuration, Task, TaskClassId};
 use harmony_sim::ForecastTier;
+use harmony_telemetry as telemetry;
 
 use crate::classify::TaskClassifier;
 use crate::HarmonyError;
@@ -66,13 +67,28 @@ impl ArrivalMonitor {
 
     /// Records one control period's arrivals, labeling each task with
     /// its initial (short) class.
-    pub fn record_period(&mut self, arrived: &[Task], classifier: &TaskClassifier) {
+    ///
+    /// Tasks whose label falls outside the monitor's class range (a
+    /// stale or mismatched classifier) are **not** silently ignored:
+    /// they are excluded from the rate history, counted into the
+    /// `monitor.dropped_arrivals` telemetry counter, logged, and the
+    /// number dropped this period is returned so callers can react.
+    pub fn record_period(&mut self, arrived: &[Task], classifier: &TaskClassifier) -> usize {
         let mut counts = vec![0usize; self.history.len()];
+        let mut dropped = 0usize;
         for task in arrived {
             let label = classifier.initial_label(task);
-            if let Some(c) = counts.get_mut(label.0) {
-                *c += 1;
+            match counts.get_mut(label.0) {
+                Some(c) => *c += 1,
+                None => dropped += 1,
             }
+        }
+        if dropped > 0 {
+            telemetry::global().counter("monitor.dropped_arrivals").add(dropped as u64);
+            eprintln!(
+                "harmony: monitor dropped {dropped} arrival(s) with out-of-range \
+                 class labels (classifier has more classes than the monitor?)"
+            );
         }
         let secs = self.period.as_secs();
         for (class, count) in counts.into_iter().enumerate() {
@@ -83,6 +99,7 @@ impl ArrivalMonitor {
                 h.drain(..len - self.history_len);
             }
         }
+        dropped
     }
 
     /// The recorded rate history (tasks/second) of one class.
@@ -176,7 +193,7 @@ impl ArrivalMonitor {
     /// corrupted (non-finite) degrades to zero-rate last-observation
     /// output rather than poisoning the LP.
     pub fn forecast_tiered(&self, horizon: usize) -> Vec<ClassForecast> {
-        self.history
+        let forecasts: Vec<ClassForecast> = self.history
             .iter()
             .map(|h| {
                 if h.is_empty() {
@@ -231,7 +248,36 @@ impl ArrivalMonitor {
                     degraded,
                 }
             })
-            .collect()
+            .collect();
+        record_tier_counts(&forecasts);
+        forecasts
+    }
+}
+
+/// Tallies which ladder rung each class's forecast ran at (one local
+/// pass, then a single registry update per tier used).
+fn record_tier_counts(forecasts: &[ClassForecast]) {
+    let (mut arima, mut moving_average, mut last_observation, mut degraded) = (0u64, 0, 0, 0);
+    for class in forecasts {
+        match class.tier {
+            ForecastTier::Arima => arima += 1,
+            ForecastTier::MovingAverage => moving_average += 1,
+            ForecastTier::LastObservation => last_observation += 1,
+        }
+        if class.degraded.is_some() {
+            degraded += 1;
+        }
+    }
+    let registry = telemetry::global();
+    for (name, n) in [
+        ("forecast.tier.arima", arima),
+        ("forecast.tier.moving_average", moving_average),
+        ("forecast.tier.last_observation", last_observation),
+        ("forecast.degraded", degraded),
+    ] {
+        if n > 0 {
+            registry.counter(name).add(n);
+        }
     }
 }
 
@@ -289,6 +335,37 @@ mod tests {
             .map(|c| monitor.history(TaskClassId(c)).iter().sum::<f64>() * period.as_secs())
             .sum();
         assert!((total - trace.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_of_range_labels_are_counted_not_silently_dropped() {
+        // Regression: a monitor built for fewer classes than the
+        // classifier produces (a stale classifier after refit) used to
+        // swallow those arrivals without a trace, silently zeroing the
+        // affected classes' rates.
+        let (classifier, trace) = setup();
+        assert!(classifier.classes().len() > 1, "test needs multiple classes");
+        let period = SimDuration::from_mins(10.0);
+        let mut monitor = ArrivalMonitor::new(1, period, 100, 24);
+        let tasks = &trace.tasks()[..200];
+        let before = harmony_telemetry::global()
+            .snapshot()
+            .counter("monitor.dropped_arrivals");
+        let dropped = monitor.record_period(tasks, &classifier);
+        assert!(dropped > 0, "seed trace must spread over >1 class");
+        // The drop surfaces in the telemetry snapshot (delta-based: the
+        // global registry is shared across parallel tests).
+        let after = harmony_telemetry::global()
+            .snapshot()
+            .counter("monitor.dropped_arrivals");
+        assert_eq!(after - before, dropped as u64);
+        // Only in-range arrivals reach the rate history.
+        let recorded = monitor.history(TaskClassId(0)).iter().sum::<f64>() * period.as_secs();
+        assert!((recorded - (tasks.len() - dropped) as f64).abs() < 1e-6);
+
+        // A monitor sized to the classifier drops nothing.
+        let mut full = ArrivalMonitor::new(classifier.classes().len(), period, 100, 24);
+        assert_eq!(full.record_period(tasks, &classifier), 0);
     }
 
     #[test]

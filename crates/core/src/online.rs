@@ -193,8 +193,13 @@ impl OnlinePipeline {
     /// lacking one, holds at zero capacity
     /// ([`DegradationKind::ControlHold`]), recording the event either way.
     pub fn tick(&mut self, arrived: &[Task], pending: &[Task]) -> IntegerPlan {
+        let registry = harmony_telemetry::global();
+        registry.counter("pipeline.ticks").inc();
+        let _period_span = registry.timer("pipeline.period_seconds");
         let now = self.now();
+        let span = registry.timer("pipeline.classify_seconds");
         self.monitor.record_period(arrived, &self.classifier);
+        drop(span);
         let plan = match self.step(now, pending) {
             Ok(plan) => {
                 self.last_plan = Some(plan.clone());
@@ -202,6 +207,7 @@ impl OnlinePipeline {
             }
             Err(err) => {
                 self.errors += 1;
+                registry.counter("pipeline.errors").inc();
                 if let Some(prev) = self.last_plan.clone() {
                     self.degrade(now, DegradationKind::LpReusedPreviousPlan, &err);
                     prev
@@ -225,8 +231,11 @@ impl OnlinePipeline {
     /// The full pipeline for one period (fallible half of
     /// [`OnlinePipeline::tick`]).
     fn step(&mut self, now: SimTime, pending: &[Task]) -> Result<IntegerPlan, HarmonyError> {
+        let registry = harmony_telemetry::global();
         let n_classes = self.n_classes();
+        let span = registry.timer("pipeline.forecast_seconds");
         let tiered = self.monitor.forecast_tiered(self.config.horizon);
+        drop(span);
         for (n, class_fc) in tiered.iter().enumerate() {
             if let Some(reason) = &class_fc.degraded {
                 self.degradations.push(DegradationEvent {
@@ -237,6 +246,7 @@ impl OnlinePipeline {
             }
         }
 
+        let sizing_span = registry.timer("pipeline.sizing_seconds");
         let mut backlog = vec![0.0f64; n_classes];
         for task in pending {
             backlog[self.classifier.initial_label(task).0] += 1.0;
@@ -251,6 +261,7 @@ impl OnlinePipeline {
                 row[n] = containers + backlog[n];
             }
         }
+        drop(sizing_span);
 
         let container_sizes: Vec<Resources> =
             (0..n_classes).map(|n| self.manager.container_size(TaskClassId(n))).collect();
@@ -266,6 +277,7 @@ impl OnlinePipeline {
             Some(plan) => plan.machines.iter().map(|&m| m as f64).collect(),
             None => vec![0.0; self.catalog.len()],
         };
+        let lp_span = registry.timer("pipeline.lp_seconds");
         let plan = solve_cbs_relax(
             &CbsInputs {
                 catalog: &self.catalog,
@@ -278,7 +290,10 @@ impl OnlinePipeline {
             },
             &self.config,
         )?;
-        Ok(round_first_step(&plan, &self.catalog, &container_sizes))
+        drop(lp_span);
+        Ok(registry.time("pipeline.rounding_seconds", || {
+            round_first_step(&plan, &self.catalog, &container_sizes)
+        }))
     }
 
     /// Snapshots the pipeline's mutable state for a checkpoint.

@@ -80,7 +80,12 @@ pub fn difference_tails(series: &[f64], d: usize) -> Result<Vec<f64>, ForecastEr
     let mut tails = Vec::with_capacity(d);
     let mut current = series.to_vec();
     for _ in 0..d {
-        tails.push(*current.last().expect("difference() checked length"));
+        // The tail is read before difference() runs, so an empty input
+        // must be rejected here rather than unwrapped away.
+        let &tail = current
+            .last()
+            .ok_or(ForecastError::SeriesTooShort { needed: d + 1, got: series.len() })?;
+        tails.push(tail);
         current = difference(&current, 1)?;
     }
     Ok(tails)
@@ -212,6 +217,17 @@ mod tests {
             difference(&[1.0], 1),
             Err(ForecastError::SeriesTooShort { needed: 2, got: 1 })
         ));
+    }
+
+    #[test]
+    fn difference_tails_rejects_empty_series() {
+        // Used to panic: the tail is read before difference() gets a
+        // chance to reject the empty input.
+        assert!(matches!(
+            difference_tails(&[], 1),
+            Err(ForecastError::SeriesTooShort { needed: 2, got: 0 })
+        ));
+        assert_eq!(difference_tails(&[], 0).unwrap(), Vec::<f64>::new());
     }
 
     #[test]

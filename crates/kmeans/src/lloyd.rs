@@ -89,6 +89,9 @@ impl KMeans {
                 best = Some(model);
             }
         }
+        // Invariant: `restarts` is clamped to >= 1 by the builder, so
+        // the loop above always produced at least one model.
+        #[allow(clippy::expect_used)]
         Ok(best.expect("at least one restart ran"))
     }
 

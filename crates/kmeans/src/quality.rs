@@ -170,7 +170,9 @@ impl ElbowReport {
 /// # Errors
 ///
 /// Propagates clustering errors; additionally returns
-/// [`KMeansError::ZeroK`] if `k_min == 0` or `k_min > k_max`.
+/// [`KMeansError::ZeroK`] if `k_min == 0` or `k_min > k_max`, and
+/// [`KMeansError::TooFewPoints`] if the dataset has fewer than `k_min`
+/// rows (no candidate `k` is feasible).
 ///
 /// # Examples
 ///
@@ -199,6 +201,12 @@ pub fn elbow_k(
         return Err(KMeansError::ZeroK);
     }
     let k_max = k_max.min(data.len());
+    if k_min > k_max {
+        // Fewer points than k_min: no candidate k is feasible. Without
+        // this guard the candidate loop below runs zero times and the
+        // chosen_k lookup panics on an empty list.
+        return Err(KMeansError::TooFewPoints { k: k_min, points: data.len() });
+    }
     let mut ks = Vec::new();
     let mut inertias = Vec::new();
     for k in k_min..=k_max {
@@ -209,8 +217,9 @@ pub fn elbow_k(
     // Choose the first k whose improvement over the *next* k is below the
     // threshold; default to k_max when every step is still a significant
     // gain.
-    let mut report = ElbowReport { ks, inertias, chosen_k: 0 };
-    report.chosen_k = *report.ks.last().expect("at least one candidate k");
+    // `ks` holds k_min..=k_max (non-empty after the guard above), so
+    // k_max is its last element.
+    let mut report = ElbowReport { ks, inertias, chosen_k: k_max };
     for (i, gain) in report.relative_gains().into_iter().enumerate() {
         if gain < min_gain {
             report.chosen_k = report.ks[i];
@@ -320,5 +329,16 @@ mod tests {
         let data = Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]]).unwrap();
         let report = elbow_k(&data, 1, 10, 2.0, 0).unwrap();
         assert_eq!(*report.ks.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn elbow_errors_when_dataset_smaller_than_k_min() {
+        // Used to panic: capping k_max at the dataset size left an empty
+        // candidate range, and choosing k from it unwrapped a None.
+        let data = Dataset::from_rows(vec![vec![0.0], vec![1.0]]).unwrap();
+        assert!(matches!(
+            elbow_k(&data, 3, 10, 0.1, 0),
+            Err(KMeansError::TooFewPoints { k: 3, points: 2 })
+        ));
     }
 }

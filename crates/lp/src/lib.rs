@@ -16,6 +16,11 @@
 //! enough for the instance sizes HARMONY solves each control period
 //! (tens of machine types × tens of task classes × a short MPC horizon).
 //!
+//! A successful solve always yields an optimal [`Solution`]; every
+//! failure outcome — infeasible, unbounded, pivot budget exhausted,
+//! malformed model — is an [`LpError`]. There is no status enum to
+//! inspect on the success path.
+//!
 //! # Examples
 //!
 //! Maximize `3x + 2y` subject to `x + y ≤ 4`, `x ≤ 2`:
@@ -46,4 +51,4 @@ mod simplex;
 pub use error::LpError;
 pub use piecewise::PiecewiseLinear;
 pub use problem::{Constraint, Problem, Relation, Sense, VarId};
-pub use simplex::{SimplexOptions, Solution, Status};
+pub use simplex::{SimplexOptions, Solution};

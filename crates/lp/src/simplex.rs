@@ -38,28 +38,22 @@ impl Default for SimplexOptions {
     }
 }
 
-/// Solver outcome classification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Status {
-    /// An optimal basic solution was found.
-    Optimal,
-}
-
 /// An optimal solution to a [`Problem`].
+///
+/// A `Solution` always represents an optimal basic point: every failure
+/// outcome (infeasible, unbounded, pivot budget exhausted, malformed
+/// model) surfaces as an [`LpError`] from the solve call instead. There
+/// is deliberately no `status` field — an enum with a single reachable
+/// variant would be a misleading always-true API.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Solution {
-    status: Status,
     objective: f64,
     values: Vec<f64>,
+    pivots: usize,
+    phase1_pivots: usize,
 }
 
 impl Solution {
-    /// The solver status (always [`Status::Optimal`]; failures surface as
-    /// [`LpError`]s instead).
-    pub fn status(&self) -> Status {
-        self.status
-    }
-
     /// The objective value in the problem's own sense.
     pub fn objective(&self) -> f64 {
         self.objective
@@ -77,6 +71,17 @@ impl Solution {
     /// All variable values, indexed by [`VarId::index`].
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// Total simplex pivots across both phases.
+    pub fn pivots(&self) -> usize {
+        self.pivots
+    }
+
+    /// Pivots spent in phase 1 (finding a basic feasible point); zero
+    /// when every row had a ready slack basis.
+    pub fn phase1_pivots(&self) -> usize {
+        self.phase1_pivots
     }
 }
 
@@ -250,6 +255,8 @@ pub(crate) fn solve_problem(p: &Problem, options: &SimplexOptions) -> Result<Sol
         }
     }
 
+    let phase1_pivots = tableau.pivots;
+
     // Phase 2: minimize the (sign-adjusted) user objective over
     // structural+slack columns only.
     let sign = match p.sense {
@@ -280,7 +287,7 @@ pub(crate) fn solve_problem(p: &Problem, options: &SimplexOptions) -> Result<Sol
         };
     }
     let objective: f64 = p.vars.iter().enumerate().map(|(v, d)| d.obj * values[v]).sum();
-    Ok(Solution { status: Status::Optimal, objective, values })
+    Ok(Solution { objective, values, pivots: tableau.pivots, phase1_pivots })
 }
 
 struct Tableau {
@@ -428,7 +435,8 @@ mod tests {
         assert_near(s.objective(), 36.0);
         assert_near(s.value(x), 2.0);
         assert_near(s.value(y), 6.0);
-        assert_eq!(s.status(), Status::Optimal);
+        assert!(s.pivots() > 0, "optimum is off the origin, so pivots happened");
+        assert_eq!(s.phase1_pivots(), 0, "all-slack basis needs no phase 1");
     }
 
     #[test]
@@ -445,6 +453,8 @@ mod tests {
         assert_near(s.objective(), 23.0);
         assert_near(s.value(x), 7.0);
         assert_near(s.value(y), 3.0);
+        assert!(s.phase1_pivots() > 0, "≥ rows force artificials into phase 1");
+        assert!(s.pivots() >= s.phase1_pivots());
     }
 
     #[test]

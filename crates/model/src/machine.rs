@@ -123,6 +123,9 @@ impl MachineCatalog {
     /// the substitution note. The ordering they induce reproduces Fig. 9:
     /// the R210 draws the least at every load it can serve, the DL585 G7
     /// the most.
+    // Invariant: the literal catalog below is non-empty with positive
+    // counts and capacities, so construction cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn table2() -> Self {
         // Largest machine: HP DL585 G7 = 4 sockets x 12 cores, 64 GB.
         const MAX_CORES: f64 = 48.0;
@@ -158,6 +161,9 @@ impl MachineCatalog {
     /// A ten-platform catalog mirroring the population skew of the Google
     /// cluster's machine mix (Fig. 5): two dominant platforms, two
     /// mid-size populations, six rare configurations.
+    // Invariant: the literal catalog below is non-empty with positive
+    // counts and capacities, so construction cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn google_ten_types() -> Self {
         let spec = |name: &str, pfid: u32, cpu: f64, mem: f64, count: usize| MachineType {
             id: MachineTypeId(0),
@@ -235,6 +241,9 @@ impl MachineCatalog {
     /// # Panics
     ///
     /// Panics if `divisor == 0`.
+    // Invariant: `self` was validated at construction and div_ceil
+    // keeps every count positive, so re-validation cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn scaled(&self, divisor: usize) -> MachineCatalog {
         assert!(divisor > 0, "divisor must be positive");
         let types = self

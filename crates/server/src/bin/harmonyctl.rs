@@ -26,6 +26,7 @@ VERBS:
   get-plan                 fetch the current integer provisioning plan
   get-forecast [--horizon N] per-class arrival forecasts
   status                   daemon status summary
+  metrics                  live telemetry snapshot (counters, gauges, timings)
   tick                     force one control period now
   drain-events             drain accumulated degradation events
   snapshot                 force a checkpoint to the daemon's snapshot path
@@ -99,6 +100,7 @@ fn run() -> Result<bool, String> {
         "get-plan" => Request::GetPlan,
         "get-forecast" => Request::GetForecast { horizon },
         "status" => Request::Status,
+        "metrics" => Request::Metrics,
         "tick" => Request::Tick,
         "drain-events" => Request::DrainEvents,
         "snapshot" => Request::Snapshot,

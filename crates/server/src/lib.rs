@@ -26,6 +26,6 @@ pub mod service;
 pub mod state;
 
 pub use client::Client;
-pub use protocol::{Request, Response, StatusBody, MAX_LINE_BYTES};
+pub use protocol::{HistogramBody, MetricsBody, Request, Response, StatusBody, MAX_LINE_BYTES};
 pub use service::Service;
 pub use state::{Checkpoint, CatalogSpec, ClassifierSource, CHECKPOINT_VERSION};

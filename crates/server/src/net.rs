@@ -16,6 +16,8 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
 use std::time::Duration;
 
+use harmony_telemetry as telemetry;
+
 use crate::protocol::{read_line, write_line, Request, Response};
 use crate::service::Service;
 
@@ -147,6 +149,7 @@ fn handle_connection(
             Ok(Some(line)) => line,
             Ok(None) => break,
             Err(e) => {
+                telemetry::global().counter("server.errors").inc();
                 let _ = write_line(
                     &mut writer,
                     &Response::Error { message: format!("bad frame: {e}") },
@@ -160,6 +163,7 @@ fn handle_connection(
         let request: Request = match serde_json::from_str(&line) {
             Ok(request) => request,
             Err(e) => {
+                telemetry::global().counter("server.errors").inc();
                 let response = Response::Error { message: format!("bad request: {e}") };
                 if write_line(&mut writer, &response).is_err() {
                     break;
@@ -167,8 +171,18 @@ fn handle_connection(
                 continue;
             }
         };
+        // Atomic counters: recorded here, before the service lock, so
+        // concurrent connections never serialize on accounting.
+        let metrics = telemetry::global();
+        metrics.counter("server.requests").inc();
+        metrics.counter(&format!("server.requests.{}", request.verb())).inc();
         let is_shutdown = matches!(request, Request::Shutdown);
+        let span = metrics.timer("server.request_seconds");
         let response = lock_write(service).handle(request);
+        span.stop();
+        if matches!(response, Response::Error { .. }) {
+            metrics.counter("server.errors").inc();
+        }
         if write_line(&mut writer, &response).is_err() {
             break;
         }

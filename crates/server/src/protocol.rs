@@ -10,12 +10,13 @@
 //! The grammar (see DESIGN.md §8 for the prose version):
 //!
 //! ```text
-//! request  = submit | get-plan | get-forecast | status | tick
-//!          | drain-events | snapshot | shutdown
+//! request  = submit | get-plan | get-forecast | status | metrics
+//!          | tick | drain-events | snapshot | shutdown
 //! submit   = {"verb":"submit-observations","tasks":[Task...]}
 //! get-plan = {"verb":"get-plan"}
 //! forecast = {"verb":"get-forecast","horizon":N?}     (null/absent → config horizon)
 //! status   = {"verb":"status"}
+//! metrics  = {"verb":"metrics"}
 //! tick     = {"verb":"tick"}
 //! drain    = {"verb":"drain-events"}
 //! snapshot = {"verb":"snapshot"}
@@ -59,6 +60,9 @@ pub enum Request {
     },
     /// Daemon status counters.
     Status,
+    /// A snapshot of the live telemetry registry (counters, gauges,
+    /// stage-timing histograms).
+    Metrics,
     /// Run one control tick now (also available on the daemon's
     /// background ticker).
     Tick,
@@ -79,6 +83,7 @@ impl Request {
             Request::GetPlan => "get-plan",
             Request::GetForecast { .. } => "get-forecast",
             Request::Status => "status",
+            Request::Metrics => "metrics",
             Request::Tick => "tick",
             Request::DrainEvents => "drain-events",
             Request::Snapshot => "snapshot",
@@ -119,6 +124,7 @@ impl Deserialize for Request {
                 },
             }),
             "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
             "tick" => Ok(Request::Tick),
             "drain-events" => Ok(Request::DrainEvents),
             "snapshot" => Ok(Request::Snapshot),
@@ -191,6 +197,135 @@ impl Deserialize for StatusBody {
     }
 }
 
+/// One histogram's wire form: raw bucket state plus derived summary
+/// stats (precomputed so dashboards need no bucket math).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramBody {
+    /// Metric name.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Estimated median (bucket upper bound).
+    pub p50: f64,
+    /// Estimated 99th percentile (bucket upper bound).
+    pub p99: f64,
+    /// Ascending bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl From<&harmony_telemetry::HistogramSnapshot> for HistogramBody {
+    fn from(h: &harmony_telemetry::HistogramSnapshot) -> Self {
+        HistogramBody {
+            name: h.name.clone(),
+            count: h.count,
+            sum: h.sum,
+            mean: h.mean(),
+            p50: h.quantile(0.5),
+            p99: h.quantile(0.99),
+            bounds: h.bounds.clone(),
+            buckets: h.buckets.clone(),
+        }
+    }
+}
+
+impl Serialize for HistogramBody {
+    fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("name".to_owned(), self.name.to_value());
+        map.insert("count".to_owned(), self.count.to_value());
+        map.insert("sum".to_owned(), self.sum.to_value());
+        map.insert("mean".to_owned(), self.mean.to_value());
+        map.insert("p50".to_owned(), self.p50.to_value());
+        map.insert("p99".to_owned(), self.p99.to_value());
+        map.insert("bounds".to_owned(), self.bounds.to_value());
+        map.insert("buckets".to_owned(), self.buckets.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for HistogramBody {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(HistogramBody {
+            name: String::from_value(v.field("name")?)?,
+            count: u64::from_value(v.field("count")?)?,
+            sum: f64::from_value(v.field("sum")?)?,
+            mean: f64::from_value(v.field("mean")?)?,
+            p50: f64::from_value(v.field("p50")?)?,
+            p99: f64::from_value(v.field("p99")?)?,
+            bounds: Vec::from_value(v.field("bounds")?)?,
+            buckets: Vec::from_value(v.field("buckets")?)?,
+        })
+    }
+}
+
+/// The `metrics` response body: a point-in-time view of the daemon's
+/// telemetry registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsBody {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states, ordered by name.
+    pub histograms: Vec<HistogramBody>,
+}
+
+impl From<&harmony_telemetry::Snapshot> for MetricsBody {
+    fn from(snap: &harmony_telemetry::Snapshot) -> Self {
+        MetricsBody {
+            counters: snap.counters.clone(),
+            gauges: snap.gauges.clone(),
+            histograms: snap.histograms.iter().map(HistogramBody::from).collect(),
+        }
+    }
+}
+
+impl Serialize for MetricsBody {
+    fn to_value(&self) -> Value {
+        let counters: BTreeMap<String, Value> =
+            self.counters.iter().map(|(k, n)| (k.clone(), n.to_value())).collect();
+        let gauges: BTreeMap<String, Value> =
+            self.gauges.iter().map(|(k, g)| (k.clone(), g.to_value())).collect();
+        let mut map = BTreeMap::new();
+        map.insert("counters".to_owned(), Value::Object(counters));
+        map.insert("gauges".to_owned(), Value::Object(gauges));
+        map.insert("histograms".to_owned(), self.histograms.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for MetricsBody {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let object = |field: &str| -> Result<Vec<(String, Value)>, DeError> {
+            match v.field(field)? {
+                Value::Object(map) => {
+                    Ok(map.iter().map(|(k, val)| (k.clone(), val.clone())).collect())
+                }
+                _ => Err(DeError::new(format!("`{field}` must be an object"))),
+            }
+        };
+        let mut counters = BTreeMap::new();
+        for (k, val) in object("counters")? {
+            counters.insert(k, u64::from_value(&val)?);
+        }
+        let mut gauges = BTreeMap::new();
+        for (k, val) in object("gauges")? {
+            gauges.insert(k, f64::from_value(&val)?);
+        }
+        Ok(MetricsBody {
+            counters,
+            gauges,
+            histograms: Vec::from_value(v.field("histograms")?)?,
+        })
+    }
+}
+
 /// A daemon response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -222,6 +357,8 @@ pub enum Response {
     },
     /// Status counters.
     Status(StatusBody),
+    /// Live telemetry snapshot.
+    Metrics(MetricsBody),
     /// A control tick ran.
     Ticked {
         /// Ticks completed after this one.
@@ -254,6 +391,7 @@ impl Response {
             Response::Plan { .. } => Some("plan"),
             Response::Forecast { .. } => Some("forecast"),
             Response::Status(_) => Some("status"),
+            Response::Metrics(_) => Some("metrics"),
             Response::Ticked { .. } => Some("ticked"),
             Response::Events { .. } => Some("events"),
             Response::Snapshotted { .. } => Some("snapshotted"),
@@ -290,6 +428,11 @@ impl Serialize for Response {
                 map.insert("classes".to_owned(), classes.to_value());
             }
             Response::Status(body) => {
+                if let Value::Object(fields) = body.to_value() {
+                    map.extend(fields);
+                }
+            }
+            Response::Metrics(body) => {
                 if let Value::Object(fields) = body.to_value() {
                     map.extend(fields);
                 }
@@ -331,6 +474,7 @@ impl Deserialize for Response {
                 classes: Vec::from_value(v.field("classes")?)?,
             }),
             "status" => Ok(Response::Status(StatusBody::from_value(v)?)),
+            "metrics" => Ok(Response::Metrics(MetricsBody::from_value(v)?)),
             "ticked" => Ok(Response::Ticked {
                 tick: u64::from_value(v.field("tick")?)?,
                 plan: IntegerPlan::from_value(v.field("plan")?)?,
@@ -404,6 +548,7 @@ mod tests {
             Request::GetForecast { horizon: Some(6) },
             Request::GetForecast { horizon: None },
             Request::Status,
+            Request::Metrics,
             Request::Tick,
             Request::DrainEvents,
             Request::Snapshot,
@@ -438,6 +583,32 @@ mod tests {
         let long = vec![b'x'; MAX_LINE_BYTES + 10];
         let mut reader = io::BufReader::new(&long[..]);
         assert_eq!(read_line(&mut reader).unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn metrics_response_roundtrips() {
+        let registry = harmony_telemetry::Registry::new();
+        registry.counter("server.requests").add(7);
+        registry.gauge("sim.pending_peak").set(12.0);
+        registry.timer("pipeline.lp_seconds").stop();
+        let body = MetricsBody::from(&registry.snapshot());
+        assert_eq!(body.counters.get("server.requests"), Some(&7));
+        assert_eq!(body.histograms.len(), 1);
+        assert_eq!(body.histograms[0].count, 1);
+
+        let resp = Response::Metrics(body);
+        let text = serde_json::to_string(&resp).unwrap();
+        assert!(text.contains("\"type\":\"metrics\""), "{text}");
+        let back: Response = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn empty_metrics_body_roundtrips() {
+        let resp = Response::Metrics(MetricsBody::default());
+        let text = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, resp);
     }
 
     #[test]

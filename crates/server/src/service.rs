@@ -13,7 +13,7 @@ use harmony::classify::ClassifierConfig;
 use harmony::OnlinePipeline;
 use harmony_model::Task;
 
-use crate::protocol::{Request, Response, StatusBody};
+use crate::protocol::{MetricsBody, Request, Response, StatusBody};
 use crate::state::{self, CatalogSpec, Checkpoint, ClassifierSource, CHECKPOINT_VERSION};
 
 /// The daemon's shared state: pipeline + observation buffer +
@@ -185,6 +185,9 @@ impl Service {
                 }
             }
             Request::Status => Response::Status(self.status()),
+            Request::Metrics => Response::Metrics(MetricsBody::from(
+                &harmony_telemetry::global().snapshot(),
+            )),
             Request::Tick => {
                 let tick = self.tick_once();
                 self.autosave();
@@ -290,6 +293,30 @@ mod tests {
                 assert!(body.snapshot_path.is_none());
             }
             other => panic!("expected Status, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_returns_live_counters() {
+        let (mut service, tasks) = test_service(None);
+        service.handle(Request::SubmitObservations { tasks });
+        service.handle(Request::Tick);
+        match service.handle(Request::Metrics) {
+            Response::Metrics(body) => {
+                // The tick above drove the pipeline, so its counters and
+                // stage timings must be visible in the snapshot (≥, not
+                // ==: the registry is shared with parallel tests).
+                assert!(body.counters.get("pipeline.ticks").copied().unwrap_or(0) >= 1);
+                assert!(body
+                    .histograms
+                    .iter()
+                    .any(|h| h.name == "pipeline.period_seconds" && h.count >= 1));
+                assert!(body
+                    .histograms
+                    .iter()
+                    .any(|h| h.name == "pipeline.lp_seconds" && h.count >= 1));
+            }
+            other => panic!("expected Metrics, got {other:?}"),
         }
     }
 

@@ -7,7 +7,7 @@ use harmony::rounding::IntegerPlan;
 use harmony_model::{
     JobId, Priority, Resources, SchedulingClass, SimDuration, SimTime, Task, TaskId,
 };
-use harmony_server::protocol::{Request, Response, StatusBody};
+use harmony_server::protocol::{HistogramBody, MetricsBody, Request, Response, StatusBody};
 use harmony_sim::{DegradationEvent, DegradationKind, ForecastTier};
 use proptest::prelude::*;
 
@@ -120,7 +120,7 @@ fn arb_status() -> impl Strategy<Value = StatusBody> {
 
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0usize..8,
+        0usize..9,
         prop::collection::vec(arb_task(), 0..4),
         (any::<bool>(), 1usize..50),
     )
@@ -132,16 +132,58 @@ fn arb_request() -> impl Strategy<Value = Request> {
             4 => Request::Tick,
             5 => Request::DrainEvents,
             6 => Request::Snapshot,
+            7 => Request::Metrics,
             _ => Request::Shutdown,
+        })
+}
+
+fn arb_histogram() -> impl Strategy<Value = HistogramBody> {
+    (
+        (arb_string(), 0u64..1 << 32, 0.0f64..1e6),
+        (0.0f64..1e3, 0.0f64..1e3, 0.0f64..1e3),
+        1usize..6,
+    )
+        .prop_flat_map(|((name, count, sum), (mean, p50, p99), n_bounds)| {
+            (
+                prop::collection::vec(0.0f64..100.0, n_bounds),
+                prop::collection::vec(0u64..1 << 20, n_bounds + 1),
+            )
+                .prop_map(move |(mut bounds, buckets)| {
+                    bounds.sort_by(f64::total_cmp);
+                    HistogramBody {
+                        name: name.clone(),
+                        count,
+                        sum,
+                        mean,
+                        p50,
+                        p99,
+                        bounds,
+                        buckets,
+                    }
+                })
+        })
+}
+
+fn arb_metrics() -> impl Strategy<Value = MetricsBody> {
+    (
+        prop::collection::vec((arb_string(), 0u64..1 << 40), 0..5),
+        prop::collection::vec((arb_string(), 0.0f64..1e9), 0..5),
+        prop::collection::vec(arb_histogram(), 0..3),
+    )
+        .prop_map(|(counters, gauges, histograms)| MetricsBody {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms,
         })
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        (0usize..9, arb_string(), arb_status()),
+        (0usize..10, arb_string(), arb_status()),
         (0u64..1 << 32, any::<bool>(), arb_plan()),
         (1usize..50, prop::collection::vec(arb_forecast(), 0..4)),
         (prop::collection::vec(arb_degradation(), 0..4), 0u64..1 << 32),
+        arb_metrics(),
     )
         .prop_map(
             |(
@@ -149,6 +191,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 (tick, has_plan, plan),
                 (horizon, classes),
                 (events, bytes),
+                metrics,
             )| match pick {
                 0 => Response::Error { message: text },
                 1 => Response::Submitted { buffered: horizon, total: tick },
@@ -158,6 +201,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 5 => Response::Ticked { tick, plan },
                 6 => Response::Events { events },
                 7 => Response::Snapshotted { path: text, bytes },
+                8 => Response::Metrics(metrics),
                 _ => Response::ShuttingDown,
             },
         )

@@ -173,6 +173,9 @@ impl Placements {
         self.residents.entry(machine).or_default().push(idx);
     }
 
+    // Invariant: callers only remove tasks the engine placed earlier in
+    // the same run (host_of and residents are updated in lockstep).
+    #[allow(clippy::expect_used)]
     fn remove(&mut self, idx: usize) -> MachineId {
         let machine = self.host_of.remove(&idx).expect("task must be placed");
         if let Some(list) = self.residents.get_mut(&machine) {
@@ -356,6 +359,18 @@ impl<'t> Simulation<'t> {
         let mut energy_cost = 0.0f64;
         let mut last_cost_energy = 0.0f64;
 
+        // Event tallies for telemetry: plain locals on the hot loop,
+        // flushed to the global registry once at the end of the run so
+        // per-event overhead stays at an integer increment.
+        let mut event_counts = [0u64; 6];
+        const EV_ARRIVAL: usize = 0;
+        const EV_FINISH: usize = 1;
+        const EV_BOOT: usize = 2;
+        const EV_CONTROL: usize = 3;
+        const EV_SAMPLE: usize = 4;
+        const EV_FAULT: usize = 5;
+        let mut pending_peak = 0usize;
+
         // Pre-compute per-task schedulability against the catalog.
         let schedulable: Vec<bool> = tasks
             .iter()
@@ -367,6 +382,17 @@ impl<'t> Simulation<'t> {
             if now > end {
                 break;
             }
+            event_counts[match item.kind {
+                EventKind::Arrival(_) => EV_ARRIVAL,
+                EventKind::Finish { .. } => EV_FINISH,
+                EventKind::BootDone(_) => EV_BOOT,
+                EventKind::Control => EV_CONTROL,
+                EventKind::Sample => EV_SAMPLE,
+                EventKind::Fault(_) | EventKind::FaultRecover(_) | EventKind::SlowBootEnd => {
+                    EV_FAULT
+                }
+            }] += 1;
+            pending_peak = pending_peak.max(st.pending.len());
             match item.kind {
                 EventKind::Arrival(idx) => {
                     if !schedulable[idx] {
@@ -565,6 +591,22 @@ impl<'t> Simulation<'t> {
         st.cluster.accrue_all(end);
         let energy = st.cluster.total_energy_wh();
         energy_cost += self.config.price.cost_of_wh(energy - last_cost_energy, end);
+
+        pending_peak = pending_peak.max(st.pending.len());
+        let registry = harmony_telemetry::global();
+        for (name, n) in [
+            ("sim.events.arrival", event_counts[EV_ARRIVAL]),
+            ("sim.events.finish", event_counts[EV_FINISH]),
+            ("sim.events.boot", event_counts[EV_BOOT]),
+            ("sim.events.control", event_counts[EV_CONTROL]),
+            ("sim.events.sample", event_counts[EV_SAMPLE]),
+            ("sim.events.fault", event_counts[EV_FAULT]),
+        ] {
+            if n > 0 {
+                registry.counter(name).add(n);
+            }
+        }
+        registry.gauge("sim.pending_peak").set_max(pending_peak as f64);
 
         SimReport {
             delays_by_group: st.delays,

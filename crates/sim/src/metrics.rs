@@ -174,6 +174,37 @@ mod tests {
         let s = DelayStats::from_delays(&[]);
         assert_eq!(s.count, 0);
         assert_eq!(s.max, 0.0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p99, 0.0);
+        assert_eq!(s.immediate_fraction, 0.0);
+    }
+
+    #[test]
+    fn delay_stats_single_sample_is_every_quantile() {
+        let s = DelayStats::from_delays(&[7.5]);
+        assert_eq!(s.count, 1);
+        // With one sample, ceil(p·1) clamps to rank 1 for every p.
+        assert_eq!(s.p50, 7.5);
+        assert_eq!(s.p90, 7.5);
+        assert_eq!(s.p95, 7.5);
+        assert_eq!(s.p99, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.immediate_fraction, 0.0);
+    }
+
+    #[test]
+    fn delay_stats_even_length_p50_takes_lower_median() {
+        // n = 4: rank = ceil(0.5·4) = 2 → the lower of the two middle
+        // samples, not their midpoint. This pins the convention so a
+        // refactor to interpolation cannot slip in silently.
+        let s = DelayStats::from_delays(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.p50, 2.0);
+        // n = 2: rank = ceil(1.0) = 1 → the smaller sample.
+        let s = DelayStats::from_delays(&[10.0, 20.0]);
+        assert_eq!(s.p50, 10.0);
+        assert_eq!(s.p90, 20.0, "rank ceil(1.8)=2");
     }
 
     #[test]

@@ -106,6 +106,9 @@ impl TraceGenerator {
     }
 }
 
+// Invariant: every built-in TraceConfig ships non-empty mode lists; an
+// empty user-supplied list is a configuration bug worth a loud panic.
+#[allow(clippy::expect_used)]
 fn pick_mode<'m, R: Rng>(rng: &mut R, modes: &'m [SizeMode]) -> &'m SizeMode {
     let total: f64 = modes.iter().map(|m| m.weight).sum();
     let mut target = rng.gen::<f64>() * total;
@@ -142,11 +145,15 @@ fn sample_duration<R: Rng>(rng: &mut R, cfg: &DurationConfig) -> SimDuration {
     SimDuration::from_secs(secs)
 }
 
+// Invariant: PriorityGroup::level_range only yields in-range levels.
+#[allow(clippy::expect_used)]
 fn sample_priority<R: Rng>(rng: &mut R, group: PriorityGroup) -> Priority {
     let (lo, hi) = group.level_range();
     Priority::new(rng.gen_range(lo..=hi)).expect("group ranges are valid priorities")
 }
 
+// Invariant: every literal below is within SchedulingClass's 0..=3.
+#[allow(clippy::expect_used)]
 fn sample_sched_class<R: Rng>(rng: &mut R, group: PriorityGroup) -> SchedulingClass {
     // Scheduling class correlates with priority group (Section III):
     // batchy work dominates gratis, latency-sensitive classes dominate

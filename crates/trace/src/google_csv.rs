@@ -52,6 +52,10 @@ fn classify_event(code: u32) -> EventType {
 ///
 /// * [`TraceError::Io`] on read failures.
 /// * [`TraceError::Malformed`] for rows with missing/unparsable columns.
+// Invariant: priority and sched_class are clamped to their valid ranges
+// (`.min(11)` / `.min(3)`) when the SUBMIT row is parsed, so the
+// constructors at Task-build time cannot fail.
+#[allow(clippy::expect_used)]
 pub fn read_task_events<R: BufRead>(reader: R) -> Result<Trace, TraceError> {
     struct Open {
         submit_us: u64,

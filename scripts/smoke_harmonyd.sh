@@ -5,16 +5,20 @@
 # drives one scripted provisioning session end to end, and verifies a
 # clean shutdown:
 #
-#   submit-observations -> tick -> get-plan -> snapshot
+#   submit-observations -> tick -> get-plan -> snapshot -> metrics
 #     -> status (written to results/BENCH_harmonyd_smoke.json) -> shutdown
 #
 # Fails on any non-zero harmonyctl exit, a daemon that refuses to die,
 # or leftover *.tmp snapshot files (which would mean the atomic
-# tmp+rename checkpoint protocol was violated).
+# tmp+rename checkpoint protocol was violated). The metrics response
+# must be well-formed JSON carrying live request counters, and a
+# follow-up `replay --metrics` run must leave a parseable
+# results/BENCH_telemetry.json artifact.
 set -euo pipefail
 
 HARMONYD=${HARMONYD:-target/release/harmonyd}
 HARMONYCTL=${HARMONYCTL:-target/release/harmonyctl}
+REPLAY=${REPLAY:-target/release/replay}
 RESULTS_DIR=${HARMONY_RESULTS_DIR:-results}
 
 workdir=$(mktemp -d "${TMPDIR:-/tmp}/harmonyd-smoke.XXXXXX")
@@ -64,6 +68,28 @@ ctl submit-observations --count 120 --seed 77
 ctl tick
 ctl get-plan
 ctl snapshot
+
+# The metrics verb must answer well-formed JSON whose counters reflect
+# the requests this very session just made.
+metrics_json="$workdir/metrics.json"
+ctl --output "$metrics_json" metrics >/dev/null
+python3 - "$metrics_json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+if m.get("type") != "metrics" or m.get("ok") is not True:
+    sys.exit(f"malformed metrics response: {m}")
+counters = m.get("counters")
+if not isinstance(counters, dict):
+    sys.exit(f"metrics response has no counters object: {m}")
+# submit-observations, tick, get-plan, snapshot ran before this verb.
+if counters.get("server.requests", 0) < 4:
+    sys.exit(f"server.requests counter missing or too low: {counters}")
+if counters.get("server.requests.tick", 0) < 1:
+    sys.exit(f"per-verb request counter missing: {counters}")
+print("metrics verb OK:", counters.get("server.requests"), "requests served")
+PY
+
 mkdir -p "$RESULTS_DIR"
 ctl --output "$RESULTS_DIR/BENCH_harmonyd_smoke.json" status
 ctl shutdown
@@ -94,5 +120,21 @@ fi
     echo "missing $RESULTS_DIR/BENCH_harmonyd_smoke.json" >&2
     exit 1
 }
+
+# Offline telemetry artifact: a quick fault replay with --metrics must
+# leave a parseable snapshot with the per-stage pipeline timings.
+HARMONY_SCALE=quick "$REPLAY" --faults crash-storm --metrics >/dev/null
+python3 - "$RESULTS_DIR/BENCH_telemetry.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+names = {h["name"] for h in snap.get("histograms", [])}
+want = {"pipeline.lp_seconds", "pipeline.period_seconds"}
+if not want <= names:
+    sys.exit(f"telemetry artifact missing stage timings {want - names}")
+if snap.get("counters", {}).get("lp.pivots", 0) < 1:
+    sys.exit(f"telemetry artifact missing pivot counters: {snap.get('counters')}")
+print("telemetry artifact OK:", sorted(names))
+PY
 
 echo "harmonyd smoke test passed"
