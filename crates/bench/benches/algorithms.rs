@@ -98,5 +98,11 @@ fn bench_cbs_relax(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kmeans, bench_forecast, bench_queueing, bench_cbs_relax);
+criterion_group!(
+    benches,
+    bench_kmeans,
+    bench_forecast,
+    bench_queueing,
+    bench_cbs_relax
+);
 criterion_main!(benches);

@@ -16,7 +16,9 @@ fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
     group.sample_size(10);
     let trace = TraceGenerator::new(
-        TraceConfig::small().with_span(SimDuration::from_hours(1.0)).with_seed(4),
+        TraceConfig::small()
+            .with_span(SimDuration::from_hours(1.0))
+            .with_seed(4),
     )
     .generate();
     let catalog = MachineCatalog::table2().scaled(100);
@@ -33,9 +35,8 @@ fn bench_controller_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("controller");
     group.sample_size(10);
     let trace = TraceGenerator::new(TraceConfig::small().with_seed(4)).generate();
-    let classifier = Rc::new(
-        TaskClassifier::fit(trace.tasks(), &ClassifierConfig::default()).unwrap(),
-    );
+    let classifier =
+        Rc::new(TaskClassifier::fit(trace.tasks(), &ClassifierConfig::default()).unwrap());
     let config = HarmonyConfig {
         control_period: SimDuration::from_mins(10.0),
         horizon: 4,
@@ -48,12 +49,9 @@ fn bench_controller_step(c: &mut Criterion) {
         b.iter(|| {
             // Fresh controller per iteration: measures the full monitor →
             // forecast → containers → LP → rounding step.
-            let mut ctl = CbpController::new(
-                classifier.clone(),
-                config.clone(),
-                EnergyPrice::default(),
-            )
-            .unwrap();
+            let mut ctl =
+                CbpController::new(classifier.clone(), config.clone(), EnergyPrice::default())
+                    .unwrap();
             ctl.decide(&Observation {
                 now: SimTime::ZERO,
                 cluster: &cluster,

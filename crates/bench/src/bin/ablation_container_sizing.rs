@@ -15,8 +15,7 @@ use rand::SeedableRng;
 
 fn main() {
     let trace = analysis_trace(Scale::from_env());
-    let classifier =
-        TaskClassifier::fit(trace.tasks(), &ClassifierConfig::default()).expect("fit");
+    let classifier = TaskClassifier::fit(trace.tasks(), &ClassifierConfig::default()).expect("fit");
     // The most populous class drives the study.
     let class = classifier
         .classes()
@@ -63,7 +62,15 @@ fn main() {
         ]);
     }
     table(
-        &["epsilon", "Z", "c_cpu", "c_mem", "inflation", "containers/machine", "mc_violation_rate"],
+        &[
+            "epsilon",
+            "Z",
+            "c_cpu",
+            "c_mem",
+            "inflation",
+            "containers/machine",
+            "mc_violation_rate",
+        ],
         &rows,
     );
     println!(

@@ -16,8 +16,7 @@ fn main() {
         let mut config = base_config.clone();
         config.horizon = horizon;
         let report =
-            run_variant(&trace, &catalog, &config, &classifier_config, Variant::Cbp)
-                .expect("run");
+            run_variant(&trace, &catalog, &config, &classifier_config, Variant::Cbp).expect("run");
         rows.push(vec![
             horizon.to_string(),
             fmt(report.total_energy_wh / 1000.0),
@@ -26,7 +25,10 @@ fn main() {
             report.tasks_pending_at_end.to_string(),
         ]);
     }
-    table(&["W", "energy_kWh", "switches", "mean_delay_s", "pending_end"], &rows);
+    table(
+        &["W", "energy_kWh", "switches", "mean_delay_s", "pending_end"],
+        &rows,
+    );
 
     section("Ablation: switching-cost multiplier (CBP, W=4)");
     let mut rows = Vec::new();
@@ -56,5 +58,14 @@ fn main() {
             fmt(report.delay_stats_overall().mean),
         ]);
     }
-    table(&["q_multiplier", "energy_kWh", "switches", "switch_$", "mean_delay_s"], &rows);
+    table(
+        &[
+            "q_multiplier",
+            "energy_kWh",
+            "switches",
+            "switch_$",
+            "mean_delay_s",
+        ],
+        &rows,
+    );
 }

@@ -16,8 +16,7 @@ fn main() {
         let mut config = base_config.clone();
         config.omega = omega;
         let report =
-            run_variant(&trace, &catalog, &config, &classifier_config, Variant::Cbs)
-                .expect("run");
+            run_variant(&trace, &catalog, &config, &classifier_config, Variant::Cbs).expect("run");
         rows.push(vec![
             fmt(omega),
             fmt(report.total_energy_wh / 1000.0),
@@ -28,7 +27,14 @@ fn main() {
         ]);
     }
     table(
-        &["omega", "energy_kWh", "mean_active", "mean_delay_s", "p99_delay_s", "pending_end"],
+        &[
+            "omega",
+            "energy_kWh",
+            "mean_active",
+            "mean_delay_s",
+            "p99_delay_s",
+            "pending_end",
+        ],
         &rows,
     );
     println!(

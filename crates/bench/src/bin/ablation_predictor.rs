@@ -5,7 +5,9 @@
 //! HARMONY prediction module actually consumes.
 
 use harmony_bench::{analysis_trace, fmt, section, table, Scale};
-use harmony_forecast::{rolling_evaluate, Arima, Ewma, Forecaster, Holt, HoltWinters, MovingAverage, Naive};
+use harmony_forecast::{
+    rolling_evaluate, Arima, Ewma, Forecaster, Holt, HoltWinters, MovingAverage, Naive,
+};
 use harmony_model::{PriorityGroup, SimDuration};
 use harmony_trace::stats::arrival_rate_series;
 

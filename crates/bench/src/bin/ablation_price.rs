@@ -66,7 +66,16 @@ fn main() {
             fmt(report.delay_stats_overall().mean),
         ]);
     }
-    table(&["tariff", "energy_kWh", "energy_$", "mean_active", "mean_delay_s"], &rows);
+    table(
+        &[
+            "tariff",
+            "energy_kWh",
+            "energy_$",
+            "mean_active",
+            "mean_delay_s",
+        ],
+        &rows,
+    );
     println!(
         "\n(the horizon sees price steps coming: under steeper tariffs the \
          controller defers optional capacity to off-peak periods)"

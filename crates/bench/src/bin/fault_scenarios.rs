@@ -33,7 +33,10 @@ fn main() {
     for scenario in SCENARIOS {
         let plan = FaultPlan::scenario(scenario, seed_from_env(), trace.span())
             .expect("named scenario exists");
-        section(&format!("scenario: {scenario} ({} fault events)", plan.events().len()));
+        section(&format!(
+            "scenario: {scenario} ({} fault events)",
+            plan.events().len()
+        ));
         let mut rows = Vec::new();
         for variant in Variant::ALL {
             let report = run_variant_with_faults(
@@ -68,12 +71,18 @@ fn main() {
                     "total_dollars",
                     Value::Number(report.energy_cost_dollars + report.switch_cost_dollars),
                 ),
-                ("tasks_completed", Value::Number(report.tasks_completed as f64)),
+                (
+                    "tasks_completed",
+                    Value::Number(report.tasks_completed as f64),
+                ),
                 ("tasks_failed", Value::Number(report.tasks_failed as f64)),
                 ("prod_p95_s", Value::Number(prod.p95)),
                 ("others_p95_s", Value::Number(others.p95)),
                 ("faults", Value::Number(report.faults.len() as f64)),
-                ("degradations", Value::Number(report.degradations.len() as f64)),
+                (
+                    "degradations",
+                    Value::Number(report.degradations.len() as f64),
+                ),
             ]));
             rows.push(vec![
                 variant.name().to_owned(),

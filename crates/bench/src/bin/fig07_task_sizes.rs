@@ -14,23 +14,25 @@ fn main() {
     for group in PriorityGroup::ALL {
         let points = size_scatter(&trace, group, 200);
         section(&format!("Fig. 7 ({group}): task size scatter sample"));
-        let rows: Vec<Vec<String>> =
-            points.iter().map(|(c, m)| vec![fmt(*c), fmt(*m)]).collect();
+        let rows: Vec<Vec<String>> = points.iter().map(|(c, m)| vec![fmt(*c), fmt(*m)]).collect();
         table(&["cpu", "mem"], &rows);
     }
 
     section("Fig. 7 summary statistics");
     let mut rows = Vec::new();
     for group in PriorityGroup::ALL {
-        let sizes: Vec<Resources> =
-            trace.tasks_in_group(group).map(|t| t.demand).collect();
+        let sizes: Vec<Resources> = trace.tasks_in_group(group).map(|t| t.demand).collect();
         let max_cpu = sizes.iter().map(|r| r.cpu).fold(0.0, f64::max);
         let min_cpu = sizes.iter().map(|r| r.cpu).fold(f64::INFINITY, f64::min);
         // Pearson correlation between cpu and mem.
         let n = sizes.len() as f64;
         let mc = sizes.iter().map(|r| r.cpu).sum::<f64>() / n;
         let mm = sizes.iter().map(|r| r.mem).sum::<f64>() / n;
-        let cov = sizes.iter().map(|r| (r.cpu - mc) * (r.mem - mm)).sum::<f64>() / n;
+        let cov = sizes
+            .iter()
+            .map(|r| (r.cpu - mc) * (r.mem - mm))
+            .sum::<f64>()
+            / n;
         let sc = (sizes.iter().map(|r| (r.cpu - mc).powi(2)).sum::<f64>() / n).sqrt();
         let sm = (sizes.iter().map(|r| (r.mem - mm).powi(2)).sum::<f64>() / n).sqrt();
         let corr = cov / (sc * sm).max(1e-12);
@@ -49,7 +51,14 @@ fn main() {
         ]);
     }
     table(
-        &["group", "min_cpu", "max_cpu", "span_x", "cpu_mem_corr", "frac_at_dominant_mode"],
+        &[
+            "group",
+            "min_cpu",
+            "max_cpu",
+            "span_x",
+            "cpu_mem_corr",
+            "frac_at_dominant_mode",
+        ],
         &rows,
     );
 }

@@ -16,8 +16,7 @@ use harmony_model::PriorityGroup;
 
 fn main() {
     let trace = analysis_trace(Scale::from_env());
-    let classifier =
-        TaskClassifier::fit(trace.tasks(), &ClassifierConfig::default()).expect("fit");
+    let classifier = TaskClassifier::fit(trace.tasks(), &ClassifierConfig::default()).expect("fit");
 
     for group in PriorityGroup::ALL {
         section(&format!(

@@ -14,8 +14,7 @@ use harmony_model::{PriorityGroup, TaskClassId};
 fn main() {
     let trace = analysis_trace(Scale::from_env());
     let config = HarmonyConfig::default();
-    let classifier =
-        TaskClassifier::fit(trace.tasks(), &ClassifierConfig::default()).expect("fit");
+    let classifier = TaskClassifier::fit(trace.tasks(), &ClassifierConfig::default()).expect("fit");
     let manager = ContainerManager::new(&classifier, &config).expect("manager");
     let mut monitor = ArrivalMonitor::new(
         classifier.classes().len(),
@@ -44,7 +43,13 @@ fn main() {
         }
         chunk.push(*task);
     }
-    rows.extend(flush_period(&mut monitor, &classifier, &manager, &mut chunk, period_idx));
+    rows.extend(flush_period(
+        &mut monitor,
+        &classifier,
+        &manager,
+        &mut chunk,
+        period_idx,
+    ));
     table(&["period", "gratis", "other", "production", "total"], &rows);
 }
 

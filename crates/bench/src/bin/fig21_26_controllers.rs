@@ -65,7 +65,16 @@ fn main() {
         }
     }
     table(
-        &["group", "approach", "tasks", "immediate", "p50", "p90", "p99", "max"],
+        &[
+            "group",
+            "approach",
+            "tasks",
+            "immediate",
+            "p50",
+            "p90",
+            "p99",
+            "max",
+        ],
         &rows,
     );
 

@@ -44,8 +44,7 @@ use harmony_bench::checkpoint::{self, ReplayInputs, ResumableRun};
 use harmony_bench::{fmt, section, seed_from_env, table, Scale};
 use harmony_model::{MachineCatalog, PriorityGroup, SimDuration};
 use harmony_sim::{
-    DegradationKind, FaultRecordKind, FirstFit, SimReport, Simulation, SimulationConfig,
-    SCENARIOS,
+    DegradationKind, FaultRecordKind, FirstFit, SimReport, Simulation, SimulationConfig, SCENARIOS,
 };
 use harmony_trace::{google_csv, Trace};
 
@@ -79,10 +78,12 @@ fn main() {
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
-        let mut grab = |name: &str| it.next().unwrap_or_else(|| {
-            eprintln!("missing value for {name}");
-            usage()
-        });
+        let mut grab = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
         match arg.as_str() {
             "--controller" => controller = grab("--controller"),
             "--catalog" => catalog_name = grab("--catalog"),
@@ -191,11 +192,17 @@ fn main() {
                     usage();
                 }
             };
-            run_variant(&trace, &catalog, &config, &ClassifierConfig::default(), variant)
-                .unwrap_or_else(|e| {
-                    eprintln!("controller failed: {e}");
-                    exit(1);
-                })
+            run_variant(
+                &trace,
+                &catalog,
+                &config,
+                &ClassifierConfig::default(),
+                variant,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("controller failed: {e}");
+                exit(1);
+            })
         }
     };
 
@@ -204,9 +211,20 @@ fn main() {
     println!("tasks running at end: {}", report.tasks_running_at_end);
     println!("tasks pending at end: {}", report.tasks_pending_at_end);
     println!("tasks unschedulable:  {}", report.tasks_unschedulable);
-    println!("energy:               {} kWh (${})", fmt(report.total_energy_wh / 1000.0), fmt(report.energy_cost_dollars));
-    println!("machine switches:     {} (${})", report.switch_count, fmt(report.switch_cost_dollars));
-    println!("migrations/evictions: {} / {}", report.migrations, report.evictions);
+    println!(
+        "energy:               {} kWh (${})",
+        fmt(report.total_energy_wh / 1000.0),
+        fmt(report.energy_cost_dollars)
+    );
+    println!(
+        "machine switches:     {} (${})",
+        report.switch_count,
+        fmt(report.switch_cost_dollars)
+    );
+    println!(
+        "migrations/evictions: {} / {}",
+        report.migrations, report.evictions
+    );
 
     section("scheduling delay per priority group (seconds)");
     let rows: Vec<Vec<String>> = PriorityGroup::ALL
@@ -225,7 +243,19 @@ fn main() {
             ]
         })
         .collect();
-    table(&["group", "placements", "immediate", "mean", "p50", "p90", "p99", "max"], &rows);
+    table(
+        &[
+            "group",
+            "placements",
+            "immediate",
+            "mean",
+            "p50",
+            "p90",
+            "p99",
+            "max",
+        ],
+        &rows,
+    );
 
     if metrics {
         write_metrics_artifact();
@@ -268,7 +298,10 @@ fn write_metrics_artifact() {
             }
         })
         .collect();
-    table(&["stage", "periods", "total s", "mean s", "p50 s", "p99 s"], &rows);
+    table(
+        &["stage", "periods", "total s", "mean s", "p50 s", "p99 s"],
+        &rows,
+    );
     println!(
         "simplex: {} solves, {} pivots ({} in phase 1), {} failures",
         snapshot.counter("lp.solves"),
@@ -454,7 +487,15 @@ fn fault_mode(mut run: ResumableRun, snapshot: Option<PathBuf>, stop_after: Opti
         .collect();
     section(&format!("comparison under {scenario}"));
     table(
-        &["variant", "energy kWh", "energy $", "failed", "prod p95 delay s", "faults", "degradations"],
+        &[
+            "variant",
+            "energy kWh",
+            "energy $",
+            "failed",
+            "prod p95 delay s",
+            "faults",
+            "degradations",
+        ],
         &rows,
     );
 }
@@ -464,7 +505,11 @@ fn print_faults(report: &SimReport) {
     for f in &report.faults {
         let at = f.at.as_hours();
         match &f.kind {
-            FaultRecordKind::MachineCrash { machine, evicted, failed } => {
+            FaultRecordKind::MachineCrash {
+                machine,
+                evicted,
+                failed,
+            } => {
                 println!("  {at:7.2} h  crash {machine:?}: {evicted} evicted, {failed} failed")
             }
             FaultRecordKind::MachineRecovered { machine } => {

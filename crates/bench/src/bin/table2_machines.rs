@@ -12,7 +12,7 @@ fn main() {
         .map(|ty| {
             vec![
                 ty.name.clone(),
-                fmt(ty.capacity.cpu * 48.0),       // cores
+                fmt(ty.capacity.cpu * 48.0), // cores
                 format!("{} GB", ty.capacity.mem * 64.0),
                 ty.count.to_string(),
                 fmt(ty.capacity.cpu),

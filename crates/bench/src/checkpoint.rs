@@ -248,8 +248,7 @@ impl ResumableRun {
     pub fn from_inputs(mut inputs: ReplayInputs) -> Result<Self, String> {
         let (trace, catalog, config, classifier_config) = match &inputs.trace_path {
             Some(path) => {
-                let bytes =
-                    fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
                 let hash = fnv1a64(&bytes);
                 if let Some(expected) = inputs.trace_hash {
                     if hash != expected {

@@ -37,8 +37,7 @@ impl Scale {
     /// Reads the scale from `HARMONY_SCALE` (`quick`/`default`/`full`),
     /// defaulting to [`Scale::Default`].
     pub fn from_env() -> Self {
-        Self::parse(&std::env::var("HARMONY_SCALE").unwrap_or_default())
-            .unwrap_or(Scale::Default)
+        Self::parse(&std::env::var("HARMONY_SCALE").unwrap_or_default()).unwrap_or(Scale::Default)
     }
 
     /// Parses a preset name (`quick`/`default`/`full`), case-insensitive.
@@ -63,7 +62,10 @@ impl Scale {
 
 /// Seed from `HARMONY_SEED`, defaulting to 2013 (the trace default).
 pub fn seed_from_env() -> u64 {
-    std::env::var("HARMONY_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2013)
+    std::env::var("HARMONY_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2013)
 }
 
 /// The workload-analysis trace (Section III / Figs. 1–7): the synthetic
@@ -80,9 +82,7 @@ pub fn analysis_trace(scale: Scale) -> Trace {
 
 /// The closed-loop evaluation setup (Section IX / Figs. 19–26): trace,
 /// catalog, controller and classifier configuration.
-pub fn evaluation_setup(
-    scale: Scale,
-) -> (Trace, MachineCatalog, HarmonyConfig, ClassifierConfig) {
+pub fn evaluation_setup(scale: Scale) -> (Trace, MachineCatalog, HarmonyConfig, ClassifierConfig) {
     evaluation_setup_seeded(scale, seed_from_env())
 }
 
@@ -102,8 +102,7 @@ pub fn evaluation_setup_seeded(
         Scale::Full => (SimDuration::from_days(3.0), 7, 10.0),
     };
     let trace =
-        TraceGenerator::new(TraceConfig::evaluation().with_span(span).with_seed(seed))
-            .generate();
+        TraceGenerator::new(TraceConfig::evaluation().with_span(span).with_seed(seed)).generate();
     let catalog = MachineCatalog::table2().scaled(catalog_divisor);
     let harmony_config = HarmonyConfig {
         control_period: SimDuration::from_mins(control_mins),

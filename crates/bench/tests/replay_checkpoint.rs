@@ -21,7 +21,13 @@ fn temp_dir(name: &str) -> PathBuf {
 fn fingerprint(reports: &[(harmony::pipeline::Variant, SimReport)]) -> Vec<String> {
     reports
         .iter()
-        .map(|(v, r)| format!("{}:{}", v.name(), serde_json::to_string(&r.to_value()).unwrap()))
+        .map(|(v, r)| {
+            format!(
+                "{}:{}",
+                v.name(),
+                serde_json::to_string(&r.to_value()).unwrap()
+            )
+        })
         .collect()
 }
 
@@ -58,7 +64,10 @@ fn interrupted_replay_resumes_bit_identically() {
     let mut interrupted = ResumableRun::from_inputs(inputs).expect("build interrupted run");
     interrupted.run_next().expect("first variant");
     checkpoint::save_atomic(&interrupted.checkpoint(), &ckpt_path).expect("save checkpoint");
-    assert!(!dir.join("replay.ckpt.json.tmp").exists(), "tmp renamed away");
+    assert!(
+        !dir.join("replay.ckpt.json.tmp").exists(),
+        "tmp renamed away"
+    );
     drop(interrupted);
 
     // Resume from the file and finish.

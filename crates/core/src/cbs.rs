@@ -69,7 +69,50 @@ impl CbsPlan {
     }
 }
 
-/// Solves CBS-RELAX.
+/// One CBS-RELAX solve with its warm-start bookkeeping: the plan, the
+/// optimal basis to warm-start the next period's solve from, and how
+/// this solve ran.
+#[derive(Debug, Clone)]
+pub struct CbsSolve {
+    /// The fractional provisioning plan.
+    pub plan: CbsPlan,
+    /// The optimal simplex basis, to pass as `warm` next period.
+    pub basis: harmony_lp::Basis,
+    /// Whether the solver actually restarted from the supplied basis
+    /// (`false` on a cold solve *or* a fallback after an unusable basis).
+    pub warm_started: bool,
+    /// Simplex pivots this solve took (phase 1 + phase 2).
+    pub pivots: usize,
+}
+
+/// Solves CBS-RELAX cold.
+///
+/// Convenience wrapper over [`solve_cbs_relax_warm`] without a basis;
+/// control loops that re-solve every period should prefer the warm
+/// variant and thread [`CbsSolve::basis`] across ticks.
+///
+/// # Errors
+///
+/// * [`HarmonyError::InvalidConfig`] for inconsistent input shapes.
+/// * [`HarmonyError::Optimization`] if the LP solve fails.
+pub fn solve_cbs_relax(
+    inputs: &CbsInputs<'_>,
+    config: &HarmonyConfig,
+) -> Result<CbsPlan, HarmonyError> {
+    Ok(solve_cbs_relax_warm(inputs, config, None)?.plan)
+}
+
+/// Solves CBS-RELAX, warm-starting from a previous period's optimal
+/// basis when one is supplied.
+///
+/// Successive MPC ticks build the same LP structure with updated
+/// forecast right-hand sides and price-dependent costs, so the previous
+/// basis usually remains primal-feasible and the solve skips phase 1
+/// entirely. When demand crosses zero for some class the LP's structure
+/// changes (zero-demand classes generate cap rows instead of utility
+/// segments) and the basis dimensions no longer match — the solver then
+/// falls back to a cold solve transparently, reported through
+/// [`CbsSolve::warm_started`] and the `lp.warm_start_fallbacks` counter.
 ///
 /// # Errors
 ///
@@ -78,10 +121,11 @@ impl CbsPlan {
 // Index loops mirror the x[t][m][n] variable grid; iterators would
 // obscure the LP structure.
 #[allow(clippy::needless_range_loop)]
-pub fn solve_cbs_relax(
+pub fn solve_cbs_relax_warm(
     inputs: &CbsInputs<'_>,
     config: &HarmonyConfig,
-) -> Result<CbsPlan, HarmonyError> {
+    warm: Option<&harmony_lp::Basis>,
+) -> Result<CbsSolve, HarmonyError> {
     let m_types = inputs.catalog.len();
     let n_classes = inputs.container_sizes.len();
     let horizon = inputs.demand.len();
@@ -228,7 +272,7 @@ pub fn solve_cbs_relax(
         max_pivots: Some(config.max_lp_pivots),
         ..Default::default()
     };
-    let solution = p.solve_with(&options).map_err(|e| {
+    let solution = p.solve_warm_with(&options, warm).map_err(|e| {
         harmony_telemetry::global().counter("lp.failures").inc();
         HarmonyError::Optimization(e)
     })?;
@@ -236,6 +280,18 @@ pub fn solve_cbs_relax(
     registry.counter("lp.solves").inc();
     registry.counter("lp.pivots").add(solution.pivots() as u64);
     registry.counter("lp.phase1_pivots").add(solution.phase1_pivots() as u64);
+    // Fetch both warm-start counters eagerly so both names exist in every
+    // snapshot (a dashboard diffing hits vs. fallbacks should never see a
+    // missing key), then bump the one that applies.
+    let hits = registry.counter("lp.warm_start_hits");
+    let fallbacks = registry.counter("lp.warm_start_fallbacks");
+    if warm.is_some() {
+        if solution.warm_started() {
+            hits.inc();
+        } else {
+            fallbacks.inc();
+        }
+    }
 
     let z_out: Vec<Vec<f64>> = z
         .iter()
@@ -255,7 +311,12 @@ pub fn solve_cbs_relax(
                 .collect()
         })
         .collect();
-    Ok(CbsPlan { z: z_out, x: x_out, objective: solution.objective() })
+    Ok(CbsSolve {
+        plan: CbsPlan { z: z_out, x: x_out, objective: solution.objective() },
+        basis: solution.basis().clone(),
+        warm_started: solution.warm_started(),
+        pivots: solution.pivots(),
+    })
 }
 
 #[cfg(test)]
@@ -480,6 +541,102 @@ mod tests {
         let served_cheap: f64 = plan.x[1].iter().map(|per_n| per_n[0]).sum();
         assert!(served_peak < 0.5, "peak-period work should be deferred: {served_peak}");
         assert!(served_cheap > 9.0, "off-peak period should serve: {served_cheap}");
+    }
+
+    #[test]
+    fn warm_resolve_matches_cold_and_saves_pivots() {
+        let catalog = catalog();
+        let sizes = vec![Resources::new(0.05, 0.03)];
+        let utility = vec![1.0];
+        let initial = vec![0.0; 4];
+        let cfg = config();
+        let price = EnergyPrice::default();
+        let demand_20 = vec![vec![20.0], vec![20.0]];
+        let demand_24 = vec![vec![24.0], vec![24.0]];
+        fn inputs<'a>(
+            catalog: &'a MachineCatalog,
+            sizes: &'a [Resources],
+            utility: &'a [f64],
+            demand: &'a [Vec<f64>],
+            initial: &'a [f64],
+            price: &'a EnergyPrice,
+        ) -> CbsInputs<'a> {
+            CbsInputs {
+                catalog,
+                container_sizes: sizes,
+                utility_per_hour: utility,
+                demand,
+                initial_active: initial,
+                price,
+                now: SimTime::ZERO,
+            }
+        }
+        let first = solve_cbs_relax_warm(
+            &inputs(&catalog, &sizes, &utility, &demand_20, &initial, &price),
+            &cfg,
+            None,
+        )
+        .unwrap();
+        assert!(!first.warm_started);
+        // Next tick: same structure, perturbed demand.
+        let cold = solve_cbs_relax_warm(
+            &inputs(&catalog, &sizes, &utility, &demand_24, &initial, &price),
+            &cfg,
+            None,
+        )
+        .unwrap();
+        let warm = solve_cbs_relax_warm(
+            &inputs(&catalog, &sizes, &utility, &demand_24, &initial, &price),
+            &cfg,
+            Some(&first.basis),
+        )
+        .unwrap();
+        assert!(warm.warm_started, "same-structure re-solve must warm start");
+        assert!(
+            (warm.plan.objective - cold.plan.objective).abs()
+                < 1e-6 * (1.0 + cold.plan.objective.abs()),
+            "warm {} vs cold {}",
+            warm.plan.objective,
+            cold.plan.objective
+        );
+        assert!(
+            warm.pivots < cold.pivots,
+            "warm restart must save pivots: {} vs {}",
+            warm.pivots,
+            cold.pivots
+        );
+    }
+
+    #[test]
+    fn zero_demand_structure_change_falls_back_cleanly() {
+        // Demand crossing zero changes the LP's variable/constraint
+        // structure; the stale basis must fall back to a cold solve, not
+        // corrupt the plan.
+        let catalog = catalog();
+        let sizes = vec![Resources::new(0.05, 0.03)];
+        let utility = vec![1.0];
+        let initial = vec![5.0, 0.0, 0.0, 0.0];
+        let cfg = config();
+        let solve = |demand: f64, warm: Option<&harmony_lp::Basis>| {
+            solve_cbs_relax_warm(
+                &CbsInputs {
+                    catalog: &catalog,
+                    container_sizes: &sizes,
+                    utility_per_hour: &utility,
+                    demand: &[vec![demand], vec![demand]],
+                    initial_active: &initial,
+                    price: &EnergyPrice::default(),
+                    now: SimTime::ZERO,
+                },
+                &cfg,
+                warm,
+            )
+        };
+        let busy = solve(20.0, None).unwrap();
+        let idle_cold = solve(0.0, None).unwrap();
+        let idle_warm = solve(0.0, Some(&busy.basis)).unwrap();
+        assert!(!idle_warm.warm_started, "structure change must force a cold fallback");
+        assert_eq!(idle_warm.plan, idle_cold.plan, "fallback must match the cold plan");
     }
 
     #[test]

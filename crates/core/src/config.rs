@@ -36,6 +36,13 @@ pub struct HarmonyConfig {
     /// stalling the control loop; the controller then walks its
     /// degradation ladder (previous plan → greedy sizing → hold).
     pub max_lp_pivots: usize,
+    /// Worker threads for the per-class forecast and container-sizing
+    /// stages. `None` (the default) uses
+    /// [`std::thread::available_parallelism`]; `Some(1)` forces the
+    /// serial path. Plans are bit-identical for every setting — results
+    /// are merged in deterministic class order — so this is purely a
+    /// latency/footprint knob.
+    pub pipeline_workers: Option<usize>,
 }
 
 impl Default for HarmonyConfig {
@@ -53,6 +60,7 @@ impl Default for HarmonyConfig {
             arima_min_history: 24,
             demand_margin: 1.25,
             max_lp_pivots: 20_000,
+            pipeline_workers: None,
         }
     }
 }
@@ -101,6 +109,11 @@ impl HarmonyConfig {
         if self.max_lp_pivots == 0 {
             return Err(HarmonyError::InvalidConfig {
                 reason: "max LP pivots must be >= 1".into(),
+            });
+        }
+        if self.pipeline_workers == Some(0) {
+            return Err(HarmonyError::InvalidConfig {
+                reason: "pipeline workers must be >= 1 when set".into(),
             });
         }
         Ok(())
@@ -154,6 +167,11 @@ mod tests {
         let mut c = base.clone();
         c.max_lp_pivots = 0;
         assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.pipeline_workers = Some(0);
+        assert!(c.validate().is_err());
+        c.pipeline_workers = Some(4);
+        assert!(c.validate().is_ok());
         let mut c = base;
         c.control_period = SimDuration::ZERO;
         assert!(c.validate().is_err());

@@ -131,6 +131,35 @@ impl ContainerManager {
         }
         Ok(out)
     }
+
+    /// Container counts for every class across a whole forecast horizon,
+    /// fanned out over `workers` scoped threads, one job per class.
+    ///
+    /// `rates[class][t]` is the predicted rate of `class` in horizon
+    /// period `t`; the result is `counts[class][t]` as `f64` (the LP's
+    /// demand unit). Each class's sizing is a pure function of its own
+    /// rates, and results merge in class order, so the output is
+    /// bit-identical to calling [`ContainerManager::containers_for_rate`]
+    /// in a serial loop. Errors propagate lowest-class-first, matching
+    /// the serial loop's first failure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first queueing failure (by class order).
+    pub fn containers_for_rates(
+        &self,
+        rates: &[Vec<f64>],
+        workers: usize,
+    ) -> Result<Vec<Vec<f64>>, HarmonyError> {
+        assert_eq!(rates.len(), self.n_classes(), "one rate series per class required");
+        crate::par::map_indexed(rates.len(), workers, |n| {
+            let class = TaskClassId(n);
+            rates[n]
+                .iter()
+                .map(|&rate| Ok(self.containers_for_rate(class, rate)? as f64))
+                .collect::<Result<Vec<f64>, HarmonyError>>()
+        })
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +227,28 @@ mod tests {
         for (i, d) in demands.iter().enumerate() {
             assert_eq!(d.class, TaskClassId(i));
             assert_eq!(d.size, m.container_size(d.class));
+        }
+    }
+
+    #[test]
+    fn parallel_sizing_is_bit_identical_to_serial() {
+        let (m, _) = manager();
+        let horizon = 4;
+        let rates: Vec<Vec<f64>> = (0..m.n_classes())
+            .map(|n| (0..horizon).map(|t| 0.02 * (n + 1) as f64 + 0.01 * t as f64).collect())
+            .collect();
+        let serial: Vec<Vec<f64>> = rates
+            .iter()
+            .enumerate()
+            .map(|(n, series)| {
+                series
+                    .iter()
+                    .map(|&r| m.containers_for_rate(TaskClassId(n), r).unwrap() as f64)
+                    .collect()
+            })
+            .collect();
+        for workers in [1, 2, 5] {
+            assert_eq!(m.containers_for_rates(&rates, workers).unwrap(), serial);
         }
     }
 

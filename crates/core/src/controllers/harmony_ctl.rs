@@ -18,7 +18,7 @@ use harmony_sim::{
 };
 use harmony_telemetry as telemetry;
 
-use crate::cbs::{solve_cbs_relax, CbsInputs, CbsPlan};
+use crate::cbs::{solve_cbs_relax_warm, CbsInputs, CbsPlan};
 use crate::classify::TaskClassifier;
 use crate::containers::ContainerManager;
 use crate::monitor::ArrivalMonitor;
@@ -40,6 +40,10 @@ pub struct HarmonyCore {
     /// The last successfully-solved integer plan, re-actuated when a
     /// solve fails (the ladder's first rung).
     last_plan: Option<IntegerPlan>,
+    /// The previous period's optimal simplex basis; warm-starts the next
+    /// CBS-RELAX solve. Cleared on solve failure so a corrupted state
+    /// can never linger past one tick.
+    lp_basis: Option<harmony_lp::Basis>,
     /// Degradations accumulated since the engine last drained them.
     degradations: Vec<DegradationEvent>,
 }
@@ -71,6 +75,7 @@ impl HarmonyCore {
             price,
             errors: 0,
             last_plan: None,
+            lp_basis: None,
             degradations: Vec::new(),
         })
     }
@@ -139,8 +144,15 @@ impl HarmonyCore {
         self.monitor.record_period(observation.arrived_last_period, &self.classifier);
         drop(span);
 
+        // Per-class forecast and sizing are pure per class; fan them out
+        // over scoped workers. Plans are bit-identical for every worker
+        // count (deterministic class-order merge).
+        let workers =
+            crate::par::effective_workers(self.config.pipeline_workers, self.manager.n_classes());
+        registry.gauge("pipeline.workers").set(workers as f64);
+
         let span = registry.timer("pipeline.forecast_seconds");
-        let tiered = self.monitor.forecast_tiered(self.config.horizon);
+        let tiered = self.monitor.forecast_tiered_with_workers(self.config.horizon, workers);
         drop(span);
         for (n, class_fc) in tiered.iter().enumerate() {
             if let Some(reason) = &class_fc.degraded {
@@ -179,19 +191,15 @@ impl HarmonyCore {
             })
             .collect();
 
+        let counts = self.manager.containers_for_rates(&rates, workers)?;
         let mut demand = vec![vec![0.0f64; self.manager.n_classes()]; self.config.horizon];
         for n in 0..self.manager.n_classes() {
             for (t, row) in demand.iter_mut().enumerate() {
-                let rate = rates[n][t];
-                let containers = self
-                    .manager
-                    .containers_for_rate(harmony_model::TaskClassId(n), rate)?
-                    as f64;
                 // Occupied containers persist across the horizon (the LP
                 // may not power their hosts down; in the simulator busy
                 // machines cannot be powered off either). Backlog needs
                 // capacity from the first period on.
-                row[n] = containers + occupied[n] + backlog[n];
+                row[n] = counts[n][t] + occupied[n] + backlog[n];
             }
         }
         drop(sizing_span);
@@ -212,7 +220,7 @@ impl HarmonyCore {
             .map(|n| n as f64)
             .collect();
         let lp_span = registry.timer("pipeline.lp_seconds");
-        let plan = solve_cbs_relax(
+        let solve = solve_cbs_relax_warm(
             &CbsInputs {
                 catalog: observation.cluster.catalog(),
                 container_sizes: &container_sizes,
@@ -223,8 +231,12 @@ impl HarmonyCore {
                 now: observation.now,
             },
             &self.config,
+            self.lp_basis.as_ref(),
         )?;
         drop(lp_span);
+        // Carry the optimal basis into the next tick's solve.
+        self.lp_basis = Some(solve.basis);
+        let plan = solve.plan;
         let integer = registry.time("pipeline.rounding_seconds", || {
             round_first_step(&plan, observation.cluster.catalog(), &container_sizes)
         });
@@ -244,6 +256,9 @@ impl HarmonyCore {
             }
             Err(err) => {
                 self.errors += 1;
+                // A failed solve may leave the carried basis stale
+                // relative to whatever changed; force the next tick cold.
+                self.lp_basis = None;
                 telemetry::global().counter("pipeline.errors").inc();
                 if let Some(prev) = self.last_plan.clone() {
                     self.degrade(observation, DegradationKind::LpReusedPreviousPlan, &err);
@@ -597,7 +612,10 @@ mod tests {
         });
         assert_eq!(ctl.core().error_count(), 0);
         let _ = ctl.take_degradations();
-        // Cripple the solver for the second tick.
+        // Cripple the solver for the second tick. The carried warm basis
+        // would let the near-identical re-solve finish in zero pivots, so
+        // drop it to force the cold path into the crippled budget.
+        ctl.core.lp_basis = None;
         ctl.core.config.max_lp_pivots = 1;
         let second = ctl.decide(&Observation {
             now: SimTime::from_secs(600.0),
@@ -614,6 +632,70 @@ mod tests {
             "expected plan reuse, got {degradations:?}"
         );
         assert_eq!(second.target_active, first.target_active, "reused plan re-actuates");
+    }
+
+    #[test]
+    fn parallel_pipeline_plans_are_bit_identical_to_serial() {
+        // Acceptance criterion for the parallel fan-out: the same
+        // observation sequence must produce the same decisions for any
+        // worker count, bit for bit.
+        let (classifier, trace, config) = fixture();
+        let run = |workers: Option<usize>| {
+            let cfg = HarmonyConfig { pipeline_workers: workers, ..config.clone() };
+            let mut ctl =
+                CbpController::new(classifier.clone(), cfg, EnergyPrice::default()).unwrap();
+            let cluster = Cluster::new(MachineCatalog::table2().scaled(100));
+            let mut decisions = Vec::new();
+            for i in 0..4 {
+                let lo = (i * 150).min(trace.len());
+                let hi = ((i + 1) * 150).min(trace.len());
+                let chunk: Vec<_> = trace.tasks()[lo..hi].to_vec();
+                decisions.push(ctl.decide(&Observation {
+                    now: SimTime::from_secs(600.0 * i as f64),
+                    cluster: &cluster,
+                    pending: &chunk,
+                    arrived_last_period: &chunk,
+                    running: &[],
+                }));
+            }
+            assert_eq!(ctl.core().error_count(), 0);
+            decisions
+        };
+        let serial = run(Some(1));
+        for workers in [Some(2), Some(4), None] {
+            assert_eq!(run(workers), serial, "workers={workers:?}");
+        }
+    }
+
+    #[test]
+    fn warm_basis_is_carried_and_cleared_on_failure() {
+        let (classifier, trace, config) = fixture();
+        let mut ctl = CbpController::new(classifier, config, EnergyPrice::default()).unwrap();
+        let cluster = Cluster::new(MachineCatalog::table2().scaled(100));
+        let arrived: Vec<_> = trace.tasks()[..300].to_vec();
+        let obs = |i: usize| Observation {
+            now: SimTime::from_secs(600.0 * i as f64),
+            cluster: &cluster,
+            pending: &arrived,
+            arrived_last_period: &arrived,
+            running: &[],
+        };
+        assert!(ctl.core().lp_basis.is_none());
+        let _ = ctl.decide(&obs(0));
+        assert!(ctl.core().lp_basis.is_some(), "a successful solve must carry its basis");
+        // Swap in a stale basis from an unrelated tiny LP, then cripple
+        // the pivot budget: the warm install rejects the mismatched
+        // shape, the cold fallback hits the budget and fails, and the
+        // failure must clear the carried basis instead of keeping the
+        // stale one around.
+        let mut tiny = harmony_lp::Problem::new(harmony_lp::Sense::Minimize);
+        let x = tiny.add_var("x", 0.0, f64::INFINITY, 1.0);
+        tiny.add_ge(vec![(x, 1.0)], 1.0);
+        let stale = tiny.solve().unwrap().basis().clone();
+        ctl.core.lp_basis = Some(stale);
+        ctl.core.config.max_lp_pivots = 1;
+        let _ = ctl.decide(&obs(1));
+        assert!(ctl.core().lp_basis.is_none(), "a failed solve must drop the basis");
     }
 
     #[test]

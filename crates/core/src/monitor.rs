@@ -193,64 +193,80 @@ impl ArrivalMonitor {
     /// corrupted (non-finite) degrades to zero-rate last-observation
     /// output rather than poisoning the LP.
     pub fn forecast_tiered(&self, horizon: usize) -> Vec<ClassForecast> {
-        let forecasts: Vec<ClassForecast> = self.history
-            .iter()
-            .map(|h| {
-                if h.is_empty() {
-                    return ClassForecast {
-                        rates: vec![0.0; horizon],
-                        tier: ForecastTier::LastObservation,
-                        degraded: None,
-                    };
-                }
-                let cap = h.iter().copied().filter(|v| v.is_finite()).fold(0.0, f64::max)
-                    * OUTLIER_FACTOR
-                    + 1e-9;
-                let entitled = if h.len() >= self.arima_min_history {
-                    ForecastTier::Arima
-                } else {
-                    ForecastTier::MovingAverage
-                };
-                let mut reason: Option<String> = None;
-                let mut note = |why: String| {
-                    if reason.is_none() {
-                        reason = Some(why);
-                    }
-                };
-                let (rates, tier) = 'ladder: {
-                    if entitled == ForecastTier::Arima {
-                        match auto_forecast(h, horizon) {
-                            Ok(fc) if usable(&fc, cap) => break 'ladder (fc, ForecastTier::Arima),
-                            Ok(_) => note("ARIMA forecast non-finite or outlier".into()),
-                            Err(e) => note(format!("ARIMA failed: {e}")),
-                        }
-                    }
-                    match fallback_forecast(h, horizon) {
-                        Ok(fc) if usable(&fc, cap) => {
-                            break 'ladder (fc, ForecastTier::MovingAverage)
-                        }
-                        Ok(_) => note("moving average non-finite or outlier".into()),
-                        Err(e) => note(format!("moving average failed: {e}")),
-                    }
-                    // Last rung: repeat the most recent finite
-                    // observation (zero when none exists). Total.
-                    let last =
-                        h.iter().rev().copied().find(|v| v.is_finite()).unwrap_or(0.0);
-                    (vec![last; horizon], ForecastTier::LastObservation)
-                };
-                let degraded = if tier == entitled { None } else { reason };
-                ClassForecast {
-                    rates: rates
-                        .into_iter()
-                        .map(|v| if v.is_finite() { v.max(0.0) } else { 0.0 })
-                        .collect(),
-                    tier,
-                    degraded,
-                }
-            })
-            .collect();
+        self.forecast_tiered_with_workers(horizon, 1)
+    }
+
+    /// [`ArrivalMonitor::forecast_tiered`] fanned out over `workers`
+    /// scoped threads, one job per class.
+    ///
+    /// Each class's forecast is a pure function of its own history, and
+    /// results merge back in class order, so the output is bit-identical
+    /// to the serial path for any worker count. Telemetry tier counts are
+    /// tallied once, after the merge.
+    pub fn forecast_tiered_with_workers(
+        &self,
+        horizon: usize,
+        workers: usize,
+    ) -> Vec<ClassForecast> {
+        let result = crate::par::map_indexed(self.history.len(), workers, |class| {
+            Ok::<_, std::convert::Infallible>(self.forecast_class(&self.history[class], horizon))
+        });
+        let forecasts = result.unwrap_or_else(|never| match never {});
         record_tier_counts(&forecasts);
         forecasts
+    }
+
+    /// Walks the forecast ladder for one class's history. Pure: no
+    /// telemetry, no shared state — safe to run from worker threads.
+    fn forecast_class(&self, h: &[f64], horizon: usize) -> ClassForecast {
+        if h.is_empty() {
+            return ClassForecast {
+                rates: vec![0.0; horizon],
+                tier: ForecastTier::LastObservation,
+                degraded: None,
+            };
+        }
+        let cap = h.iter().copied().filter(|v| v.is_finite()).fold(0.0, f64::max)
+            * OUTLIER_FACTOR
+            + 1e-9;
+        let entitled = if h.len() >= self.arima_min_history {
+            ForecastTier::Arima
+        } else {
+            ForecastTier::MovingAverage
+        };
+        let mut reason: Option<String> = None;
+        let mut note = |why: String| {
+            if reason.is_none() {
+                reason = Some(why);
+            }
+        };
+        let (rates, tier) = 'ladder: {
+            if entitled == ForecastTier::Arima {
+                match auto_forecast(h, horizon) {
+                    Ok(fc) if usable(&fc, cap) => break 'ladder (fc, ForecastTier::Arima),
+                    Ok(_) => note("ARIMA forecast non-finite or outlier".into()),
+                    Err(e) => note(format!("ARIMA failed: {e}")),
+                }
+            }
+            match fallback_forecast(h, horizon) {
+                Ok(fc) if usable(&fc, cap) => break 'ladder (fc, ForecastTier::MovingAverage),
+                Ok(_) => note("moving average non-finite or outlier".into()),
+                Err(e) => note(format!("moving average failed: {e}")),
+            }
+            // Last rung: repeat the most recent finite
+            // observation (zero when none exists). Total.
+            let last = h.iter().rev().copied().find(|v| v.is_finite()).unwrap_or(0.0);
+            (vec![last; horizon], ForecastTier::LastObservation)
+        };
+        let degraded = if tier == entitled { None } else { reason };
+        ClassForecast {
+            rates: rates
+                .into_iter()
+                .map(|v| if v.is_finite() { v.max(0.0) } else { 0.0 })
+                .collect(),
+            tier,
+            degraded,
+        }
     }
 }
 
@@ -430,6 +446,23 @@ mod tests {
         assert!(!usable(&[f64::INFINITY], 10.0));
         assert!(!usable(&[11.0], 10.0), "outliers above the cap are rejected");
         assert!(usable(&[-5.0], 10.0), "negatives pass here; the final clamp zeroes them");
+    }
+
+    #[test]
+    fn parallel_forecast_is_bit_identical_to_serial() {
+        let (classifier, trace) = setup();
+        let mut monitor =
+            ArrivalMonitor::new(classifier.classes().len(), SimDuration::from_mins(10.0), 50, 8);
+        for i in 0..10 {
+            let lo = i * 100;
+            let hi = (lo + 100).min(trace.len());
+            monitor.record_period(&trace.tasks()[lo..hi], &classifier);
+        }
+        let serial = monitor.forecast_tiered(4);
+        for workers in [2, 3, 8] {
+            let parallel = monitor.forecast_tiered_with_workers(4, workers);
+            assert_eq!(parallel, serial, "workers={workers}");
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ use harmony_sim::{DegradationEvent, DegradationKind};
 use serde::value::{DeError, Value};
 use serde::{Deserialize, Serialize};
 
-use crate::cbs::{solve_cbs_relax, CbsInputs};
+use crate::cbs::{solve_cbs_relax_warm, CbsInputs};
 use crate::classify::TaskClassifier;
 use crate::containers::ContainerManager;
 use crate::monitor::{ArrivalMonitor, ClassForecast};
@@ -50,6 +50,12 @@ pub struct OnlineState {
     pub last_plan: Option<IntegerPlan>,
     /// Degradation events not yet drained by a client.
     pub pending_events: Vec<DegradationEvent>,
+    /// The previous period's optimal simplex basis. Checkpointed so a
+    /// restored pipeline takes the same warm/cold solve path as an
+    /// uninterrupted one — warm and cold solves may land on different
+    /// (equal-objective) vertices, so dropping the basis across a
+    /// restore would break bit-identical plan reproduction.
+    pub lp_basis: Option<harmony_lp::Basis>,
 }
 
 impl Serialize for OnlineState {
@@ -60,6 +66,7 @@ impl Serialize for OnlineState {
         map.insert("histories".to_owned(), self.histories.to_value());
         map.insert("last_plan".to_owned(), self.last_plan.to_value());
         map.insert("pending_events".to_owned(), self.pending_events.to_value());
+        map.insert("lp_basis".to_owned(), self.lp_basis.to_value());
         Value::Object(map)
     }
 }
@@ -72,6 +79,11 @@ impl Deserialize for OnlineState {
             histories: Vec::from_value(v.field("histories")?)?,
             last_plan: Option::from_value(v.field("last_plan")?)?,
             pending_events: Vec::from_value(v.field("pending_events")?)?,
+            // Tolerate checkpoints written before warm starts existed.
+            lp_basis: match v.field("lp_basis") {
+                Ok(Value::Null) | Err(_) => None,
+                Ok(other) => Some(Deserialize::from_value(other)?),
+            },
         })
     }
 }
@@ -87,6 +99,9 @@ pub struct OnlinePipeline {
     manager: ContainerManager,
     monitor: ArrivalMonitor,
     last_plan: Option<IntegerPlan>,
+    /// Previous period's optimal simplex basis (warm-starts the next
+    /// CBS-RELAX solve; checkpointed in [`OnlineState`]).
+    lp_basis: Option<harmony_lp::Basis>,
     ticks: u64,
     errors: usize,
     degradations: Vec<DegradationEvent>,
@@ -121,6 +136,7 @@ impl OnlinePipeline {
             manager,
             monitor,
             last_plan: None,
+            lp_basis: None,
             ticks: 0,
             errors: 0,
             degradations: Vec::new(),
@@ -207,6 +223,9 @@ impl OnlinePipeline {
             }
             Err(err) => {
                 self.errors += 1;
+                // Force the next tick's solve cold: the basis may be
+                // stale relative to whatever just failed.
+                self.lp_basis = None;
                 registry.counter("pipeline.errors").inc();
                 if let Some(prev) = self.last_plan.clone() {
                     self.degrade(now, DegradationKind::LpReusedPreviousPlan, &err);
@@ -233,8 +252,12 @@ impl OnlinePipeline {
     fn step(&mut self, now: SimTime, pending: &[Task]) -> Result<IntegerPlan, HarmonyError> {
         let registry = harmony_telemetry::global();
         let n_classes = self.n_classes();
+        // Per-class forecast and sizing fan out over scoped workers;
+        // plans stay bit-identical for any worker count.
+        let workers = crate::par::effective_workers(self.config.pipeline_workers, n_classes);
+        registry.gauge("pipeline.workers").set(workers as f64);
         let span = registry.timer("pipeline.forecast_seconds");
-        let tiered = self.monitor.forecast_tiered(self.config.horizon);
+        let tiered = self.monitor.forecast_tiered_with_workers(self.config.horizon, workers);
         drop(span);
         for (n, class_fc) in tiered.iter().enumerate() {
             if let Some(reason) = &class_fc.degraded {
@@ -252,13 +275,12 @@ impl OnlinePipeline {
             backlog[self.classifier.initial_label(task).0] += 1.0;
         }
 
+        let rates: Vec<Vec<f64>> = tiered.into_iter().map(|c| c.rates).collect();
+        let counts = self.manager.containers_for_rates(&rates, workers)?;
         let mut demand = vec![vec![0.0f64; n_classes]; self.config.horizon];
         for n in 0..n_classes {
             for (t, row) in demand.iter_mut().enumerate() {
-                let rate = tiered[n].rates[t];
-                let containers =
-                    self.manager.containers_for_rate(TaskClassId(n), rate)? as f64;
-                row[n] = containers + backlog[n];
+                row[n] = counts[n][t] + backlog[n];
             }
         }
         drop(sizing_span);
@@ -278,7 +300,7 @@ impl OnlinePipeline {
             None => vec![0.0; self.catalog.len()],
         };
         let lp_span = registry.timer("pipeline.lp_seconds");
-        let plan = solve_cbs_relax(
+        let solve = solve_cbs_relax_warm(
             &CbsInputs {
                 catalog: &self.catalog,
                 container_sizes: &container_sizes,
@@ -289,8 +311,12 @@ impl OnlinePipeline {
                 now,
             },
             &self.config,
+            self.lp_basis.as_ref(),
         )?;
         drop(lp_span);
+        // Carry the optimal basis into the next tick's solve.
+        self.lp_basis = Some(solve.basis);
+        let plan = solve.plan;
         Ok(registry.time("pipeline.rounding_seconds", || {
             round_first_step(&plan, &self.catalog, &container_sizes)
         }))
@@ -304,6 +330,7 @@ impl OnlinePipeline {
             histories: self.monitor.histories().to_vec(),
             last_plan: self.last_plan.clone(),
             pending_events: self.degradations.clone(),
+            lp_basis: self.lp_basis.clone(),
         }
     }
 
@@ -339,6 +366,7 @@ impl OnlinePipeline {
         self.errors = state.errors;
         self.last_plan = state.last_plan;
         self.degradations = state.pending_events;
+        self.lp_basis = state.lp_basis;
         Ok(())
     }
 }
@@ -471,6 +499,7 @@ mod tests {
             histories: vec![Vec::new(); pipeline.n_classes()],
             last_plan: Some(IntegerPlan { machines: vec![1], quotas: vec![vec![0]] }),
             pending_events: Vec::new(),
+            lp_basis: None,
         };
         assert!(pipeline.restore(bad).is_err());
         let bad_classes = OnlineState {
@@ -479,7 +508,34 @@ mod tests {
             histories: vec![Vec::new()],
             last_plan: None,
             pending_events: Vec::new(),
+            lp_basis: None,
         };
         assert!(pipeline.restore(bad_classes).is_err());
+    }
+
+    #[test]
+    fn checkpoint_without_lp_basis_field_still_loads() {
+        // A checkpoint written before warm starts existed has no
+        // lp_basis key; it must deserialize (to a cold-start basis).
+        let (mut pipeline, trace) = fixture();
+        drive(&mut pipeline, &trace, 2);
+        let mut v = pipeline.state().to_value();
+        if let Value::Object(map) = &mut v {
+            map.remove("lp_basis");
+        }
+        let state = OnlineState::from_value(&v).unwrap();
+        assert_eq!(state.lp_basis, None);
+        assert_eq!(state.ticks, 2);
+    }
+
+    #[test]
+    fn checkpoint_carries_the_warm_basis() {
+        let (mut pipeline, trace) = fixture();
+        drive(&mut pipeline, &trace, 2);
+        let state = pipeline.state();
+        assert!(state.lp_basis.is_some(), "a ticked pipeline must checkpoint its basis");
+        let text = serde_json::to_string(&state).unwrap();
+        let back: OnlineState = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, state);
     }
 }

@@ -47,6 +47,13 @@ impl Serialize for HarmonyConfig {
             ("arima_min_history", self.arima_min_history.to_value()),
             ("demand_margin", self.demand_margin.to_value()),
             ("max_lp_pivots", self.max_lp_pivots.to_value()),
+            (
+                "pipeline_workers",
+                match self.pipeline_workers {
+                    Some(w) => w.to_value(),
+                    None => Value::Null,
+                },
+            ),
         ])
     }
 }
@@ -67,6 +74,11 @@ impl Deserialize for HarmonyConfig {
             arima_min_history: usize::from_value(v.field("arima_min_history")?)?,
             demand_margin: f64::from_value(v.field("demand_margin")?)?,
             max_lp_pivots: usize::from_value(v.field("max_lp_pivots")?)?,
+            // Tolerate checkpoints written before this field existed.
+            pipeline_workers: match v.field("pipeline_workers") {
+                Ok(Value::Null) | Err(_) => None,
+                Ok(other) => Some(usize::from_value(other)?),
+            },
         })
     }
 }
@@ -147,11 +159,28 @@ mod tests {
 
     #[test]
     fn harmony_config_roundtrip() {
-        let config = HarmonyConfig { horizon: 7, epsilon: 0.05, ..Default::default() };
+        let config = HarmonyConfig {
+            horizon: 7,
+            epsilon: 0.05,
+            pipeline_workers: Some(3),
+            ..Default::default()
+        };
         let text = serde_json::to_string(&config).unwrap();
         let back: HarmonyConfig = serde_json::from_str(&text).unwrap();
         assert_eq!(back, config);
         back.validate().unwrap();
+    }
+
+    #[test]
+    fn config_without_pipeline_workers_field_still_loads() {
+        // Checkpoints from before the parallel pipeline existed have no
+        // pipeline_workers key; they must deserialize to None.
+        let mut v = HarmonyConfig::default().to_value();
+        if let Value::Object(map) = &mut v {
+            map.remove("pipeline_workers");
+        }
+        let back = HarmonyConfig::from_value(&v).unwrap();
+        assert_eq!(back.pipeline_workers, None);
     }
 
     #[test]

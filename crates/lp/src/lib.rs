@@ -11,8 +11,15 @@
 //! * each concave `f_n` becomes one variable per linear segment with
 //!   per-segment upper bounds ([`PiecewiseLinear`] does the bookkeeping).
 //!
-//! The solver is a classic dense two-phase primal simplex with Bland's
-//! anti-cycling rule — deliberately simple, deterministic, and exact
+//! The solver is a classic dense two-phase primal simplex, tuned for the
+//! control loop that calls it every period: Dantzig most-negative-cost
+//! pricing (with an automatic fallback to Bland's anti-cycling rule after
+//! a degeneracy streak, so termination is preserved), and a warm-start
+//! API — [`Solution::basis`] carries the optimal [`Basis`] out, and
+//! [`Problem::solve_warm_with`] re-solves a structurally identical
+//! problem from it, skipping phase 1 (or repairing the restart point
+//! with a short phase 1 when the new RHS moved against it). It stays
+//! deterministic and exact
 //! enough for the instance sizes HARMONY solves each control period
 //! (tens of machine types × tens of task classes × a short MPC horizon).
 //!
@@ -51,4 +58,4 @@ mod simplex;
 pub use error::LpError;
 pub use piecewise::PiecewiseLinear;
 pub use problem::{Constraint, Problem, Relation, Sense, VarId};
-pub use simplex::{SimplexOptions, Solution};
+pub use simplex::{Basis, SimplexOptions, Solution};

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::simplex::{solve_problem, SimplexOptions, Solution};
+use crate::simplex::{solve_problem, solve_problem_warm, Basis, SimplexOptions, Solution};
 use crate::LpError;
 
 /// Handle to a decision variable within a [`Problem`].
@@ -175,6 +175,34 @@ impl Problem {
     /// See [`Problem::solve`].
     pub fn solve_with(&self, options: &SimplexOptions) -> Result<Solution, LpError> {
         solve_problem(self, options)
+    }
+
+    /// Solves, warm-starting from a previous solve's optimal [`Basis`]
+    /// when one is given.
+    ///
+    /// The intended caller is a control loop re-solving the same model
+    /// with updated costs or right-hand sides each period: pass the
+    /// [`crate::Solution::basis`] of the previous period's solution and
+    /// the solver restarts from that basis — skipping phase 1 when the
+    /// restart point is still feasible, or repairing it with a phase 1
+    /// restricted to the rows the new right-hand side violates. When the
+    /// basis no longer fits — the model's standardized dimensions changed
+    /// or the basis is singular for the new coefficients — the solver
+    /// silently falls back to the cold two-phase path;
+    /// [`crate::Solution::warm_started`] reports which path ran.
+    /// `solve_warm_with(opts, None)` is exactly `solve_with(opts)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Problem::solve`]. Fallback covers *unusable* bases only:
+    /// genuine infeasibility or unboundedness of the problem itself is
+    /// still reported as an error.
+    pub fn solve_warm_with(
+        &self,
+        options: &SimplexOptions,
+        warm: Option<&Basis>,
+    ) -> Result<Solution, LpError> {
+        solve_problem_warm(self, options, warm)
     }
 }
 

@@ -1,4 +1,4 @@
-//! Dense two-phase primal simplex with Bland's anti-cycling rule.
+//! Dense two-phase primal simplex with priced pivoting and warm starts.
 //!
 //! The implementation follows the textbook tableau method:
 //!
@@ -14,9 +14,24 @@
 //!    minimized from that starting basis. Artificial columns are barred
 //!    from re-entering.
 //!
-//! Bland's smallest-index pivoting rule guarantees termination; a pivot
-//! budget guards against pathological instances anyway.
+//! Pivot columns are priced with Dantzig's most-negative-reduced-cost
+//! rule; after a streak of degenerate pivots the solver falls back to
+//! Bland's smallest-index rule, which cannot cycle, so termination is
+//! preserved. A pivot budget guards against pathological instances
+//! anyway.
+//!
+//! **Warm starts.** Every [`Solution`] carries the optimal [`Basis`] out
+//! in standardized column space. [`crate::Problem::solve_warm_with`]
+//! re-installs that basis on a freshly standardized tableau when only
+//! costs and right-hand sides changed since the previous solve. A
+//! still-feasible restart skips phase 1 entirely; a restart the new RHS
+//! pushed outside the polytope gets a *repair* phase 1 restricted to
+//! the violated rows, costing pivots proportional to the damage rather
+//! than to the whole problem. A basis whose dimensions no longer match
+//! or that has gone singular falls back to the cold two-phase path
+//! transparently.
 
+use serde::value::{DeError, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::problem::{Problem, Relation, Sense, VarId};
@@ -28,13 +43,78 @@ pub struct SimplexOptions {
     /// Numerical tolerance for pivot selection and feasibility tests.
     pub tolerance: f64,
     /// Hard cap on pivots across both phases; `None` picks
-    /// `200·(rows + cols) + 10_000` automatically.
+    /// [`SimplexOptions::auto_pivot_budget`] automatically.
     pub max_pivots: Option<usize>,
 }
 
 impl Default for SimplexOptions {
     fn default() -> Self {
         SimplexOptions { tolerance: 1e-9, max_pivots: None }
+    }
+}
+
+impl SimplexOptions {
+    /// The automatic pivot budget, `200·(rows + cols) + 10_000`, where
+    /// `rows`/`cols` are the *standardized* tableau dimensions (bound
+    /// rows and slack columns included, artificials excluded).
+    ///
+    /// This is the single place the budget formula lives: cold and warm
+    /// solves both derive their cap from the standardized shape of the
+    /// user problem, so the same problem always gets the same budget
+    /// regardless of how it is solved.
+    pub fn auto_pivot_budget(rows: usize, cols: usize) -> usize {
+        200 * (rows + cols) + 10_000
+    }
+}
+
+/// The optimal basis of a solved LP, in standardized column space.
+///
+/// Carried out of every solve by [`Solution::basis`] and fed back into
+/// [`crate::Problem::solve_warm_with`] to re-solve a problem whose
+/// costs or right-hand sides changed (the MPC control loop's situation:
+/// successive periods differ only in forecast data). The basis pins the
+/// standardized tableau shape it belongs to, so a structural change is
+/// detected as a dimension mismatch and triggers a cold solve instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Basis {
+    /// Basic column per tableau row.
+    cols: Vec<usize>,
+    /// Structural + slack column count of the standardized tableau.
+    n_cols: usize,
+}
+
+impl Basis {
+    /// Basic column index per standardized tableau row.
+    pub fn columns(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Rows of the standardized tableau this basis belongs to.
+    pub fn num_rows(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Structural + slack columns of the standardized tableau.
+    pub fn num_cols(&self) -> usize {
+        self.n_cols
+    }
+}
+
+impl Serialize for Basis {
+    fn to_value(&self) -> Value {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("cols".to_owned(), self.cols.to_value());
+        map.insert("n_cols".to_owned(), self.n_cols.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for Basis {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Basis {
+            cols: Vec::from_value(v.field("cols")?)?,
+            n_cols: usize::from_value(v.field("n_cols")?)?,
+        })
     }
 }
 
@@ -51,6 +131,8 @@ pub struct Solution {
     values: Vec<f64>,
     pivots: usize,
     phase1_pivots: usize,
+    basis: Basis,
+    warm_started: bool,
 }
 
 impl Solution {
@@ -73,15 +155,33 @@ impl Solution {
         &self.values
     }
 
-    /// Total simplex pivots across both phases.
+    /// Total simplex pivots across both phases. Warm-started solves
+    /// count only phase-2 iterations (basis re-installation is a
+    /// factorization, not simplex pivoting).
     pub fn pivots(&self) -> usize {
         self.pivots
     }
 
     /// Pivots spent in phase 1 (finding a basic feasible point); zero
-    /// when every row had a ready slack basis.
+    /// when every row had a ready slack basis. For a warm-started solve
+    /// this counts the *repair* pivots spent restoring primal
+    /// feasibility — zero when the restart point was still inside the
+    /// polytope.
     pub fn phase1_pivots(&self) -> usize {
         self.phase1_pivots
+    }
+
+    /// The optimal basis, for warm-starting a subsequent solve of a
+    /// structurally identical problem.
+    pub fn basis(&self) -> &Basis {
+        &self.basis
+    }
+
+    /// Whether this solve restarted from a supplied warm basis (`false`
+    /// when no basis was given *or* the given basis was unusable and the
+    /// solver fell back to the cold two-phase path).
+    pub fn warm_started(&self) -> bool {
+        self.warm_started
     }
 }
 
@@ -96,9 +196,22 @@ enum ColMap {
     Free { pos: usize, neg: usize },
 }
 
-pub(crate) fn solve_problem(p: &Problem, options: &SimplexOptions) -> Result<Solution, LpError> {
-    let tol = options.tolerance;
+/// A [`Problem`] brought to standard equality form: non-negative
+/// columns, slack/surplus columns appended, right-hand sides
+/// non-negative. Artificial columns are *not* included — the cold path
+/// appends them, the warm path never needs them.
+struct Standardized {
+    maps: Vec<ColMap>,
+    /// `m × struct_and_slack` coefficient rows.
+    a: Vec<Vec<f64>>,
+    b: Vec<f64>,
+    /// Per row, the slack column usable as the initial basis, if any.
+    ready_basis: Vec<Option<usize>>,
+    /// Structural + slack column count.
+    struct_and_slack: usize,
+}
 
+fn standardize(p: &Problem) -> Standardized {
     // --- 1. Map user variables to non-negative columns. -----------------
     let mut maps: Vec<ColMap> = Vec::with_capacity(p.vars.len());
     let mut n_cols = 0usize;
@@ -161,13 +274,10 @@ pub(crate) fn solve_problem(p: &Problem, options: &SimplexOptions) -> Result<Sol
     }
 
     // --- 3. Equality form with slacks, non-negative rhs. -----------------
-    // Total columns: structural + one slack per Le/Ge row + artificials.
     let n_slack = rows.iter().filter(|r| r.relation != Relation::Eq).count();
     let struct_and_slack = n_cols + n_slack;
-    // tableau rows built as Vec<f64> of width struct_and_slack (+artificials later) + rhs.
     let mut a_mat: Vec<Vec<f64>> = Vec::with_capacity(m);
     let mut b: Vec<f64> = Vec::with_capacity(m);
-    // For each row, the column that can serve as the initial basis (+1 unit column), if any.
     let mut ready_basis: Vec<Option<usize>> = Vec::with_capacity(m);
     let mut slack_idx = 0usize;
     for row in &rows {
@@ -204,21 +314,237 @@ pub(crate) fn solve_problem(p: &Problem, options: &SimplexOptions) -> Result<Sol
         ready_basis.push(ready);
     }
 
-    // --- 4. Artificials and phase-1 tableau. ------------------------------
+    Standardized { maps, a: a_mat, b, ready_basis, struct_and_slack }
+}
+
+/// The phase-2 cost vector (sign-adjusted user objective) over `width`
+/// columns.
+fn phase2_cost(p: &Problem, maps: &[ColMap], width: usize) -> Vec<f64> {
+    let sign = match p.sense {
+        Sense::Maximize => -1.0,
+        Sense::Minimize => 1.0,
+    };
+    let mut cost = vec![0.0; width];
+    for (v, def) in p.vars.iter().enumerate() {
+        match maps[v] {
+            ColMap::Shifted { col, .. } => cost[col] += sign * def.obj,
+            ColMap::Mirrored { col, .. } => cost[col] -= sign * def.obj,
+            ColMap::Free { pos, neg } => {
+                cost[pos] += sign * def.obj;
+                cost[neg] -= sign * def.obj;
+            }
+        }
+    }
+    cost
+}
+
+/// Maps the optimal tableau back to user variable space.
+fn extract(
+    p: &Problem,
+    std_form: &Standardized,
+    tableau: &Tableau,
+    width: usize,
+    phase1_pivots: usize,
+    warm_started: bool,
+) -> Solution {
+    let col_values = tableau.column_values(width);
+    let mut values = vec![0.0; p.vars.len()];
+    for (v, map) in std_form.maps.iter().enumerate() {
+        values[v] = match *map {
+            ColMap::Shifted { col, lb } => col_values[col] + lb,
+            ColMap::Mirrored { col, ub } => ub - col_values[col],
+            ColMap::Free { pos, neg } => col_values[pos] - col_values[neg],
+        };
+    }
+    let objective: f64 = p.vars.iter().enumerate().map(|(v, d)| d.obj * values[v]).sum();
+    Solution {
+        objective,
+        values,
+        pivots: tableau.pivots,
+        phase1_pivots,
+        basis: Basis { cols: tableau.basis.clone(), n_cols: std_form.struct_and_slack },
+        warm_started,
+    }
+}
+
+/// Re-installs `basis` on a freshly standardized tableau by Gauss-Jordan
+/// elimination with partial pivoting restricted to the basis columns.
+///
+/// Returns `None` — i.e. "fall back to a cold solve" — when the basis
+/// belongs to a different tableau shape, kept an artificial column (a
+/// redundant row in the previous solve), or has gone singular for the
+/// new coefficient matrix. A primal-infeasible restart point is *not*
+/// grounds for rejection here: [`solve_from_basis`] repairs it with a
+/// phase 1 restricted to the violated rows.
+fn install_basis(
+    std_form: &Standardized,
+    basis: &Basis,
+    tol: f64,
+    max_pivots: usize,
+) -> Option<Tableau> {
+    let m = std_form.a.len();
+    if basis.cols.len() != m || basis.n_cols != std_form.struct_and_slack {
+        return None; // structural change since the basis was taken
+    }
+    if basis.cols.iter().any(|&j| j >= std_form.struct_and_slack) {
+        return None; // an artificial stayed basic (redundant row)
+    }
+    let mut tableau = Tableau {
+        a: std_form.a.clone(),
+        b: std_form.b.clone(),
+        basis: vec![0; m],
+        tol,
+        pivots: 0,
+        max_pivots,
+    };
+    let mut row_used = vec![false; m];
+    for &j in &basis.cols {
+        // Best remaining pivot row for column j (partial pivoting keeps
+        // the factorization numerically honest).
+        let mut best: Option<(usize, f64)> = None;
+        for (i, used) in row_used.iter().enumerate() {
+            if *used {
+                continue;
+            }
+            let mag = tableau.a[i][j].abs();
+            if best.is_none_or(|(_, bm)| mag > bm) {
+                best = Some((i, mag));
+            }
+        }
+        let (i, mag) = best?;
+        if mag <= tol {
+            return None; // singular: duplicate or dependent basis column
+        }
+        tableau.pivot(i, j);
+        row_used[i] = true;
+    }
+    // Installation is a factorization, not simplex pivoting: do not
+    // charge it against the pivot budget or report it as pivots.
+    tableau.pivots = 0;
+    Some(tableau)
+}
+
+/// Finishes a warm solve from an installed basis: repairs primal
+/// infeasibility with a phase 1 restricted to the violated rows, then
+/// runs phase 2.
+///
+/// Returns `Ok(None)` when the restart point cannot be repaired (the
+/// problem may be infeasible) — the caller falls back to the cold
+/// two-phase solve, which settles feasibility authoritatively. Solver
+/// errors (unboundedness, pivot budget) propagate.
+fn solve_from_basis(
+    p: &Problem,
+    std_form: &Standardized,
+    mut tableau: Tableau,
+    tol: f64,
+) -> Result<Option<Solution>, LpError> {
+    let m = std_form.a.len();
+    let struct_and_slack = std_form.struct_and_slack;
+    let feas = tol.max(1e-7);
+    // Rows where the restart point B⁻¹b went negative: the previous
+    // vertex is outside today's polytope (RHS moved against it).
+    let violated: Vec<usize> = (0..m).filter(|&i| tableau.b[i] < -feas).collect();
+    for v in &mut tableau.b {
+        if *v < 0.0 && *v >= -feas {
+            *v = 0.0;
+        }
+    }
+
+    if violated.is_empty() {
+        let cost = phase2_cost(p, &std_form.maps, struct_and_slack);
+        tableau.run(&cost, struct_and_slack)?;
+        return Ok(Some(extract(p, std_form, &tableau, struct_and_slack, 0, true)));
+    }
+
+    // Repair: give each violated row (sign-flipped so its RHS is
+    // positive) an artificial basic column, and minimize the artificial
+    // sum. This is an ordinary phase 1, but seeded with a basis that is
+    // already optimal everywhere else, so it needs pivots proportional
+    // to the damage rather than to the whole problem.
+    let n_art = violated.len();
+    let total = struct_and_slack + n_art;
+    for row in &mut tableau.a {
+        row.resize(total, 0.0);
+    }
+    for (k, &i) in violated.iter().enumerate() {
+        for v in &mut tableau.a[i] {
+            *v = -*v;
+        }
+        tableau.b[i] = -tableau.b[i];
+        tableau.a[i][struct_and_slack + k] = 1.0;
+        tableau.basis[i] = struct_and_slack + k;
+    }
+    let mut cost = vec![0.0; total];
+    for c in cost.iter_mut().skip(struct_and_slack) {
+        *c = 1.0;
+    }
+    let obj = tableau.run(&cost, total)?;
+    if obj > feas {
+        return Ok(None); // unrepairable restart; cold solve decides
+    }
+    // Drive remaining basic artificials out where possible (redundant
+    // rows keep theirs at value 0, barred from entering in phase 2).
+    for i in 0..m {
+        if tableau.basis[i] >= struct_and_slack {
+            if let Some(j) = (0..struct_and_slack).find(|&j| tableau.a[i][j].abs() > tol) {
+                tableau.pivot(i, j);
+            }
+        }
+    }
+    let phase1_pivots = tableau.pivots;
+    let cost = phase2_cost(p, &std_form.maps, total);
+    tableau.run(&cost, struct_and_slack)?;
+    Ok(Some(extract(p, std_form, &tableau, total, phase1_pivots, true)))
+}
+
+pub(crate) fn solve_problem(p: &Problem, options: &SimplexOptions) -> Result<Solution, LpError> {
+    solve_problem_warm(p, options, None)
+}
+
+pub(crate) fn solve_problem_warm(
+    p: &Problem,
+    options: &SimplexOptions,
+    warm: Option<&Basis>,
+) -> Result<Solution, LpError> {
+    let tol = options.tolerance;
+    let std_form = standardize(p);
+    let m = std_form.a.len();
+    let struct_and_slack = std_form.struct_and_slack;
+    // The pivot budget is computed here — once, for both the warm and
+    // cold paths — from the standardized problem shape.
+    let max_pivots = options
+        .max_pivots
+        .unwrap_or_else(|| SimplexOptions::auto_pivot_budget(m, struct_and_slack));
+
+    // --- Warm path: reuse the previous optimal basis. A still-feasible
+    // restart skips phase 1 entirely; an infeasible one gets a repair
+    // phase 1 over just the violated rows (see solve_from_basis). ------
+    if let Some(basis) = warm {
+        if let Some(tableau) = install_basis(&std_form, basis, tol, max_pivots) {
+            if let Some(solution) = solve_from_basis(p, &std_form, tableau, tol)? {
+                return Ok(solution);
+            }
+        }
+        // Unusable basis: fall through to the cold two-phase solve.
+    }
+
+    // --- Cold path: artificials and phase-1 tableau. ----------------------
+    let Standardized { ref ready_basis, .. } = std_form;
     let mut n_art = 0usize;
     let mut basis: Vec<usize> = Vec::with_capacity(m);
-    for (i, ready) in ready_basis.iter().enumerate() {
+    for ready in ready_basis {
         match ready {
             Some(col) => basis.push(*col),
             None => {
                 let col = struct_and_slack + n_art;
                 n_art += 1;
                 basis.push(col);
-                let _ = i;
             }
         }
     }
     let total = struct_and_slack + n_art;
+    let mut a_mat = std_form.a.clone();
+    let b = std_form.b.clone();
     let mut art_seen = 0usize;
     for (i, ready) in ready_basis.iter().enumerate() {
         a_mat[i].resize(total, 0.0);
@@ -229,7 +555,6 @@ pub(crate) fn solve_problem(p: &Problem, options: &SimplexOptions) -> Result<Sol
     }
     let art_start = struct_and_slack;
 
-    let max_pivots = options.max_pivots.unwrap_or(200 * (m + total) + 10_000);
     let mut tableau = Tableau { a: a_mat, b, basis, tol, pivots: 0, max_pivots };
 
     // Phase 1: minimize sum of artificials.
@@ -259,35 +584,10 @@ pub(crate) fn solve_problem(p: &Problem, options: &SimplexOptions) -> Result<Sol
 
     // Phase 2: minimize the (sign-adjusted) user objective over
     // structural+slack columns only.
-    let sign = match p.sense {
-        Sense::Maximize => -1.0,
-        Sense::Minimize => 1.0,
-    };
-    let mut cost = vec![0.0; total];
-    for (v, def) in p.vars.iter().enumerate() {
-        match maps[v] {
-            ColMap::Shifted { col, .. } => cost[col] += sign * def.obj,
-            ColMap::Mirrored { col, .. } => cost[col] -= sign * def.obj,
-            ColMap::Free { pos, neg } => {
-                cost[pos] += sign * def.obj;
-                cost[neg] -= sign * def.obj;
-            }
-        }
-    }
+    let cost = phase2_cost(p, &std_form.maps, total);
     tableau.run(&cost, art_start)?;
 
-    // --- 5. Extract the user-space solution. -----------------------------
-    let col_values = tableau.column_values(total);
-    let mut values = vec![0.0; p.vars.len()];
-    for (v, map) in maps.iter().enumerate() {
-        values[v] = match *map {
-            ColMap::Shifted { col, lb } => col_values[col] + lb,
-            ColMap::Mirrored { col, ub } => ub - col_values[col],
-            ColMap::Free { pos, neg } => col_values[pos] - col_values[neg],
-        };
-    }
-    let objective: f64 = p.vars.iter().enumerate().map(|(v, d)| d.obj * values[v]).sum();
-    Ok(Solution { objective, values, pivots: tableau.pivots, phase1_pivots })
+    Ok(extract(p, &std_form, &tableau, total, phase1_pivots, false))
 }
 
 struct Tableau {
@@ -305,31 +605,45 @@ impl Tableau {
     ///
     /// Pivoting uses Dantzig's most-negative-reduced-cost rule for
     /// speed, falling back to Bland's smallest-index rule (which cannot
-    /// cycle) after a run of degenerate pivots.
+    /// cycle) after a run of degenerate pivots. Reduced costs are
+    /// computed row-major (`r = c - c_Bᵀ B⁻¹A` accumulated row by row),
+    /// skipping rows whose basic column has zero cost — the cache-
+    /// friendly layout for the dense tableau.
     fn run(&mut self, cost: &[f64], allowed_cols: usize) -> Result<f64, LpError> {
         let m = self.a.len();
+        let width = self.a.first().map_or(0, Vec::len);
+        let mut is_basic = vec![false; width];
+        for &j in &self.basis {
+            is_basic[j] = true;
+        }
+        let mut reduced = vec![0.0; allowed_cols];
         let mut degenerate_streak = 0usize;
         loop {
             let use_bland = degenerate_streak > 64;
             // Reduced costs: r_j = c_j - c_B' * col_j (tableau is kept in
             // B^{-1}A form by Gauss-Jordan pivots).
-            let mut entering: Option<(usize, f64)> = None;
-            for j in 0..allowed_cols {
-                if self.basis.contains(&j) {
+            reduced.copy_from_slice(&cost[..allowed_cols]);
+            for i in 0..m {
+                let cb = cost[self.basis[i]];
+                if cb == 0.0 {
                     continue;
                 }
-                let mut r = cost[j];
-                for i in 0..m {
-                    r -= cost[self.basis[i]] * self.a[i][j];
+                let row = &self.a[i][..allowed_cols];
+                for (r, &aij) in reduced.iter_mut().zip(row) {
+                    *r -= cb * aij;
                 }
-                if r < -self.tol {
-                    if use_bland {
-                        entering = Some((j, r)); // first (smallest) index
-                        break;
-                    }
-                    if entering.is_none_or(|(_, best)| r < best) {
-                        entering = Some((j, r));
-                    }
+            }
+            let mut entering: Option<(usize, f64)> = None;
+            for (j, &r) in reduced.iter().enumerate() {
+                if is_basic[j] || r >= -self.tol {
+                    continue;
+                }
+                if use_bland {
+                    entering = Some((j, r)); // first (smallest) index
+                    break;
+                }
+                if entering.is_none_or(|(_, best)| r < best) {
+                    entering = Some((j, r));
                 }
             }
             let Some((j, _)) = entering else {
@@ -363,6 +677,8 @@ impl Tableau {
             } else {
                 degenerate_streak = 0;
             }
+            is_basic[self.basis[i]] = false;
+            is_basic[j] = true;
             self.pivot(i, j);
             self.pivots += 1;
             if self.pivots > self.max_pivots {
@@ -437,6 +753,7 @@ mod tests {
         assert_near(s.value(y), 6.0);
         assert!(s.pivots() > 0, "optimum is off the origin, so pivots happened");
         assert_eq!(s.phase1_pivots(), 0, "all-slack basis needs no phase 1");
+        assert!(!s.warm_started());
     }
 
     #[test]
@@ -663,5 +980,179 @@ mod tests {
         // Hand plan: x00=9,x01=1 (cost 36+6=42); x11=10,x12=2 (40+14=54);
         // x22=8 (32) → total 128. Solver must do no worse.
         assert!(s.objective() <= 128.0 + 1e-7);
+    }
+
+    // --- Warm-start behavior --------------------------------------------
+
+    /// A small transportation-style LP whose ≥/= rows force a real
+    /// phase 1, parameterized by its right-hand sides.
+    fn phase1_heavy(rhs: [f64; 3]) -> (Problem, VarId, VarId) {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 2.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 3.0);
+        p.add_ge(vec![(x, 1.0), (y, 1.0)], rhs[0]);
+        p.add_ge(vec![(x, 1.0)], rhs[1]);
+        p.add_ge(vec![(y, 1.0)], rhs[2]);
+        (p, x, y)
+    }
+
+    #[test]
+    fn warm_restart_of_identical_problem_needs_zero_pivots() {
+        let (p, _, _) = phase1_heavy([10.0, 2.0, 3.0]);
+        let cold = p.solve().unwrap();
+        assert!(cold.pivots() > 0);
+        let warm = p.solve_warm_with(&SimplexOptions::default(), Some(cold.basis())).unwrap();
+        assert!(warm.warm_started());
+        assert_eq!(warm.pivots(), 0, "the old optimum is still optimal");
+        assert_eq!(warm.phase1_pivots(), 0);
+        assert_near(warm.objective(), cold.objective());
+        // Re-installation may assign basis columns to rows in a different
+        // order (partial pivoting picks rows by magnitude), but the basis
+        // as a set of columns is unchanged.
+        let mut warm_cols = warm.basis().columns().to_vec();
+        let mut cold_cols = cold.basis().columns().to_vec();
+        warm_cols.sort_unstable();
+        cold_cols.sort_unstable();
+        assert_eq!(warm_cols, cold_cols);
+        assert_eq!(warm.basis().num_cols(), cold.basis().num_cols());
+    }
+
+    #[test]
+    fn warm_restart_with_perturbed_rhs_matches_cold() {
+        let (p0, _, _) = phase1_heavy([10.0, 2.0, 3.0]);
+        let cold0 = p0.solve().unwrap();
+        // Same structure, shifted right-hand sides.
+        let (p1, x, y) = phase1_heavy([12.0, 3.0, 4.0]);
+        let cold1 = p1.solve().unwrap();
+        let warm1 =
+            p1.solve_warm_with(&SimplexOptions::default(), Some(cold0.basis())).unwrap();
+        assert!(warm1.warm_started());
+        assert_near(warm1.objective(), cold1.objective());
+        assert_near(warm1.value(x), cold1.value(x));
+        assert_near(warm1.value(y), cold1.value(y));
+        assert!(
+            warm1.pivots() < cold1.pivots(),
+            "warm restart must beat the cold solve: {} vs {}",
+            warm1.pivots(),
+            cold1.pivots()
+        );
+    }
+
+    #[test]
+    fn warm_restart_with_perturbed_costs_matches_cold() {
+        let (p0, _, _) = phase1_heavy([10.0, 2.0, 3.0]);
+        let cold0 = p0.solve().unwrap();
+        // Flip the cost gradient: now y is the cheap variable.
+        let (mut p1, x, y) = phase1_heavy([10.0, 2.0, 3.0]);
+        p1.set_objective(x, 5.0);
+        p1.set_objective(y, 1.0);
+        let cold1 = p1.solve().unwrap();
+        let warm1 =
+            p1.solve_warm_with(&SimplexOptions::default(), Some(cold0.basis())).unwrap();
+        assert!(warm1.warm_started());
+        assert_near(warm1.objective(), cold1.objective());
+    }
+
+    #[test]
+    fn stale_basis_dimension_mismatch_falls_back_to_cold() {
+        let (p0, _, _) = phase1_heavy([10.0, 2.0, 3.0]);
+        let cold0 = p0.solve().unwrap();
+        // A structurally different problem (extra variable and row).
+        let mut p1 = Problem::new(Sense::Minimize);
+        let x = p1.add_var("x", 0.0, f64::INFINITY, 2.0);
+        let y = p1.add_var("y", 0.0, f64::INFINITY, 3.0);
+        let w = p1.add_var("w", 0.0, f64::INFINITY, 1.0);
+        p1.add_ge(vec![(x, 1.0), (y, 1.0), (w, 1.0)], 10.0);
+        p1.add_ge(vec![(x, 1.0)], 2.0);
+        p1.add_ge(vec![(y, 1.0)], 3.0);
+        p1.add_le(vec![(w, 1.0)], 4.0);
+        let cold1 = p1.solve().unwrap();
+        let warm1 =
+            p1.solve_warm_with(&SimplexOptions::default(), Some(cold0.basis())).unwrap();
+        assert!(!warm1.warm_started(), "mismatched basis must fall back cleanly");
+        assert_near(warm1.objective(), cold1.objective());
+        assert_eq!(warm1.pivots(), cold1.pivots());
+    }
+
+    #[test]
+    fn infeasible_restart_is_repaired_in_place() {
+        // The optimal basis at a loose bound becomes primal-infeasible
+        // when the bound row's RHS moves past the ≥ row. The warm path
+        // must repair the violated rows with a local phase 1 instead of
+        // rejecting the basis.
+        let build = |cap: f64| {
+            let mut p = Problem::new(Sense::Minimize);
+            let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+            let y = p.add_var("y", 0.0, f64::INFINITY, 4.0);
+            p.add_ge(vec![(x, 1.0), (y, 1.0)], 10.0);
+            p.add_le(vec![(x, 1.0)], cap);
+            p
+        };
+        let p0 = build(20.0); // cap slack: optimum x=10, y=0
+        let cold0 = p0.solve().unwrap();
+        let p1 = build(4.0); // cap binds: optimum x=4, y=6
+        let cold1 = p1.solve().unwrap();
+        let warm1 =
+            p1.solve_warm_with(&SimplexOptions::default(), Some(cold0.basis())).unwrap();
+        assert!(warm1.warm_started(), "same-structure basis must be repaired, not rejected");
+        assert!(warm1.phase1_pivots() >= 1, "the moved RHS requires repair pivots");
+        assert_near(warm1.objective(), cold1.objective());
+        let warm_vals = warm1.values().to_vec();
+        assert_near(warm_vals[0], cold1.values()[0]);
+        assert_near(warm_vals[1], cold1.values()[1]);
+    }
+
+    #[test]
+    fn solution_carries_a_basis_of_the_standardized_shape() {
+        let (p, _, _) = phase1_heavy([10.0, 2.0, 3.0]);
+        let s = p.solve().unwrap();
+        // 3 constraints, no bound rows → 3 rows; 2 structural + 3 surplus
+        // columns → 5 standardized columns.
+        assert_eq!(s.basis().num_rows(), 3);
+        assert_eq!(s.basis().num_cols(), 5);
+        assert_eq!(s.basis().columns().len(), 3);
+    }
+
+    #[test]
+    fn basis_serde_roundtrip() {
+        let (p, _, _) = phase1_heavy([10.0, 2.0, 3.0]);
+        let basis = p.solve().unwrap().basis().clone();
+        let back = Basis::from_value(&basis.to_value()).unwrap();
+        assert_eq!(back, basis);
+    }
+
+    // --- Pivot budget ----------------------------------------------------
+
+    #[test]
+    fn auto_pivot_budget_formula_is_pinned() {
+        assert_eq!(SimplexOptions::auto_pivot_budget(0, 0), 10_000);
+        assert_eq!(SimplexOptions::auto_pivot_budget(7, 13), 200 * 20 + 10_000);
+    }
+
+    #[test]
+    fn auto_budget_derives_from_standardized_dims_only() {
+        // Regression: the budget must come from the standardized tableau
+        // (bound rows + slack columns, no artificials), computed in one
+        // place for cold and warm solves alike. This problem standardizes
+        // differently from its user-facing shape: 2 vars / 2 constraints
+        // become 3 rows (one bound row for the doubly-bounded x) and
+        // 3 + 3 columns (x, y⁺, y⁻ structural? no: x shifted, y free →
+        // 3 structural) + 3 slacks.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 1.0, 5.0, 1.0); // shifted + bound row
+        let y = p.add_var("y", f64::NEG_INFINITY, f64::INFINITY, -1.0); // free: 2 cols
+        p.add_le(vec![(x, 1.0), (y, 1.0)], 10.0);
+        p.add_ge(vec![(y, 1.0)], -3.0);
+        let std_form = standardize(&p);
+        let rows = std_form.a.len();
+        let cols = std_form.struct_and_slack;
+        assert_eq!(rows, 3, "2 constraints + 1 bound row");
+        assert_eq!(cols, 3 + 3, "x + y⁺ + y⁻ structural, 3 slack/surplus");
+        assert_eq!(
+            SimplexOptions::auto_pivot_budget(rows, cols),
+            200 * (rows + cols) + 10_000
+        );
+        // The budget is generous: the default options solve this within it.
+        assert!(p.solve().unwrap().pivots() <= SimplexOptions::auto_pivot_budget(rows, cols));
     }
 }

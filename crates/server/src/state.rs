@@ -357,6 +357,7 @@ mod tests {
                 histories: vec![vec![0.5, 0.25], vec![0.0, 1.0]],
                 last_plan: None,
                 pending_events: Vec::new(),
+                lp_basis: None,
             },
             buffered: Vec::new(),
             total_observations: 123,
@@ -383,6 +384,7 @@ mod tests {
                 histories: Vec::new(),
                 last_plan: None,
                 pending_events: Vec::new(),
+                lp_basis: None,
             },
             buffered: Vec::new(),
             total_observations: 0,

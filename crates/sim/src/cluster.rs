@@ -32,7 +32,14 @@ impl Cluster {
             }
             by_type.push(ids);
         }
-        Cluster { catalog, machines, by_type, switch_count: 0, switch_cost: 0.0, boot_factor: 1.0 }
+        Cluster {
+            catalog,
+            machines,
+            by_type,
+            switch_count: 0,
+            switch_cost: 0.0,
+            boot_factor: 1.0,
+        }
     }
 
     /// The catalog this cluster was built from.
@@ -78,7 +85,11 @@ impl Cluster {
     pub fn active_per_type(&self) -> Vec<usize> {
         self.by_type
             .iter()
-            .map(|ids| ids.iter().filter(|id| self.machines[id.0].is_active()).count())
+            .map(|ids| {
+                ids.iter()
+                    .filter(|id| self.machines[id.0].is_active())
+                    .count()
+            })
             .collect()
     }
 
@@ -86,7 +97,11 @@ impl Cluster {
     pub fn used_per_type(&self) -> Vec<usize> {
         self.by_type
             .iter()
-            .map(|ids| ids.iter().filter(|id| self.machines[id.0].running_tasks() > 0).count())
+            .map(|ids| {
+                ids.iter()
+                    .filter(|id| self.machines[id.0].running_tasks() > 0)
+                    .count()
+            })
             .collect()
     }
 
@@ -201,7 +216,11 @@ impl Cluster {
     /// Sets the boot-time multiplier (slow-boot fault windows). Values
     /// below a sane floor are clamped so boots always terminate.
     pub fn set_boot_factor(&mut self, factor: f64) {
-        self.boot_factor = if factor.is_finite() { factor.max(0.01) } else { 1.0 };
+        self.boot_factor = if factor.is_finite() {
+            factor.max(0.01)
+        } else {
+            1.0
+        };
     }
 
     /// Crashes one machine (fault injection): it drops every hosted
@@ -235,7 +254,13 @@ impl Cluster {
     /// Moves one running task's allocation from `src` to `dst` (both
     /// must be able to honor it). Returns `false` and changes nothing if
     /// `dst` cannot host the demand or `src` has no running tasks.
-    pub fn migrate(&mut self, src: MachineId, dst: MachineId, demand: Resources, now: SimTime) -> bool {
+    pub fn migrate(
+        &mut self,
+        src: MachineId,
+        dst: MachineId,
+        demand: Resources,
+        now: SimTime,
+    ) -> bool {
         if src == dst
             || self.machines[src.0].running_tasks() == 0
             || !self.machines[dst.0].can_place(demand)
@@ -419,7 +444,11 @@ mod tests {
         c.boot_complete(ids[0], SimTime::ZERO + harmony_model::SimDuration::ZERO);
         c.accrue_all(SimTime::from_hours(1.0));
         // DL585 idle = 280 W for 1h.
-        assert!((c.total_energy_wh() - 280.0).abs() < 1.0, "wh = {}", c.total_energy_wh());
+        assert!(
+            (c.total_energy_wh() - 280.0).abs() < 1.0,
+            "wh = {}",
+            c.total_energy_wh()
+        );
         assert!(c.total_power_watts() >= 280.0);
     }
 }

@@ -45,17 +45,26 @@ pub struct ControlDecision {
 impl ControlDecision {
     /// Keep everything as it is (an empty decision).
     pub fn unchanged(cluster: &Cluster) -> Self {
-        ControlDecision { target_active: cluster.active_per_type(), repack: false }
+        ControlDecision {
+            target_active: cluster.active_per_type(),
+            repack: false,
+        }
     }
 
     /// A plain capacity target without re-packing.
     pub fn targets(target_active: Vec<usize>) -> Self {
-        ControlDecision { target_active, repack: false }
+        ControlDecision {
+            target_active,
+            repack: false,
+        }
     }
 
     /// A capacity target with re-packing enabled.
     pub fn targets_with_repack(target_active: Vec<usize>) -> Self {
-        ControlDecision { target_active, repack: true }
+        ControlDecision {
+            target_active,
+            repack: true,
+        }
     }
 }
 

@@ -110,7 +110,10 @@ enum EventKind {
     /// Task completion. `epoch` stamps the placement that scheduled it:
     /// a stale completion (the task was evicted and re-queued since) is
     /// ignored.
-    Finish { task_idx: usize, epoch: u32 },
+    Finish {
+        task_idx: usize,
+        epoch: u32,
+    },
     BootDone(MachineId),
     Control,
     Sample,
@@ -193,7 +196,10 @@ impl Placements {
     }
 
     fn on(&self, machine: MachineId) -> &[usize] {
-        self.residents.get(&machine).map(Vec::as_slice).unwrap_or(&[])
+        self.residents
+            .get(&machine)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 }
 
@@ -266,7 +272,11 @@ struct RunState {
 impl RunState {
     fn push(&mut self, time: SimTime, kind: EventKind) {
         self.seq += 1;
-        self.heap.push(HeapItem { time, seq: self.seq, kind });
+        self.heap.push(HeapItem {
+            time,
+            seq: self.seq,
+            kind,
+        });
     }
 }
 
@@ -274,7 +284,12 @@ impl<'t> Simulation<'t> {
     /// Builds a simulation without a capacity controller (machine states
     /// change only via the initial condition).
     pub fn new(config: SimulationConfig, trace: &'t Trace, scheduler: Box<dyn Scheduler>) -> Self {
-        Simulation { config, trace, scheduler, controller: None }
+        Simulation {
+            config,
+            trace,
+            scheduler,
+            controller: None,
+        }
     }
 
     /// Attaches a dynamic-capacity-provisioning controller.
@@ -329,8 +344,14 @@ impl<'t> Simulation<'t> {
 
         if self.config.all_on {
             for ty in 0..st.cluster.catalog().len() {
-                let boot_time = st.cluster.catalog().machine_type(MachineTypeId(ty)).boot_time;
-                let (ids, _) = st.cluster.power_on(MachineTypeId(ty), usize::MAX, SimTime::ZERO);
+                let boot_time = st
+                    .cluster
+                    .catalog()
+                    .machine_type(MachineTypeId(ty))
+                    .boot_time;
+                let (ids, _) = st
+                    .cluster
+                    .power_on(MachineTypeId(ty), usize::MAX, SimTime::ZERO);
                 for id in ids {
                     // On from t=0: complete the boot at its nominal ready
                     // time without advancing the clock.
@@ -374,7 +395,12 @@ impl<'t> Simulation<'t> {
         // Pre-compute per-task schedulability against the catalog.
         let schedulable: Vec<bool> = tasks
             .iter()
-            .map(|t| self.config.catalog.iter().any(|m| t.demand.fits_within(m.capacity)))
+            .map(|t| {
+                self.config
+                    .catalog
+                    .iter()
+                    .any(|m| t.demand.fits_within(m.capacity))
+            })
             .collect();
 
         while let Some(item) = st.heap.pop() {
@@ -429,13 +455,18 @@ impl<'t> Simulation<'t> {
                             arrived_this_period.drain(..).map(|i| tasks[i]).collect();
                         let running_tasks: Vec<Task> =
                             st.running_set.iter().map(|&i| tasks[i]).collect();
-                        let decision = controller.decide(&Observation {
-                            now,
-                            cluster: &st.cluster,
-                            pending: &pending_tasks,
-                            arrived_last_period: &arrived,
-                            running: &running_tasks,
-                        });
+                        // The sim clock is virtual; this times the real
+                        // cost of the provisioning hot path per period.
+                        let decision =
+                            harmony_telemetry::global().time("sim.controller_seconds", || {
+                                controller.decide(&Observation {
+                                    now,
+                                    cluster: &st.cluster,
+                                    pending: &pending_tasks,
+                                    arrived_last_period: &arrived,
+                                    running: &running_tasks,
+                                })
+                            });
                         st.degradations.extend(controller.take_degradations());
                         let active = st.cluster.active_per_type();
                         for (ty, (&target, &current)) in
@@ -457,8 +488,13 @@ impl<'t> Simulation<'t> {
                             }
                         }
                         if decision.repack {
-                            st.migrations +=
-                                repack(&mut st.cluster, &decision.target_active, &mut st.placements, tasks, now);
+                            st.migrations += repack(
+                                &mut st.cluster,
+                                &decision.target_active,
+                                &mut st.placements,
+                                tasks,
+                                now,
+                            );
                         }
                         let next = now + controller.control_period();
                         if next <= end {
@@ -493,8 +529,9 @@ impl<'t> Simulation<'t> {
                     match event.kind {
                         FaultKind::MachineCrash { down } => {
                             let candidates = crash_candidates(&st);
-                            let victim =
-                                injector.as_mut().and_then(|inj| inj.pick_machine(&candidates));
+                            let victim = injector
+                                .as_mut()
+                                .and_then(|inj| inj.pick_machine(&candidates));
                             if let Some(id) = victim {
                                 // Evict residents first (the crash zeroes
                                 // the machine's allocation wholesale, so
@@ -583,7 +620,10 @@ impl<'t> Simulation<'t> {
                 }
                 EventKind::SlowBootEnd => {
                     st.cluster.set_boot_factor(1.0);
-                    st.faults.push(FaultRecord { at: now, kind: FaultRecordKind::SlowBootEnd });
+                    st.faults.push(FaultRecord {
+                        at: now,
+                        kind: FaultRecordKind::SlowBootEnd,
+                    });
                 }
             }
         }
@@ -606,7 +646,9 @@ impl<'t> Simulation<'t> {
                 registry.counter(name).add(n);
             }
         }
-        registry.gauge("sim.pending_peak").set_max(pending_peak as f64);
+        registry
+            .gauge("sim.pending_peak")
+            .set_max(pending_peak as f64);
 
         SimReport {
             delays_by_group: st.delays,
@@ -648,7 +690,9 @@ impl<'t> Simulation<'t> {
         }
         self.scheduler.on_finished(task, machine, &st.cluster);
         st.running_set.remove(&idx);
-        let ran = now.saturating_since(st.task_state.started_at[idx]).as_secs();
+        let ran = now
+            .saturating_since(st.task_state.started_at[idx])
+            .as_secs();
         st.task_state.remaining_secs[idx] = (st.task_state.remaining_secs[idx] - ran).max(1.0);
         st.task_state.epoch[idx] += 1;
         st.task_state.retries[idx] += 1;
@@ -674,14 +718,22 @@ impl<'t> Simulation<'t> {
     ) {
         let task = &tasks[idx];
         self.scheduler.on_placed(task, machine, &st.cluster);
-        let delay = now.saturating_since(st.task_state.queued_since[idx]).as_secs();
+        let delay = now
+            .saturating_since(st.task_state.queued_since[idx])
+            .as_secs();
         st.delays[task.priority.group().index()].push(delay);
         st.running_set.insert(idx);
         st.placements.insert(idx, machine);
         st.task_state.started_at[idx] = now;
         let finish = now + SimDuration::from_secs(st.task_state.remaining_secs[idx]);
         let epoch = st.task_state.epoch[idx];
-        st.push(finish, EventKind::Finish { task_idx: idx, epoch });
+        st.push(
+            finish,
+            EventKind::Finish {
+                task_idx: idx,
+                epoch,
+            },
+        );
     }
 
     /// Tries regular placement, then (for non-gratis tasks, with
@@ -741,7 +793,9 @@ impl<'t> Simulation<'t> {
             // Suspend/resume: keep the work done so far, only the
             // remainder runs after re-placement. Bump the epoch so the
             // scheduled finish event is ignored.
-            let ran = now.saturating_since(st.task_state.started_at[victim]).as_secs();
+            let ran = now
+                .saturating_since(st.task_state.started_at[victim])
+                .as_secs();
             st.task_state.remaining_secs[victim] =
                 (st.task_state.remaining_secs[victim] - ran).max(1.0);
             st.task_state.epoch[victim] += 1;
@@ -835,16 +889,17 @@ fn crash_candidates(st: &RunState) -> Vec<MachineId> {
     if !busy.is_empty() {
         return busy;
     }
-    st.cluster.machines().iter().filter(|m| m.is_active()).map(|m| m.id()).collect()
+    st.cluster
+        .machines()
+        .iter()
+        .filter(|m| m.is_active())
+        .map(|m| m.id())
+        .collect()
 }
 
 /// Finds the machine where evicting the fewest lower-priority-group
 /// tasks makes room for `task`. Returns the machine and the victim set.
-fn find_preemption(
-    st: &RunState,
-    tasks: &[Task],
-    task: &Task,
-) -> Option<(MachineId, Vec<usize>)> {
+fn find_preemption(st: &RunState, tasks: &[Task], task: &Task) -> Option<(MachineId, Vec<usize>)> {
     let group = task.priority.group().index();
     let mut best: Option<(MachineId, Vec<usize>)> = None;
     for m in st.cluster.machines() {
@@ -863,7 +918,10 @@ fn find_preemption(
         }
         // Evict the largest victims first to minimize the victim count.
         lower.sort_by(|&a, &b| {
-            f64::total_cmp(&tasks[b].demand.sum_components(), &tasks[a].demand.sum_components())
+            f64::total_cmp(
+                &tasks[b].demand.sum_components(),
+                &tasks[a].demand.sum_components(),
+            )
         });
         let mut freed = m.free();
         let mut victims = Vec::new();
@@ -903,7 +961,10 @@ fn repack(
     for (m_ty, &target) in targets.iter().enumerate() {
         let ty = MachineTypeId(m_ty);
         let ids: Vec<MachineId> = cluster.machines_of_type(ty).to_vec();
-        let active = ids.iter().filter(|id| cluster.machine(**id).is_active()).count();
+        let active = ids
+            .iter()
+            .filter(|id| cluster.machine(**id).is_active())
+            .count();
         let mut excess = active.saturating_sub(target);
         if excess == 0 {
             continue;
@@ -938,7 +999,10 @@ fn repack(
             let mut feasible = true;
             for &idx in &resident {
                 let demand = tasks[idx].demand;
-                match free.iter_mut().find(|(_, room, _)| demand.fits_within(*room)) {
+                match free
+                    .iter_mut()
+                    .find(|(_, room, _)| demand.fits_within(*room))
+                {
                     Some((dst, room, _)) => {
                         *room -= demand;
                         plan.push((idx, *dst));
@@ -1018,7 +1082,10 @@ mod tests {
         let config = SimulationConfig::new(MachineCatalog::table2().scaled(50));
         let report = Simulation::new(config, &trace, Box::new(FirstFit)).run();
         assert_eq!(report.tasks_completed, 0);
-        assert_eq!(report.tasks_pending_at_end + report.tasks_unschedulable, trace.len());
+        assert_eq!(
+            report.tasks_pending_at_end + report.tasks_unschedulable,
+            trace.len()
+        );
         assert_eq!(report.total_energy_wh, 0.0);
     }
 
@@ -1044,7 +1111,10 @@ mod tests {
             .run();
         // 2-hour trace, 10-min samples → 13 samples (0..=120 min).
         assert_eq!(report.series.len(), 13);
-        assert!(report.series.iter().all(|p| p.active_per_type.iter().sum::<usize>() > 0));
+        assert!(report
+            .series
+            .iter()
+            .all(|p| p.active_per_type.iter().sum::<usize>() > 0));
     }
 
     /// A controller that powers everything on at the first tick.
@@ -1058,7 +1128,12 @@ mod tests {
 
         fn decide(&mut self, observation: &Observation<'_>) -> ControlDecision {
             ControlDecision::targets(
-                observation.cluster.catalog().iter().map(|t| t.count).collect(),
+                observation
+                    .cluster
+                    .catalog()
+                    .iter()
+                    .map(|t| t.count)
+                    .collect(),
             )
         }
     }
@@ -1074,7 +1149,10 @@ mod tests {
         assert!(report.switch_count > 0);
         assert!(report.switch_cost_dollars > 0.0);
         let last = report.series.last().unwrap();
-        assert_eq!(last.active_per_type.iter().sum::<usize>(), 140 + 30 + 20 + 10);
+        assert_eq!(
+            last.active_per_type.iter().sum::<usize>(),
+            140 + 30 + 20 + 10
+        );
     }
 
     /// A controller that oscillates capacity to exercise off/on churn.
@@ -1090,8 +1168,12 @@ mod tests {
 
         fn decide(&mut self, observation: &Observation<'_>) -> ControlDecision {
             self.tick += 1;
-            let full: Vec<usize> =
-                observation.cluster.catalog().iter().map(|t| t.count).collect();
+            let full: Vec<usize> = observation
+                .cluster
+                .catalog()
+                .iter()
+                .map(|t| t.count)
+                .collect();
             if self.tick.is_multiple_of(2) {
                 ControlDecision::targets(vec![0; full.len()])
             } else {
@@ -1107,7 +1189,11 @@ mod tests {
         let report = Simulation::new(config, &trace, Box::new(FirstFit))
             .with_controller(Box::new(FlipFlopController { tick: 0 }))
             .run();
-        assert!(report.switch_count >= 4, "switches = {}", report.switch_count);
+        assert!(
+            report.switch_count >= 4,
+            "switches = {}",
+            report.switch_count
+        );
         conservation(&report, &trace);
     }
 
@@ -1137,7 +1223,9 @@ mod tests {
         )
         .run();
         let without = Simulation::new(
-            SimulationConfig::new(catalog).all_machines_on().without_preemption(),
+            SimulationConfig::new(catalog)
+                .all_machines_on()
+                .without_preemption(),
             &trace,
             Box::new(FirstFit),
         )
@@ -1222,7 +1310,9 @@ mod tests {
         let trace = small_trace();
         let plan = FaultPlan::new(3).with_event(
             SimTime::from_secs(600.0),
-            FaultKind::ArrivalBurst { window: SimDuration::from_mins(30.0) },
+            FaultKind::ArrivalBurst {
+                window: SimDuration::from_mins(30.0),
+            },
         );
         let config = SimulationConfig::new(MachineCatalog::table2().scaled(50))
             .all_machines_on()
@@ -1233,15 +1323,20 @@ mod tests {
             FaultRecordKind::ArrivalBurst { tasks_warped } => Some(tasks_warped),
             _ => None,
         });
-        assert!(warped.unwrap_or(0) > 0, "a 30-minute window should catch arrivals");
+        assert!(
+            warped.unwrap_or(0) > 0,
+            "a 30-minute window should catch arrivals"
+        );
     }
 
     #[test]
     fn retry_budget_zero_fails_interrupted_tasks() {
         use crate::faults::{FaultKind, FaultPlan};
         let trace = small_trace();
-        let plan = FaultPlan::new(9)
-            .with_event(SimTime::from_secs(1800.0), FaultKind::TaskEviction { count: 5 });
+        let plan = FaultPlan::new(9).with_event(
+            SimTime::from_secs(1800.0),
+            FaultKind::TaskEviction { count: 5 },
+        );
         let config = SimulationConfig::new(MachineCatalog::table2().scaled(50))
             .all_machines_on()
             .with_faults(plan)
@@ -1257,7 +1352,10 @@ mod tests {
             })
             .sum();
         if evicted_or_failed > 0 {
-            assert_eq!(report.tasks_failed, evicted_or_failed, "budget 0 drops every victim");
+            assert_eq!(
+                report.tasks_failed, evicted_or_failed,
+                "budget 0 drops every victim"
+            );
         }
     }
 

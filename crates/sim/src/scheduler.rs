@@ -78,7 +78,9 @@ pub struct EnergyEfficientFirstFit {
 impl EnergyEfficientFirstFit {
     /// Builds the policy for a cluster's catalog.
     pub fn new(cluster: &Cluster) -> Self {
-        EnergyEfficientFirstFit { order: cluster.catalog().by_energy_efficiency() }
+        EnergyEfficientFirstFit {
+            order: cluster.catalog().by_energy_efficiency(),
+        }
     }
 }
 

@@ -54,10 +54,15 @@ fn untag(v: &Value) -> Result<(&str, &Value), DeError> {
     match v {
         Value::String(tag) => Ok((tag.as_str(), &Value::Null)),
         Value::Object(map) if map.len() == 1 => {
-            let (tag, payload) = map.iter().next().ok_or_else(|| DeError::new("empty variant"))?;
+            let (tag, payload) = map
+                .iter()
+                .next()
+                .ok_or_else(|| DeError::new("empty variant"))?;
             Ok((tag.as_str(), payload))
         }
-        _ => Err(DeError::new("expected an enum variant (string or single-key object)")),
+        _ => Err(DeError::new(
+            "expected an enum variant (string or single-key object)",
+        )),
     }
 }
 
@@ -141,7 +146,10 @@ impl Serialize for FaultKind {
             }
             FaultKind::SlowBoot { factor, duration } => tagged(
                 "SlowBoot",
-                object(&[("factor", factor.to_value()), ("duration", duration.to_value())]),
+                object(&[
+                    ("factor", factor.to_value()),
+                    ("duration", duration.to_value()),
+                ]),
             ),
             FaultKind::TaskEviction { count } => {
                 tagged("TaskEviction", object(&[("count", count.to_value())]))
@@ -212,7 +220,11 @@ impl Deserialize for FaultPlan {
 impl Serialize for FaultRecordKind {
     fn to_value(&self) -> Value {
         match self {
-            FaultRecordKind::MachineCrash { machine, evicted, failed } => tagged(
+            FaultRecordKind::MachineCrash {
+                machine,
+                evicted,
+                failed,
+            } => tagged(
                 "MachineCrash",
                 object(&[
                     ("machine", machine.to_value()),
@@ -220,20 +232,25 @@ impl Serialize for FaultRecordKind {
                     ("failed", failed.to_value()),
                 ]),
             ),
-            FaultRecordKind::MachineRecovered { machine } => {
-                tagged("MachineRecovered", object(&[("machine", machine.to_value())]))
-            }
+            FaultRecordKind::MachineRecovered { machine } => tagged(
+                "MachineRecovered",
+                object(&[("machine", machine.to_value())]),
+            ),
             FaultRecordKind::SlowBootStart { factor } => {
                 tagged("SlowBootStart", object(&[("factor", factor.to_value())]))
             }
             FaultRecordKind::SlowBootEnd => "SlowBootEnd".to_value(),
             FaultRecordKind::TaskEviction { evicted, failed } => tagged(
                 "TaskEviction",
-                object(&[("evicted", evicted.to_value()), ("failed", failed.to_value())]),
+                object(&[
+                    ("evicted", evicted.to_value()),
+                    ("failed", failed.to_value()),
+                ]),
             ),
-            FaultRecordKind::ArrivalBurst { tasks_warped } => {
-                tagged("ArrivalBurst", object(&[("tasks_warped", tasks_warped.to_value())]))
-            }
+            FaultRecordKind::ArrivalBurst { tasks_warped } => tagged(
+                "ArrivalBurst",
+                object(&[("tasks_warped", tasks_warped.to_value())]),
+            ),
         }
     }
 }
@@ -338,7 +355,15 @@ impl Deserialize for DelayStats {
 impl Serialize for SimReport {
     fn to_value(&self) -> Value {
         object(&[
-            ("delays_by_group", Value::Array(self.delays_by_group.iter().map(Serialize::to_value).collect())),
+            (
+                "delays_by_group",
+                Value::Array(
+                    self.delays_by_group
+                        .iter()
+                        .map(Serialize::to_value)
+                        .collect(),
+                ),
+            ),
             ("tasks_completed", self.tasks_completed.to_value()),
             ("tasks_running_at_end", self.tasks_running_at_end.to_value()),
             ("tasks_pending_at_end", self.tasks_pending_at_end.to_value()),
@@ -421,15 +446,27 @@ mod tests {
     #[test]
     fn fault_record_kinds_roundtrip() {
         let kinds = vec![
-            FaultRecordKind::MachineCrash { machine: MachineId(7), evicted: 3, failed: 1 },
-            FaultRecordKind::MachineRecovered { machine: MachineId(7) },
+            FaultRecordKind::MachineCrash {
+                machine: MachineId(7),
+                evicted: 3,
+                failed: 1,
+            },
+            FaultRecordKind::MachineRecovered {
+                machine: MachineId(7),
+            },
             FaultRecordKind::SlowBootStart { factor: 3.5 },
             FaultRecordKind::SlowBootEnd,
-            FaultRecordKind::TaskEviction { evicted: 10, failed: 0 },
+            FaultRecordKind::TaskEviction {
+                evicted: 10,
+                failed: 0,
+            },
             FaultRecordKind::ArrivalBurst { tasks_warped: 42 },
         ];
         for kind in kinds {
-            let record = FaultRecord { at: SimTime::from_secs(1.5), kind };
+            let record = FaultRecord {
+                at: SimTime::from_secs(1.5),
+                kind,
+            };
             let back = FaultRecord::from_value(&record.to_value()).unwrap();
             assert_eq!(back, record);
         }
@@ -493,7 +530,10 @@ mod tests {
         }
         .to_value();
         if let Value::Object(map) = &mut v {
-            map.insert("delays_by_group".to_owned(), Value::Array(vec![Value::Array(vec![])]));
+            map.insert(
+                "delays_by_group".to_owned(),
+                Value::Array(vec![Value::Array(vec![])]),
+            );
         }
         assert!(SimReport::from_value(&v).is_err());
     }

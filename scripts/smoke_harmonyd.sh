@@ -69,6 +69,12 @@ ctl tick
 ctl get-plan
 ctl snapshot
 
+# A second observation batch and tick so the controller attempts an LP
+# warm start from the basis the first tick left behind — that is what
+# makes the lp.warm_start_* counters move.
+ctl submit-observations --count 120 --seed 78
+ctl tick
+
 # The metrics verb must answer well-formed JSON whose counters reflect
 # the requests this very session just made.
 metrics_json="$workdir/metrics.json"
@@ -82,12 +88,28 @@ if m.get("type") != "metrics" or m.get("ok") is not True:
 counters = m.get("counters")
 if not isinstance(counters, dict):
     sys.exit(f"metrics response has no counters object: {m}")
-# submit-observations, tick, get-plan, snapshot ran before this verb.
-if counters.get("server.requests", 0) < 4:
+# Two submit-observations, two ticks, get-plan, snapshot ran before
+# this verb.
+if counters.get("server.requests", 0) < 6:
     sys.exit(f"server.requests counter missing or too low: {counters}")
-if counters.get("server.requests.tick", 0) < 1:
+if counters.get("server.requests.tick", 0) < 2:
     sys.exit(f"per-verb request counter missing: {counters}")
-print("metrics verb OK:", counters.get("server.requests"), "requests served")
+# The second tick attempted a warm LP start from the first tick's
+# basis; it must land in exactly one of these counters.
+warm = counters.get("lp.warm_start_hits", 0)
+cold = counters.get("lp.warm_start_fallbacks", 0)
+if warm + cold < 1:
+    sys.exit(f"warm-start counters missing or zero: {counters}")
+gauges = m.get("gauges")
+if not isinstance(gauges, dict):
+    sys.exit(f"metrics response has no gauges object: {m}")
+if gauges.get("pipeline.workers", 0) < 1:
+    sys.exit(f"pipeline.workers gauge missing: {gauges}")
+print(
+    "metrics verb OK:", counters.get("server.requests"), "requests;",
+    f"warm starts hit={warm} fallback={cold};",
+    "workers =", gauges.get("pipeline.workers"),
+)
 PY
 
 mkdir -p "$RESULTS_DIR"
