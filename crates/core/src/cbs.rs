@@ -402,7 +402,7 @@ mod tests {
         };
         let cheapest = (0..4)
             .filter(|&m| sizes[0].fits_within(catalog.machine_type(harmony_model::MachineTypeId(m)).capacity))
-            .min_by(|&a, &b| per_container_cost(a).partial_cmp(&per_container_cost(b)).unwrap())
+            .min_by(|&a, &b| per_container_cost(a).total_cmp(&per_container_cost(b)))
             .unwrap();
         assert!(
             plan.x[0][cheapest][0] > assigned * 0.5,

@@ -21,7 +21,7 @@ use crate::{Dataset, KMeansError};
 /// let data = Dataset::from_rows(vec![vec![0.0], vec![0.2], vec![10.0], vec![10.2]])?;
 /// let model = KMeans::new(2).seed(1).max_iterations(50).fit(&data)?;
 /// let mut centers: Vec<f64> = model.centroids().iter().map(|c| c[0]).collect();
-/// centers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+/// centers.sort_by(f64::total_cmp);
 /// assert!((centers[0] - 0.1).abs() < 1e-9);
 /// assert!((centers[1] - 10.1).abs() < 1e-9);
 /// # Ok::<(), harmony_kmeans::KMeansError>(())

@@ -1,0 +1,222 @@
+//! `lint.toml` — the checked-in allowlist.
+//!
+//! Findings are deny-by-default; the only sanctioned escape hatch is a
+//! scoped, reason-carrying entry here:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "lock-across-io"
+//! path = "crates/server/src/net.rs"
+//! contains = "svc.save_checkpoint()"   # optional line-text anchor
+//! reason = "ticker checkpoint must capture a consistent post-tick state"
+//! ```
+//!
+//! The parser is a deliberate TOML subset (table arrays of string
+//! pairs, `#` comments) so the linter stays zero-dependency. Unknown
+//! keys, missing fields, and empty reasons are hard errors — an allow
+//! that cannot say why it exists does not get to exist.
+
+use std::fs;
+use std::path::Path;
+
+use crate::engine::Finding;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: String,
+    pub path: String,
+    pub contains: Option<String>,
+    pub reason: String,
+    /// Line in `lint.toml` where the entry starts (for diagnostics).
+    pub line: u32,
+}
+
+/// Parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Config {
+    pub allows: Vec<Allow>,
+}
+
+impl Config {
+    /// Loads `lint.toml`; a missing file is an empty allowlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed line or
+    /// incomplete entry.
+    pub fn load(path: &Path) -> Result<Config, String> {
+        match fs::read_to_string(path) {
+            Ok(text) => Config::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+            Err(e) => Err(format!("read {}: {e}", path.display())),
+        }
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut allows: Vec<Allow> = Vec::new();
+        let mut current: Option<(Allow, bool)> = None; // (entry, has_reason)
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim().to_owned();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                finish(&mut current, &mut allows)?;
+                current = Some((
+                    Allow {
+                        rule: String::new(),
+                        path: String::new(),
+                        contains: None,
+                        reason: String::new(),
+                        line: lineno,
+                    },
+                    false,
+                ));
+                continue;
+            }
+            let Some((key, value)) = parse_kv(&line) else {
+                return Err(format!("lint.toml:{lineno}: expected `key = \"value\"`, got `{line}`"));
+            };
+            let Some((entry, has_reason)) = current.as_mut() else {
+                return Err(format!("lint.toml:{lineno}: `{key}` outside an [[allow]] entry"));
+            };
+            match key {
+                "rule" => entry.rule = value,
+                "path" => entry.path = value,
+                "contains" => entry.contains = Some(value),
+                "reason" => {
+                    entry.reason = value;
+                    *has_reason = true;
+                }
+                other => {
+                    return Err(format!("lint.toml:{lineno}: unknown key `{other}`"));
+                }
+            }
+        }
+        finish(&mut current, &mut allows)?;
+        Ok(Config { allows })
+    }
+
+    /// Index of the first allow matching `finding`, if any. `line_text`
+    /// is the source line the finding points at, used for the optional
+    /// `contains` anchor.
+    pub fn matching_allow(&self, finding: &Finding, line_text: &str) -> Option<usize> {
+        self.allows.iter().position(|a| {
+            a.rule == finding.rule
+                && (finding.path == a.path || finding.path.ends_with(&format!("/{}", a.path)))
+                && a.contains.as_ref().is_none_or(|c| line_text.contains(c.as_str()))
+        })
+    }
+}
+
+fn finish(current: &mut Option<(Allow, bool)>, allows: &mut Vec<Allow>) -> Result<(), String> {
+    if let Some((entry, has_reason)) = current.take() {
+        let at = entry.line;
+        if entry.rule.is_empty() || entry.path.is_empty() {
+            return Err(format!("lint.toml:{at}: [[allow]] needs both `rule` and `path`"));
+        }
+        if !has_reason || entry.reason.trim().is_empty() {
+            return Err(format!(
+                "lint.toml:{at}: [[allow]] for `{}` needs a non-empty `reason`",
+                entry.rule
+            ));
+        }
+        allows.push(entry);
+    }
+    Ok(())
+}
+
+/// Strips a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Parses `key = "value"`.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    let mut value = String::new();
+    let mut escaped = false;
+    for c in inner.chars() {
+        if escaped {
+            value.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else {
+            value.push(c);
+        }
+    }
+    Some((key.trim(), value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str) -> Finding {
+        Finding { path: path.to_owned(), line: 1, col: 1, rule, message: String::new() }
+    }
+
+    #[test]
+    fn parses_entries_and_matches_by_rule_path_and_contains() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[[allow]]
+rule = "lock-across-io"
+path = "crates/server/src/net.rs"
+contains = "save_checkpoint"
+reason = "final checkpoint runs after all threads joined"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.allows.len(), 1);
+        let f = finding("lock-across-io", "crates/server/src/net.rs");
+        assert_eq!(cfg.matching_allow(&f, "svc.save_checkpoint()"), Some(0));
+        assert_eq!(cfg.matching_allow(&f, "svc.tick_once()"), None);
+        let other = finding("panic-in-lib", "crates/server/src/net.rs");
+        assert_eq!(cfg.matching_allow(&other, "svc.save_checkpoint()"), None);
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let err = Config::parse("[[allow]]\nrule = \"x\"\npath = \"y\"\n").unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let err =
+            Config::parse("[[allow]]\nrule = \"x\"\npath = \"y\"\nreasn = \"typo\"\n").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let cfg = Config::load(Path::new("/nonexistent/lint.toml")).unwrap();
+        assert!(cfg.allows.is_empty());
+    }
+}

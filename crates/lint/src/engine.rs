@@ -1,0 +1,450 @@
+//! File model and rule driver.
+//!
+//! The engine lexes each source file once, derives token-level masks —
+//! which tokens sit inside `#[cfg(test)]` items, which sit under a
+//! scoped `#[allow(...)]` — and hands the annotated stream to every
+//! rule. Findings come back as `file:line:col [rule-id] message`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::{self, DriftData};
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// How a file participates in the build — rules scope on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code (`crates/*/src`, outside `src/bin`).
+    Lib,
+    /// Binary code (`src/bin/*`, `src/main.rs`).
+    Bin,
+    /// Integration tests (`crates/*/tests`, top-level `tests/`).
+    Test,
+    /// Examples.
+    Example,
+}
+
+/// A lexed file plus the per-token region masks rules consume.
+pub struct FileModel {
+    pub tokens: Vec<Token>,
+    /// Token is inside a `#[cfg(test)]` item (or the file is a test).
+    pub in_test: Vec<bool>,
+    /// Scoped `#[allow(...)]` regions: token index range + lint names.
+    pub allows: Vec<AllowRegion>,
+}
+
+#[derive(Debug)]
+pub struct AllowRegion {
+    pub start: usize,
+    pub end: usize,
+    pub lints: Vec<String>,
+}
+
+impl FileModel {
+    /// True when `#[allow(<lint>)]` covers token `idx`.
+    pub fn allowed(&self, idx: usize, lint: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|r| idx >= r.start && idx < r.end && r.lints.iter().any(|l| l == lint))
+    }
+}
+
+/// Everything a rule sees about one file.
+pub struct Ctx<'a> {
+    pub rel_path: &'a str,
+    pub kind: FileKind,
+    pub model: &'a FileModel,
+    pub drift: &'a DriftData,
+}
+
+/// Builds the file model: lex, then walk attributes to mark
+/// `#[cfg(test)]` items and scoped allows.
+pub fn build_model(src: &str, kind: FileKind) -> FileModel {
+    let tokens = lex(src);
+    let n = tokens.len();
+    let mut in_test = vec![kind == FileKind::Test; n];
+    let mut allows = Vec::new();
+
+    let mut i = 0usize;
+    let mut pending_test = false;
+    let mut pending_lints: Vec<String> = Vec::new();
+    let mut pending_start: Option<usize> = None;
+    while i < n {
+        if tokens[i].is_punct('#') {
+            let bang = i + 1 < n && tokens[i + 1].is_punct('!');
+            let open = i + 1 + usize::from(bang);
+            if open < n && tokens[open].is_punct('[') {
+                let close = matching_bracket(&tokens, open);
+                let attr = &tokens[open + 1..close.min(n)];
+                if !bang {
+                    pending_start.get_or_insert(i);
+                    if is_cfg_test(attr) {
+                        pending_test = true;
+                    }
+                    pending_lints.extend(allow_lints(attr));
+                } else if is_cfg_test(attr) {
+                    // `#![cfg(test)]`: the whole file is test code.
+                    in_test.iter_mut().for_each(|t| *t = true);
+                }
+                i = close.saturating_add(1);
+                continue;
+            }
+        }
+        if pending_test || !pending_lints.is_empty() {
+            let start = pending_start.unwrap_or(i);
+            let end = item_end(&tokens, i);
+            if pending_test {
+                for t in in_test.iter_mut().take(end.min(n)).skip(start) {
+                    *t = true;
+                }
+            }
+            if !pending_lints.is_empty() {
+                allows.push(AllowRegion {
+                    start,
+                    end,
+                    lints: std::mem::take(&mut pending_lints),
+                });
+            }
+            pending_test = false;
+            pending_start = None;
+            // Do not skip to `end`: nested attributes inside the item
+            // must be processed too.
+        } else {
+            pending_start = None;
+        }
+        i += 1;
+    }
+
+    FileModel { tokens, in_test, allows }
+}
+
+/// Index of the `]` matching the `[` at `open` (or the stream end).
+fn matching_bracket(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+/// End (exclusive token index) of the item starting at `i`: the first
+/// `;` at depth zero, or the `}` closing the first top-level brace.
+fn item_end(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(i) {
+        match t.kind {
+            TokenKind::Punct('(' | '[' | '{') => depth += 1,
+            TokenKind::Punct(')' | ']') => depth -= 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            TokenKind::Punct(';') if depth == 0 => return k + 1,
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+/// `cfg(...)` mentioning `test` (and not negated via `not`).
+fn is_cfg_test(attr: &[Token]) -> bool {
+    if attr.first().and_then(Token::ident) != Some("cfg") {
+        return false;
+    }
+    let mut saw_test = false;
+    let mut saw_not = false;
+    for t in attr {
+        match t.ident() {
+            Some("test") => saw_test = true,
+            Some("not") => saw_not = true,
+            _ => {}
+        }
+    }
+    saw_test && !saw_not
+}
+
+/// Lint paths named by an `allow(...)` attribute, joined with `::`.
+fn allow_lints(attr: &[Token]) -> Vec<String> {
+    if attr.first().and_then(Token::ident) != Some("allow") {
+        return Vec::new();
+    }
+    let mut lints = Vec::new();
+    let mut current = String::new();
+    for t in &attr[1..] {
+        match &t.kind {
+            TokenKind::Ident(name) => {
+                if !current.is_empty() && !current.ends_with("::") {
+                    current.push_str("::");
+                }
+                current.push_str(name);
+            }
+            TokenKind::Punct(':') => {}
+            TokenKind::Punct(',' | ')') if !current.is_empty() => {
+                lints.push(std::mem::take(&mut current));
+            }
+            _ => {}
+        }
+    }
+    if !current.is_empty() {
+        lints.push(current);
+    }
+    lints
+}
+
+/// Classifies a workspace-relative path.
+pub fn classify(rel_path: &str) -> FileKind {
+    if rel_path.contains("/src/bin/") || rel_path.ends_with("src/main.rs") {
+        FileKind::Bin
+    } else if rel_path.starts_with("examples/") || rel_path.contains("/examples/") {
+        FileKind::Example
+    } else if rel_path.starts_with("tests/")
+        || rel_path.contains("/tests/")
+        || rel_path.contains("/benches/")
+    {
+        FileKind::Test
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Runs every (filtered) rule over one file's source text.
+pub fn check_source(
+    rel_path: &str,
+    src: &str,
+    drift: &DriftData,
+    rule_filter: Option<&[String]>,
+) -> Vec<Finding> {
+    let kind = classify(rel_path);
+    let model = build_model(src, kind);
+    let ctx = Ctx { rel_path, kind, model: &model, drift };
+    let mut findings = Vec::new();
+    for rule in rules::all() {
+        if let Some(filter) = rule_filter {
+            if !filter.iter().any(|f| f == rule.id()) {
+                continue;
+            }
+        }
+        rule.check(&ctx, &mut findings);
+    }
+    findings
+}
+
+/// The result of a full workspace run.
+pub struct Report {
+    /// Findings that survived the allowlist, sorted by location.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by `lint.toml`.
+    pub allowed: usize,
+    /// Files scanned.
+    pub files: usize,
+}
+
+/// Walks the workspace at `root` and runs all rules.
+///
+/// # Errors
+///
+/// Returns a message when the root is not a workspace, `lint.toml` is
+/// malformed, or the telemetry key registry cannot be read.
+pub fn run(root: &Path, rule_filter: Option<&[String]>) -> Result<Report, String> {
+    let config = Config::load(&root.join("lint.toml"))?;
+    let drift = rules::DriftData::load(root)?;
+    let mut files = collect_files(root)?;
+    files.sort();
+
+    let mut findings = Vec::new();
+    for path in &files {
+        let src = fs::read_to_string(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel = rel_path(root, path);
+        for mut f in check_source(&rel, &src, &drift, rule_filter) {
+            f.path = rel.clone();
+            let line_text = src_line(&src, f.line);
+            findings.push((f, line_text));
+        }
+    }
+    // Workspace-level drift checks (registry duplicates, undocumented
+    // keys) are attributed to the registry file itself.
+    if rule_filter.is_none_or(|f| f.iter().any(|r| r == rules::METRIC_NAME_DRIFT)) {
+        for f in rules::registry_findings(&drift) {
+            findings.push((f, String::new()));
+        }
+    }
+
+    let mut used = vec![0usize; config.allows.len()];
+    let mut kept = Vec::new();
+    let mut allowed = 0usize;
+    for (finding, line_text) in findings {
+        match config.matching_allow(&finding, &line_text) {
+            Some(idx) => {
+                used[idx] += 1;
+                allowed += 1;
+            }
+            None => kept.push(finding),
+        }
+    }
+    // Stale allows are findings themselves — but only on unfiltered
+    // runs, where every rule had the chance to use them.
+    if rule_filter.is_none() {
+        for (idx, count) in used.iter().enumerate() {
+            if *count == 0 {
+                kept.push(Finding {
+                    path: "lint.toml".to_owned(),
+                    line: config.allows[idx].line,
+                    col: 1,
+                    rule: "unused-allow",
+                    message: format!(
+                        "allow for rule `{}` on `{}` matched nothing; remove it",
+                        config.allows[idx].rule, config.allows[idx].path
+                    ),
+                });
+            }
+        }
+    }
+    kept.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(Report { findings: kept, allowed, files: files.len() })
+}
+
+fn src_line(src: &str, line: u32) -> String {
+    src.lines()
+        .nth(line.saturating_sub(1) as usize)
+        .unwrap_or("")
+        .to_owned()
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Every workspace `.rs` file in scope: `crates/**`, top-level `tests/`
+/// and `examples/`. Vendored stand-ins and the lint fixture corpus
+/// (deliberate violations) are excluded.
+fn collect_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!(
+            "{} has no crates/ directory — pass the workspace root via --root",
+            root.display()
+        ));
+    }
+    let mut out = Vec::new();
+    walk(&crates_dir, &mut out)?;
+    for top in ["tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    out.retain(|p| {
+        let rel = rel_path(root, p);
+        !rel.starts_with("crates/lint/tests/fixtures/")
+    });
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_items_are_masked() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn b() { y.unwrap(); } }";
+        let model = build_model(src, FileKind::Lib);
+        let unwraps: Vec<(usize, bool)> = model
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.ident() == Some("unwrap"))
+            .map(|(i, _)| (i, model.in_test[i]))
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!unwraps[0].1, "lib unwrap must not be test-masked");
+        assert!(unwraps[1].1, "test-mod unwrap must be test-masked");
+    }
+
+    #[test]
+    fn allow_attribute_scopes_to_the_next_item() {
+        let src = "#[allow(clippy::unwrap_used)]\nfn a() { x.unwrap(); }\nfn b() { y.unwrap(); }";
+        let model = build_model(src, FileKind::Lib);
+        let unwraps: Vec<usize> = model
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.ident() == Some("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(model.allowed(unwraps[0], "clippy::unwrap_used"));
+        assert!(!model.allowed(unwraps[1], "clippy::unwrap_used"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn a() { x.unwrap(); }";
+        let model = build_model(src, FileKind::Lib);
+        assert!(model.in_test.iter().all(|t| !t));
+    }
+
+    #[test]
+    fn classify_kinds() {
+        assert_eq!(classify("crates/core/src/cbs.rs"), FileKind::Lib);
+        assert_eq!(classify("crates/server/src/bin/harmonyd.rs"), FileKind::Bin);
+        assert_eq!(classify("crates/sim/tests/determinism.rs"), FileKind::Test);
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Example);
+        assert_eq!(classify("tests/end_to_end.rs"), FileKind::Test);
+    }
+}

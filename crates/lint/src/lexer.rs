@@ -1,0 +1,488 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! Just enough fidelity for token-level lints with exact line/column
+//! reporting: comments (line, nested block, doc) are stripped, string
+//! shapes (plain, raw `r#".."#`, byte `b".."`, raw byte `br".."`) are
+//! recognized so their contents never masquerade as code, lifetimes are
+//! distinguished from char literals, and `r#ident` raw identifiers are
+//! resolved to their bare name. There is deliberately no parser: rules
+//! pattern-match short token sequences instead.
+
+/// What a token is. Multi-character operators are emitted as adjacent
+/// single-character [`TokenKind::Punct`] tokens; rules that care (e.g.
+/// `==` detection) match the pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword; `r#ident` is resolved to `ident`.
+    Ident(String),
+    /// A lifetime such as `'a` or `'static` (without the quote).
+    Lifetime(String),
+    /// Any string-like literal (plain/raw/byte), with its raw contents.
+    Str(String),
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal; `float` is true for literals with a fractional
+    /// part or exponent, or an `f32`/`f64` suffix.
+    Num { float: bool, text: String },
+    /// Any other single character.
+    Punct(char),
+}
+
+/// A token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// The identifier name, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a token stream, stripping comments and whitespace.
+/// Unterminated literals are tolerated (the remainder of the file
+/// becomes the literal) so the linter never panics on malformed input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor { chars: src.chars().collect(), i: 0, line: 1, col: 1 };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(c) = cur.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            skip_block_comment(&mut cur);
+            continue;
+        }
+        if c == '"' {
+            let value = lex_string(&mut cur);
+            out.push(Token { kind: TokenKind::Str(value), line, col });
+            continue;
+        }
+        if c == 'r' && matches!(cur.peek(1), Some('"' | '#')) {
+            if let Some(token) = lex_raw(&mut cur, line, col) {
+                out.push(token);
+                continue;
+            }
+        }
+        if c == 'b' && matches!(cur.peek(1), Some('"' | '\'' | 'r')) {
+            if let Some(token) = lex_byte(&mut cur, line, col) {
+                out.push(token);
+                continue;
+            }
+        }
+        if c == '\'' {
+            out.push(lex_quote(&mut cur, line, col));
+            continue;
+        }
+        if is_ident_start(c) {
+            let name = lex_ident(&mut cur);
+            out.push(Token { kind: TokenKind::Ident(name), line, col });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let (float, text) = lex_number(&mut cur);
+            out.push(Token { kind: TokenKind::Num { float, text }, line, col });
+            continue;
+        }
+        cur.bump();
+        out.push(Token { kind: TokenKind::Punct(c), line, col });
+    }
+    out
+}
+
+fn skip_block_comment(cur: &mut Cursor) {
+    cur.bump();
+    cur.bump();
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+fn lex_string(cur: &mut Cursor) -> String {
+    cur.bump(); // opening quote
+    let mut value = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '"' => break,
+            '\\' => {
+                // Keep the escaped character verbatim; rules only do
+                // whole-value comparisons on escape-free keys.
+                if let Some(next) = cur.bump() {
+                    value.push(next);
+                }
+            }
+            _ => value.push(c),
+        }
+    }
+    value
+}
+
+/// `r"..."` / `r#"..."#` raw strings, or `r#ident` raw identifiers.
+/// Returns `None` when the `r` turns out to start a plain identifier
+/// (e.g. `r2d2`), leaving the cursor untouched.
+fn lex_raw(cur: &mut Cursor, line: u32, col: u32) -> Option<Token> {
+    let mut hashes = 0usize;
+    while cur.peek(1 + hashes) == Some('#') {
+        hashes += 1;
+    }
+    match cur.peek(1 + hashes) {
+        Some('"') => {
+            cur.bump(); // r
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            cur.bump(); // opening quote
+            let value = lex_raw_body(cur, hashes);
+            Some(Token { kind: TokenKind::Str(value), line, col })
+        }
+        Some(c) if hashes == 1 && is_ident_start(c) => {
+            cur.bump(); // r
+            cur.bump(); // #
+            let name = lex_ident(cur);
+            Some(Token { kind: TokenKind::Ident(name), line, col })
+        }
+        _ => None,
+    }
+}
+
+fn lex_raw_body(cur: &mut Cursor, hashes: usize) -> String {
+    let mut value = String::new();
+    while let Some(c) = cur.bump() {
+        if c == '"' && (0..hashes).all(|k| cur.peek(k) == Some('#')) {
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+        value.push(c);
+    }
+    value
+}
+
+/// `b"..."`, `br#"..."#`, and `b'x'` byte literals. Returns `None` for
+/// identifiers that merely start with `b`.
+fn lex_byte(cur: &mut Cursor, line: u32, col: u32) -> Option<Token> {
+    match cur.peek(1) {
+        Some('"') => {
+            cur.bump(); // b
+            let value = lex_string(cur);
+            Some(Token { kind: TokenKind::Str(value), line, col })
+        }
+        Some('\'') => {
+            cur.bump(); // b
+            cur.bump(); // opening quote
+            finish_char(cur);
+            Some(Token { kind: TokenKind::Char, line, col })
+        }
+        Some('r') => {
+            let mut hashes = 0usize;
+            while cur.peek(2 + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek(2 + hashes) == Some('"') {
+                cur.bump(); // b
+                cur.bump(); // r
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                cur.bump(); // opening quote
+                let value = lex_raw_body(cur, hashes);
+                Some(Token { kind: TokenKind::Str(value), line, col })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime) after seeing `'`.
+fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    match cur.peek(1) {
+        Some('\\') => {
+            cur.bump(); // quote
+            finish_char(cur);
+            Token { kind: TokenKind::Char, line, col }
+        }
+        Some(c) if is_ident_start(c) && cur.peek(2) != Some('\'') => {
+            cur.bump(); // quote
+            let name = lex_ident(cur);
+            Token { kind: TokenKind::Lifetime(name), line, col }
+        }
+        Some(_) => {
+            cur.bump(); // quote
+            finish_char(cur);
+            Token { kind: TokenKind::Char, line, col }
+        }
+        None => {
+            cur.bump();
+            Token { kind: TokenKind::Punct('\''), line, col }
+        }
+    }
+}
+
+fn finish_char(cur: &mut Cursor) {
+    // Consume up to the closing quote, honoring escapes.
+    while let Some(c) = cur.bump() {
+        match c {
+            '\'' => break,
+            '\\' => {
+                cur.bump();
+            }
+            _ => {}
+        }
+    }
+}
+
+fn lex_ident(cur: &mut Cursor) -> String {
+    let mut name = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        name.push(c);
+        cur.bump();
+    }
+    name
+}
+
+fn lex_number(cur: &mut Cursor) -> (bool, String) {
+    let mut text = String::new();
+    let mut float = false;
+    // Radix-prefixed integers (0x, 0o, 0b) are never floats.
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'o' | 'b')) {
+        while let Some(c) = cur.peek(0) {
+            if !(c.is_ascii_alphanumeric() || c == '_') {
+                break;
+            }
+            text.push(c);
+            cur.bump();
+        }
+        return (false, text);
+    }
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_digit() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // A fractional part only if a digit follows the dot: `1.max(2)` and
+    // the range `0..n` keep their dots as separate tokens.
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        float = true;
+        text.push('.');
+        cur.bump();
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    } else if cur.peek(0) == Some('.') && !cur.peek(1).is_some_and(|c| is_ident_start(c) || c == '.')
+    {
+        // Trailing-dot float: `1.`
+        float = true;
+        text.push('.');
+        cur.bump();
+    }
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let sign = usize::from(matches!(cur.peek(1), Some('+' | '-')));
+        if cur.peek(1 + sign).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            for _ in 0..=sign {
+                if let Some(c) = cur.bump() {
+                    text.push(c);
+                }
+            }
+            while let Some(c) = cur.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Type suffix (f64, u32, usize, ...).
+    if cur.peek(0).is_some_and(is_ident_start) {
+        let mut suffix = String::new();
+        while let Some(c) = cur.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            suffix.push(c);
+            cur.bump();
+        }
+        if suffix.starts_with('f') {
+            float = true;
+        }
+        text.push_str(&suffix);
+    }
+    (float, text)
+}
+
+/// Parses the numeric value of a float literal's text, ignoring `_`
+/// separators and any type suffix. Returns `None` for non-floats.
+pub fn float_value(text: &str) -> Option<f64> {
+    let cleaned: String = text
+        .chars()
+        .filter(|&c| c != '_')
+        .take_while(|&c| c.is_ascii_digit() || ".eE+-".contains(c))
+        .collect();
+    cleaned.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn comments_are_stripped_including_nested_blocks() {
+        let toks = kinds("a /* x /* y */ z */ b // tail\nc");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let toks = kinds(r###"let x = r#"not .unwrap() code "quoted" "#;"###);
+        assert!(toks.contains(&TokenKind::Str("not .unwrap() code \"quoted\" ".into())));
+        assert!(!toks.contains(&TokenKind::Ident("unwrap".into())));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.contains(&TokenKind::Lifetime("a".into())));
+        assert!(toks.contains(&TokenKind::Char));
+        assert!(toks.contains(&TokenKind::Ident("str".into())));
+    }
+
+    #[test]
+    fn raw_identifiers_resolve_to_bare_names() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&TokenKind::Ident("type".into())));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"let x = b"bytes"; let y = b'\n'; let z = br#"raw"#;"##);
+        assert!(toks.contains(&TokenKind::Str("bytes".into())));
+        assert!(toks.contains(&TokenKind::Char));
+    }
+
+    #[test]
+    fn numbers_classify_floats() {
+        let toks = kinds("1 2.5 1e3 0x1f 1_000 2.5f64 3f32 1.max(2) 0..9");
+        let floats: Vec<String> = toks
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Num { float: true, text } => Some(text.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(floats, vec!["2.5", "1e3", "2.5f64", "3f32"]);
+        assert!(toks.contains(&TokenKind::Ident("max".into())));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn float_values_parse_with_suffix_and_separators() {
+        assert_eq!(float_value("2.5f64"), Some(2.5));
+        assert_eq!(float_value("1_000.0"), Some(1000.0));
+        assert_eq!(float_value("0.0"), Some(0.0));
+    }
+}

@@ -1,0 +1,23 @@
+//! harmony-lint: a zero-dependency static-analysis pass for the
+//! Harmony workspace.
+//!
+//! The compiler cannot see most of the invariants the previous PRs
+//! established — bit-identical plans across worker counts, NaN-safe
+//! float ordering, panic-free library crates, a virtual sim clock,
+//! lock-free I/O in the server, and a single registry of telemetry key
+//! names. This crate enforces them with a hand-rolled Rust lexer
+//! ([`lexer`]), a token-level rule engine ([`engine`]), and six
+//! project-specific rules ([`rules`]). Findings print as
+//! `file:line:col [rule-id] message`; the policy is deny-by-default
+//! with a checked-in `lint.toml` of scoped, reason-carrying allows
+//! ([`config`]).
+//!
+//! Run it with `cargo run -p harmony-lint -- --deny` (the CI gate) or
+//! see DESIGN.md §12 for the rule-by-rule rationale.
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{check_source, run, Finding, Report};

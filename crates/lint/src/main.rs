@@ -1,0 +1,120 @@
+//! `harmony-lint` CLI.
+//!
+//! ```text
+//! harmony-lint [--deny] [--rule <id>]... [--root <dir>] [--list-rules]
+//! ```
+//!
+//! Walks the workspace, runs every rule (or only the `--rule`
+//! selections), prints findings as `file:line:col [rule-id] message`,
+//! and exits non-zero under `--deny` when any finding survives the
+//! `lint.toml` allowlist. Without `--root` the workspace is discovered
+//! by walking up from the current directory to the first `Cargo.toml`
+//! with a `[workspace]` table.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut rules_filter: Vec<String> = Vec::new();
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--rule" => match args.next() {
+                Some(id) => rules_filter.push(id),
+                None => return usage("--rule needs a rule id"),
+            },
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--list-rules" => {
+                for rule in harmony_lint::rules::all() {
+                    println!("{:<28} {}", rule.id(), rule.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let known: Vec<&str> = harmony_lint::rules::all().iter().map(|r| r.id()).collect();
+    for id in &rules_filter {
+        if !known.contains(&id.as_str()) {
+            eprintln!("harmony-lint: unknown rule `{id}` (see --list-rules)");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let root = match root.or_else(discover_root) {
+        Some(dir) => dir,
+        None => {
+            eprintln!(
+                "harmony-lint: no workspace Cargo.toml found above the current \
+                 directory; pass --root"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let filter = if rules_filter.is_empty() { None } else { Some(rules_filter.as_slice()) };
+    let report = match harmony_lint::run(&root, filter) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("harmony-lint: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    eprintln!(
+        "harmony-lint: {} finding(s), {} allowed by lint.toml, {} file(s) scanned",
+        report.findings.len(),
+        report.allowed,
+        report.files
+    );
+    if deny && !report.findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Nearest ancestor (of the current directory) whose `Cargo.toml`
+/// declares a `[workspace]`; falls back to the lint crate's own
+/// grandparent so `cargo run -p harmony-lint` works from anywhere in
+/// the tree.
+fn discover_root() -> Option<PathBuf> {
+    let cwd = std::env::current_dir().ok()?;
+    for dir in cwd.ancestors() {
+        if is_workspace_root(dir) {
+            return Some(dir.to_owned());
+        }
+    }
+    let fallback = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    is_workspace_root(&fallback).then_some(fallback)
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml"))
+        .is_ok_and(|s| s.contains("[workspace]"))
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("harmony-lint: {error}");
+    }
+    eprintln!(
+        "usage: harmony-lint [--deny] [--rule <id>]... [--root <dir>] [--list-rules]"
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,102 @@
+//! `float-ordering` — floats are ordered with `total_cmp`, never
+//! `partial_cmp(..).unwrap()` or exact equality.
+//!
+//! PR 1's panic audit moved every library sort to `f64::total_cmp`
+//! because `partial_cmp` returns `None` on NaN — one poisoned sample
+//! panics the whole control loop — and because `sort_by` with a
+//! partial order is unstable in the presence of NaN. This rule keeps
+//! the idiom from creeping back, in tests too: a test that panics on
+//! NaN hides exactly the regression it should catch.
+
+use crate::engine::{Ctx, Finding};
+use crate::lexer::{float_value, TokenKind};
+use crate::rules::{match_paren, Rule, FLOAT_ORDERING};
+
+pub struct FloatOrdering;
+
+impl Rule for FloatOrdering {
+    fn id(&self) -> &'static str {
+        FLOAT_ORDERING
+    }
+
+    fn describe(&self) -> &'static str {
+        "partial_cmp().unwrap() or exact ==/!= on a non-zero float literal; use total_cmp"
+    }
+
+    fn check(&self, ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+        let tokens = &ctx.model.tokens;
+        for i in 0..tokens.len() {
+            // `.partial_cmp(..).unwrap()` / `.expect(..)` — the leading
+            // dot keeps `fn partial_cmp` trait impls out.
+            if tokens[i].ident() == Some("partial_cmp")
+                && i > 0
+                && tokens[i - 1].is_punct('.')
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                let close = match_paren(tokens, i + 1);
+                let chained = tokens.get(close + 1).is_some_and(|t| t.is_punct('.'))
+                    && matches!(
+                        tokens.get(close + 2).and_then(|t| t.ident()),
+                        Some("unwrap" | "expect")
+                    );
+                if chained {
+                    out.push(Finding {
+                        path: ctx.rel_path.to_owned(),
+                        line: tokens[i].line,
+                        col: tokens[i].col,
+                        rule: self.id(),
+                        message: "`.partial_cmp(..).unwrap()` panics on NaN; \
+                                  use `f64::total_cmp`"
+                            .to_owned(),
+                    });
+                }
+            }
+            // Exact equality against a non-zero float literal. Exact
+            // zero is exempt: `x == 0.0` is a well-defined sentinel
+            // check used throughout the numeric code.
+            if let TokenKind::Num { float: true, text } = &tokens[i].kind {
+                if float_value(text) == Some(0.0) {
+                    continue;
+                }
+                if float_eq_context(tokens, i) {
+                    out.push(Finding {
+                        path: ctx.rel_path.to_owned(),
+                        line: tokens[i].line,
+                        col: tokens[i].col,
+                        rule: self.id(),
+                        message: format!(
+                            "exact `==`/`!=` against float literal `{text}`; compare with a \
+                             tolerance or use `total_cmp` (exact zero is exempt)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Is the float literal at `i` the operand of `==` or `!=`?
+fn float_eq_context(tokens: &[crate::lexer::Token], i: usize) -> bool {
+    // `x == 1.5` / `x != 1.5`
+    if i >= 2 && tokens[i - 1].is_punct('=') {
+        if tokens[i - 2].is_punct('!') {
+            return true;
+        }
+        if tokens[i - 2].is_punct('=') {
+            // Exclude `<=`, `>=` (single `=`), and malformed runs.
+            let before = i.checked_sub(3).map(|k| &tokens[k].kind);
+            let shadowed = matches!(
+                before,
+                Some(TokenKind::Punct('<' | '>' | '=' | '!'))
+            );
+            return !shadowed;
+        }
+    }
+    // `1.5 == x` / `1.5 != x`
+    if let (Some(a), Some(b)) = (tokens.get(i + 1), tokens.get(i + 2)) {
+        if b.is_punct('=') && (a.is_punct('=') || a.is_punct('!')) {
+            return !tokens.get(i + 3).is_some_and(|t| t.is_punct('='));
+        }
+    }
+    false
+}

@@ -1,0 +1,302 @@
+//! `lock-across-io` — no socket or file I/O while a service lock is
+//! held.
+//!
+//! `harmonyd` serializes access to `OnlineService` behind one
+//! `RwLock`; every request handler takes it. An I/O call made while
+//! the guard is live (a checkpoint write, a socket flush) stretches
+//! the critical section by the full disk/network latency and stalls
+//! every other connection — the exact tail-latency failure mode the
+//! server's concurrency tests guard against. The rule tracks guard
+//! lifetimes at token level:
+//!
+//! * an acquisition is `lock_read(..)` / `lock_write(..)` (the net.rs
+//!   helpers) or a `.lock()` / `.read()` / `.write()` method call;
+//! * the chain after it is walked — `unwrap` / `expect` /
+//!   `unwrap_or_else` preserve the guard, any other method consumes it
+//!   into a non-guard value and ends tracking;
+//! * a preserved guard bound by `let` is live until the enclosing
+//!   block closes or an explicit `drop(binding)`; a preserved guard
+//!   heading a block expression (`if let Ok(g) = m.lock() { .. }`) is
+//!   live to the matching brace; an unbound guard is live only for its
+//!   own call chain.
+//!
+//! Any I/O name inside the live region is a finding — including I/O on
+//! *other* objects, since the cost is holding the lock across the
+//! wait, not the guard doing the writing.
+
+use crate::engine::{Ctx, Finding};
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{match_paren, Rule, LOCK_ACROSS_IO};
+
+const SCOPE: &str = "crates/server/src/";
+
+/// Method chain links that return the guard (or the guard itself).
+const GUARD_PRESERVING: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// Free/helper acquisition functions (take the lock by argument).
+const ACQUIRE_FNS: &[&str] = &["lock_read", "lock_write"];
+
+/// Lock methods that yield a guard.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Names whose call means blocking I/O (methods, helpers, macros).
+const IO_NAMES: &[&str] = &[
+    "write_line",
+    "read_line",
+    "write_all",
+    "flush",
+    "sync_all",
+    "save_checkpoint",
+    "to_writer",
+    "write",
+    "writeln",
+];
+
+pub struct LockAcrossIo;
+
+impl Rule for LockAcrossIo {
+    fn id(&self) -> &'static str {
+        LOCK_ACROSS_IO
+    }
+
+    fn describe(&self) -> &'static str {
+        "socket/file I/O while a Mutex/RwLock guard is held in crates/server"
+    }
+
+    fn check(&self, ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+        if !ctx.rel_path.starts_with(SCOPE) {
+            return;
+        }
+        let tokens = &ctx.model.tokens;
+        for i in 0..tokens.len() {
+            if ctx.model.in_test[i] {
+                continue;
+            }
+            let Some(open) = acquisition(tokens, i) else {
+                continue;
+            };
+            let mut cursor = match_paren(tokens, open);
+            // Walk the method chain; report I/O called directly on the
+            // guard, stop if a non-preserving method consumes it.
+            let mut preserved = true;
+            while let (Some(dot), Some(name_tok)) = (tokens.get(cursor + 1), tokens.get(cursor + 2))
+            {
+                if !dot.is_punct('.') {
+                    break;
+                }
+                let Some(name) = name_tok.ident() else { break };
+                if !tokens.get(cursor + 3).is_some_and(|t| t.is_punct('(')) {
+                    break;
+                }
+                if IO_NAMES.contains(&name) {
+                    out.push(self.finding(ctx, name_tok, name, tokens[i].line));
+                    preserved = false;
+                    break;
+                }
+                if !GUARD_PRESERVING.contains(&name) {
+                    preserved = false;
+                    break;
+                }
+                cursor = match_paren(tokens, cursor + 3);
+            }
+            if !preserved {
+                continue;
+            }
+            // The chain ended with the guard still live. Find its
+            // extent, then scan for I/O inside it.
+            let Some((region_start, region_end)) = guard_region(tokens, i, cursor) else {
+                continue;
+            };
+            let mut k = region_start;
+            while k < region_end.min(tokens.len()) {
+                if let Some(name) = tokens[k].ident() {
+                    if name == "drop" && tokens.get(k + 1).is_some_and(|t| t.is_punct('(')) {
+                        // Explicit drop: assume it releases the guard.
+                        break;
+                    }
+                    let called = tokens.get(k + 1).is_some_and(|t| t.is_punct('(') || t.is_punct('!'));
+                    if called && IO_NAMES.contains(&name) {
+                        out.push(self.finding(ctx, &tokens[k], name, tokens[i].line));
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+impl LockAcrossIo {
+    fn finding(&self, ctx: &Ctx<'_>, at: &Token, name: &str, guard_line: u32) -> Finding {
+        Finding {
+            path: ctx.rel_path.to_owned(),
+            line: at.line,
+            col: at.col,
+            rule: self.id(),
+            message: format!(
+                "`{name}` performs I/O while the lock acquired on line {guard_line} is held; \
+                 drop the guard (or copy the data out) before the I/O"
+            ),
+        }
+    }
+}
+
+/// If `tokens[i]` begins a guard acquisition, returns the index of its
+/// opening `(`.
+fn acquisition(tokens: &[Token], i: usize) -> Option<usize> {
+    let name = tokens[i].ident()?;
+    let open = i + 1;
+    if !tokens.get(open)?.is_punct('(') {
+        return None;
+    }
+    let prev = i.checked_sub(1).map(|k| &tokens[k]);
+    if ACQUIRE_FNS.contains(&name) {
+        // Skip the helper's own definition (`fn lock_read(...)`).
+        if prev.is_some_and(|t| t.ident() == Some("fn")) {
+            return None;
+        }
+        return Some(open);
+    }
+    if ACQUIRE_METHODS.contains(&name) && prev.is_some_and(|t| t.is_punct('.')) {
+        // `.read()` / `.write()` / `.lock()` with no arguments — an
+        // argument list means e.g. `file.write(buf)`, not a lock.
+        if tokens.get(open + 1).is_some_and(|t| t.is_punct(')')) {
+            return Some(open);
+        }
+    }
+    None
+}
+
+/// Extent of a live guard whose chain ends at `chain_end` (the chain's
+/// last token index): `Some((start, end))` token range to scan.
+fn guard_region(tokens: &[Token], acq: usize, chain_end: usize) -> Option<(usize, usize)> {
+    let next = tokens.get(chain_end + 1)?;
+    if next.is_punct('{') {
+        // Guard heads a block expression: live to the matching brace.
+        return Some((chain_end + 2, matching_brace(tokens, chain_end + 1)));
+    }
+    if next.is_punct(';') && has_let(tokens, acq) {
+        // Bound by `let`: live to the end of the enclosing block.
+        return Some((chain_end + 2, enclosing_block_end(tokens, chain_end + 1)));
+    }
+    None
+}
+
+/// Was the statement containing `acq` introduced by `let`?
+fn has_let(tokens: &[Token], acq: usize) -> bool {
+    for k in (0..acq).rev() {
+        match &tokens[k].kind {
+            TokenKind::Punct(';' | '{' | '}') => return false,
+            TokenKind::Ident(name) if name == "let" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Index of the `}` matching the `{` at `open` (or the stream end).
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+/// Index of the `}` closing the block that contains token `from`.
+fn enclosing_block_end(tokens: &[Token], from: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(from) {
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{build_model, Ctx, FileKind};
+    use crate::rules::{DriftData, Rule};
+
+    fn run(src: &str) -> Vec<String> {
+        let model = build_model(src, FileKind::Lib);
+        let drift = DriftData::default();
+        let ctx = Ctx {
+            rel_path: "crates/server/src/net.rs",
+            kind: FileKind::Lib,
+            model: &model,
+            drift: &drift,
+        };
+        let mut out = Vec::new();
+        LockAcrossIo.check(&ctx, &mut out);
+        out.into_iter().map(|f| f.message).collect()
+    }
+
+    #[test]
+    fn chained_io_on_guard_is_flagged() {
+        let hits = run("fn f() { lock_read(&service).save_checkpoint(path); }");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].contains("save_checkpoint"));
+    }
+
+    #[test]
+    fn bound_guard_live_across_io_is_flagged() {
+        let hits = run(
+            "fn f() { let mut svc = lock_write(service); svc.tick(); \
+             svc.save_checkpoint(path); }",
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn guard_consumed_by_handler_is_not_flagged() {
+        // `.handle(..)` consumes the guard at statement end; the later
+        // socket write happens lock-free.
+        let hits = run(
+            "fn f() { let response = lock_write(service).handle(request); \
+             stream.write_line(&response); }",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn explicit_drop_ends_the_region() {
+        let hits = run(
+            "fn f() { let svc = lock_read(&service); let s = svc.snapshot(); drop(svc); \
+             stream.write_line(&s); }",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn lock_method_call_heading_a_block() {
+        let hits = run("fn f() { if let Ok(g) = m.lock() { file.write_all(&g.bytes()); } }");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn helper_definitions_are_ignored() {
+        let hits = run(
+            "fn lock_write(m: &M) -> G { m.write().unwrap_or_else(|e| e.into_inner()) }\n\
+             fn lock_read(m: &M) -> G { m.read().unwrap_or_else(|e| e.into_inner()) }",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+}

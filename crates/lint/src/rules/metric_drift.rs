@@ -1,0 +1,97 @@
+//! `metric-name-drift` — every telemetry key literal is registered and
+//! documented.
+//!
+//! PR 3's dashboards and PR 4's smoke checks address metrics by name;
+//! a typo in one emit site (`pipeline.lp_secs` vs
+//! `pipeline.lp_seconds`) silently splits a series and every consumer
+//! downstream reads zeros. The registry
+//! (`harmony_telemetry::keys::REGISTERED_KEYS`) is the single source
+//! of truth; this rule checks the three-way agreement between emit
+//! sites, the registry, and DESIGN.md §9.2:
+//!
+//! * every string passed to `.counter()` / `.gauge()` / `.histogram()`
+//!   / `.timer()` / `.time()` must be registered;
+//! * every key-shaped string literal under a registered namespace
+//!   (`sim.`, `lp.`, …) must be registered, which also catches keys
+//!   routed through tables or helper fns rather than direct calls;
+//! * registry duplicates and registered-but-undocumented keys are
+//!   reported against the registry file itself (see
+//!   [`crate::rules::registry_findings`]).
+//!
+//! Dynamic keys (`format!("server.requests.{}", verb)`) are covered by
+//! `REGISTERED_PREFIXES`; the `{}` placeholder keeps the format string
+//! itself from matching the key shape.
+
+use std::collections::BTreeSet;
+
+use crate::engine::{Ctx, Finding};
+use crate::lexer::TokenKind;
+use crate::rules::{key_shaped, Rule, METRIC_NAME_DRIFT};
+
+/// Registry methods taking a key as their first argument.
+const SINKS: &[&str] = &["counter", "gauge", "histogram", "timer", "time"];
+
+pub struct MetricDrift;
+
+impl Rule for MetricDrift {
+    fn id(&self) -> &'static str {
+        METRIC_NAME_DRIFT
+    }
+
+    fn describe(&self) -> &'static str {
+        "telemetry key literal absent from the keys registry (or registered but undocumented)"
+    }
+
+    fn check(&self, ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+        if ctx.rel_path == ctx.drift.keys_path || ctx.drift.keys.is_empty() {
+            return;
+        }
+        let tokens = &ctx.model.tokens;
+        let mut flagged: BTreeSet<usize> = BTreeSet::new();
+        for i in 0..tokens.len() {
+            if ctx.model.in_test[i] {
+                continue;
+            }
+            // Direct sink call: `.counter("...")` etc.
+            if tokens[i].ident().is_some_and(|n| SINKS.contains(&n))
+                && i > 0
+                && tokens[i - 1].is_punct('.')
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                if let Some(TokenKind::Str(key)) = tokens.get(i + 2).map(|t| &t.kind) {
+                    if !ctx.drift.is_registered(key) && flagged.insert(i + 2) {
+                        out.push(self.finding(ctx, i + 2, key));
+                    }
+                }
+            }
+            // Key-shaped literal under a registered namespace — covers
+            // tables like `[("sim.events.arrival", n), ..]`.
+            if let TokenKind::Str(value) = &tokens[i].kind {
+                let namespace = value.split('.').next().unwrap_or("");
+                if key_shaped(value)
+                    && ctx.drift.namespaces.contains(namespace)
+                    && !ctx.drift.is_registered(value)
+                    && flagged.insert(i)
+                {
+                    out.push(self.finding(ctx, i, value));
+                }
+            }
+        }
+    }
+}
+
+impl MetricDrift {
+    fn finding(&self, ctx: &Ctx<'_>, idx: usize, key: &str) -> Finding {
+        let t = &ctx.model.tokens[idx];
+        Finding {
+            path: ctx.rel_path.to_owned(),
+            line: t.line,
+            col: t.col,
+            rule: self.id(),
+            message: format!(
+                "telemetry key \"{key}\" is not in harmony_telemetry::keys::REGISTERED_KEYS; \
+                 register it there and document it in DESIGN.md §9.2"
+            ),
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The rule set.
+//!
+//! Each rule guards an invariant a previous PR established and the
+//! compiler cannot see (see DESIGN.md §12 for the rule-by-rule
+//! rationale). Rules are token-level pattern matchers over the
+//! annotated stream built by [`crate::engine`].
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use crate::engine::{Ctx, Finding};
+use crate::lexer::{lex, Token, TokenKind};
+
+mod float_ordering;
+mod lock_across_io;
+mod metric_drift;
+mod nondet_iter;
+mod panic_in_lib;
+mod wall_clock;
+
+pub const NONDETERMINISTIC_ITERATION: &str = "nondeterministic-iteration";
+pub const FLOAT_ORDERING: &str = "float-ordering";
+pub const PANIC_IN_LIB: &str = "panic-in-lib";
+pub const WALL_CLOCK_IN_SIM: &str = "wall-clock-in-sim";
+pub const LOCK_ACROSS_IO: &str = "lock-across-io";
+pub const METRIC_NAME_DRIFT: &str = "metric-name-drift";
+
+/// A lint rule: inspects one file, appends findings.
+pub trait Rule {
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn describe(&self) -> &'static str;
+    fn check(&self, ctx: &Ctx<'_>, out: &mut Vec<Finding>);
+}
+
+/// Every rule, in reporting order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(nondet_iter::NondetIter),
+        Box::new(float_ordering::FloatOrdering),
+        Box::new(panic_in_lib::PanicInLib),
+        Box::new(wall_clock::WallClock),
+        Box::new(lock_across_io::LockAcrossIo),
+        Box::new(metric_drift::MetricDrift),
+    ]
+}
+
+/// Shared helper: index of the `)` matching the `(` at `open` (or the
+/// stream end when unbalanced).
+pub(crate) fn match_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+/// Shared helper: `tokens[i]` is an identifier called as a method
+/// (`.name(`).
+pub(crate) fn is_method_call(tokens: &[Token], i: usize, name: &str) -> bool {
+    tokens[i].ident() == Some(name)
+        && i > 0
+        && tokens[i - 1].is_punct('.')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+}
+
+/// The telemetry key registry plus the documented-name set from
+/// DESIGN.md, shared by the `metric-name-drift` rule.
+#[derive(Debug, Default)]
+pub struct DriftData {
+    /// `(key, line-in-keys.rs)` in declaration order.
+    pub keys: Vec<(String, u32)>,
+    /// Dynamic prefixes, e.g. `server.requests.`.
+    pub prefixes: Vec<(String, u32)>,
+    /// Concrete names documented in DESIGN.md (brace forms expanded).
+    pub documented: BTreeSet<String>,
+    /// Prefixes documented via `<placeholder>` forms.
+    pub documented_prefixes: BTreeSet<String>,
+    /// First segments of registered keys; string literals under these
+    /// namespaces must be registered.
+    pub namespaces: BTreeSet<String>,
+    /// Workspace-relative path of the registry source.
+    pub keys_path: String,
+}
+
+pub(crate) const KEYS_PATH: &str = "crates/telemetry/src/keys.rs";
+
+impl DriftData {
+    /// Loads the registry and DESIGN.md from the workspace root.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the registry file is missing or holds no
+    /// keys (a broken registry must not silently disable the rule).
+    pub fn load(root: &Path) -> Result<DriftData, String> {
+        let keys_file = root.join(KEYS_PATH);
+        let src = fs::read_to_string(&keys_file)
+            .map_err(|e| format!("read {}: {e}", keys_file.display()))?;
+        let tokens = lex(&src);
+        let keys = string_array(&tokens, "REGISTERED_KEYS");
+        let prefixes = string_array(&tokens, "REGISTERED_PREFIXES");
+        if keys.is_empty() {
+            return Err(format!("{KEYS_PATH}: found no REGISTERED_KEYS entries"));
+        }
+        let namespaces = keys
+            .iter()
+            .filter_map(|(k, _)| k.split('.').next())
+            .map(str::to_owned)
+            .collect();
+        let mut data = DriftData {
+            keys,
+            prefixes,
+            namespaces,
+            keys_path: KEYS_PATH.to_owned(),
+            ..DriftData::default()
+        };
+        let design = fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+        scan_documented(&design, &mut data.documented, &mut data.documented_prefixes);
+        Ok(data)
+    }
+
+    /// Whether a concrete key literal is sanctioned.
+    pub fn is_registered(&self, name: &str) -> bool {
+        self.keys.iter().any(|(k, _)| k == name)
+            || self.prefixes.iter().any(|(p, _)| name.starts_with(p.as_str()))
+    }
+}
+
+/// Collects the string literals of `const NAME: &[&str] = &[...];`
+/// from a lexed file (first occurrence of `NAME` to the next `;`).
+fn string_array(tokens: &[Token], name: &str) -> Vec<(String, u32)> {
+    let Some(start) = tokens.iter().position(|t| t.ident() == Some(name)) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for t in tokens.iter().skip(start) {
+        match &t.kind {
+            TokenKind::Str(value) => out.push((value.clone(), t.line)),
+            TokenKind::Punct(';') => break,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Does `name` look like a metric key: dotted lowercase path.
+pub(crate) fn key_shaped(name: &str) -> bool {
+    name.contains('.')
+        && !name.starts_with('.')
+        && !name.ends_with('.')
+        && !name.contains("..")
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+}
+
+/// Extracts documented metric names from DESIGN.md: every
+/// backtick-quoted span, with `{a,b,c}` alternation expanded and
+/// `<placeholder>` forms recorded as prefixes.
+fn scan_documented(text: &str, names: &mut BTreeSet<String>, prefixes: &mut BTreeSet<String>) {
+    for span in text.split('`').skip(1).step_by(2) {
+        if let Some(lt) = span.find('<') {
+            let head = &span[..lt];
+            if key_shaped(head.trim_end_matches('.')) && head.ends_with('.') {
+                prefixes.insert(head.to_owned());
+            }
+            continue;
+        }
+        if let (Some(open), Some(close)) = (span.find('{'), span.find('}')) {
+            if open < close {
+                let (head, tail) = (&span[..open], &span[close + 1..]);
+                for alt in span[open + 1..close].split(',') {
+                    let name = format!("{head}{}{tail}", alt.trim());
+                    if key_shaped(&name) {
+                        names.insert(name);
+                    }
+                }
+                continue;
+            }
+        }
+        if key_shaped(span) {
+            names.insert(span.to_owned());
+        }
+    }
+}
+
+/// Workspace-level registry checks: duplicate registration and
+/// registered-but-undocumented keys, attributed to the registry file.
+pub fn registry_findings(drift: &DriftData) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for (key, line) in &drift.keys {
+        if !seen.insert(key.as_str()) {
+            out.push(Finding {
+                path: drift.keys_path.clone(),
+                line: *line,
+                col: 1,
+                rule: METRIC_NAME_DRIFT,
+                message: format!("telemetry key \"{key}\" is registered more than once"),
+            });
+        }
+        if !drift.documented.contains(key) {
+            out.push(Finding {
+                path: drift.keys_path.clone(),
+                line: *line,
+                col: 1,
+                rule: METRIC_NAME_DRIFT,
+                message: format!(
+                    "telemetry key \"{key}\" is registered but not documented in DESIGN.md"
+                ),
+            });
+        }
+    }
+    for (prefix, line) in &drift.prefixes {
+        if !drift.documented_prefixes.contains(prefix) {
+            out.push(Finding {
+                path: drift.keys_path.clone(),
+                line: *line,
+                col: 1,
+                rule: METRIC_NAME_DRIFT,
+                message: format!(
+                    "telemetry prefix \"{prefix}\" has no `{prefix}<...>` form in DESIGN.md"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documented_scan_expands_braces_and_placeholders() {
+        let mut names = BTreeSet::new();
+        let mut prefixes = BTreeSet::new();
+        scan_documented(
+            "Keys: `pipeline.{a,b}_seconds`, `lp.pivots`, and `server.requests.<verb>`; \
+             prose like `Vec<f64>` or `harmony-lint` is ignored.",
+            &mut names,
+            &mut prefixes,
+        );
+        assert!(names.contains("pipeline.a_seconds"));
+        assert!(names.contains("pipeline.b_seconds"));
+        assert!(names.contains("lp.pivots"));
+        assert!(prefixes.contains("server.requests."));
+        assert!(!names.iter().any(|n| n.contains('<') || n.contains('-')));
+    }
+
+    #[test]
+    fn key_shape() {
+        assert!(key_shaped("sim.events.arrival"));
+        assert!(!key_shaped("DESIGN.md"));
+        assert!(!key_shaped("nodots"));
+        assert!(!key_shaped(".leading"));
+        assert!(!key_shaped("a..b"));
+    }
+}

@@ -1,0 +1,55 @@
+//! `nondeterministic-iteration` — no hash-ordered collections in
+//! plan-affecting paths.
+//!
+//! PR 4's parallel pipeline asserts bit-identical plans across worker
+//! counts and PR 2's checkpoint/resume replays a run event-for-event;
+//! both break silently if any planner, controller, simulator, or
+//! server path iterates a `HashMap`/`HashSet`, because hash iteration
+//! order varies with the seed and across processes. Ordered collections
+//! (or an explicit sort) make the order part of the code.
+
+use crate::engine::{Ctx, FileKind, Finding};
+use crate::rules::{Rule, NONDETERMINISTIC_ITERATION};
+
+/// Crate paths whose behavior must be reproducible.
+const SCOPE: &[&str] = &["crates/core/src/", "crates/sim/src/", "crates/server/src/"];
+
+pub struct NondetIter;
+
+impl Rule for NondetIter {
+    fn id(&self) -> &'static str {
+        NONDETERMINISTIC_ITERATION
+    }
+
+    fn describe(&self) -> &'static str {
+        "HashMap/HashSet in planner, controller, sim, or server paths; use BTreeMap/BTreeSet"
+    }
+
+    fn check(&self, ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+        if !matches!(ctx.kind, FileKind::Lib | FileKind::Bin) {
+            return;
+        }
+        if !SCOPE.iter().any(|p| ctx.rel_path.starts_with(p)) {
+            return;
+        }
+        for (i, token) in ctx.model.tokens.iter().enumerate() {
+            if ctx.model.in_test[i] {
+                continue;
+            }
+            let Some(name @ ("HashMap" | "HashSet")) = token.ident() else {
+                continue;
+            };
+            out.push(Finding {
+                path: ctx.rel_path.to_owned(),
+                line: token.line,
+                col: token.col,
+                rule: self.id(),
+                message: format!(
+                    "`{name}` in a plan-affecting path: hash iteration order varies across \
+                     runs; use `BTree{}` or sort before iterating",
+                    &name[4..]
+                ),
+            });
+        }
+    }
+}

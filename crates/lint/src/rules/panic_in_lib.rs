@@ -1,0 +1,84 @@
+//! `panic-in-lib` — library code must not contain reachable panics.
+//!
+//! Subsumes and extends the CI clippy unwrap audit (PR 1/PR 3): a
+//! panic anywhere in the provisioning stack takes down `harmonyd` and
+//! every connection with it, so `unwrap`/`expect` and the panic macros
+//! are banned in library crates. The sanctioned escape hatch is the
+//! same one the clippy audit uses — a scoped `#[allow(clippy::…)]`
+//! whose comment cites the invariant that makes the panic unreachable —
+//! and this rule honors those attributes, so one annotation satisfies
+//! both gates. Binaries, examples, tests, and `#[cfg(test)]` modules
+//! are out of scope; `assert!`/`debug_assert!` remain available for
+//! contract checks.
+
+use crate::engine::{Ctx, FileKind, Finding};
+use crate::rules::{is_method_call, Rule, PANIC_IN_LIB};
+
+pub struct PanicInLib;
+
+/// `(method, clippy lint honored as an allow)`.
+const METHODS: &[(&str, &str)] = &[
+    ("unwrap", "clippy::unwrap_used"),
+    ("expect", "clippy::expect_used"),
+];
+
+/// `(macro, clippy lint honored as an allow)`.
+const MACROS: &[(&str, &str)] = &[
+    ("panic", "clippy::panic"),
+    ("unreachable", "clippy::unreachable"),
+    ("todo", "clippy::todo"),
+    ("unimplemented", "clippy::unimplemented"),
+];
+
+impl Rule for PanicInLib {
+    fn id(&self) -> &'static str {
+        PANIC_IN_LIB
+    }
+
+    fn describe(&self) -> &'static str {
+        "unwrap/expect/panic!-family in library code outside a scoped, reasoned #[allow]"
+    }
+
+    fn check(&self, ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+        if ctx.kind != FileKind::Lib {
+            return;
+        }
+        let tokens = &ctx.model.tokens;
+        for i in 0..tokens.len() {
+            if ctx.model.in_test[i] {
+                continue;
+            }
+            for (method, lint) in METHODS {
+                if is_method_call(tokens, i, method) && !ctx.model.allowed(i, lint) {
+                    out.push(Finding {
+                        path: ctx.rel_path.to_owned(),
+                        line: tokens[i].line,
+                        col: tokens[i].col,
+                        rule: self.id(),
+                        message: format!(
+                            "`.{method}()` in library code can panic the daemon; return an \
+                             error, or add `#[allow({lint})]` citing the invariant"
+                        ),
+                    });
+                }
+            }
+            for (mac, lint) in MACROS {
+                if tokens[i].ident() == Some(mac)
+                    && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                    && !ctx.model.allowed(i, lint)
+                {
+                    out.push(Finding {
+                        path: ctx.rel_path.to_owned(),
+                        line: tokens[i].line,
+                        col: tokens[i].col,
+                        rule: self.id(),
+                        message: format!(
+                            "`{mac}!` in library code; return an error, or add \
+                             `#[allow({lint})]` citing the invariant"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//@path: crates/core/tests/fixture.rs
+pub fn order(xs: &mut Vec<f64>, y: f64) -> bool {
+    xs.sort_by(f64::total_cmp);
+    let zero = y == 0.0;
+    let range = y <= 1.5 || y >= 2.5;
+    let cmp = y.partial_cmp(&1.5);
+    zero && range && cmp.is_some()
+}

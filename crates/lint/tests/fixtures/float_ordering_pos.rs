@@ -1,0 +1,7 @@
+//@path: crates/core/tests/fixture.rs
+pub fn order(xs: &mut Vec<f64>, y: f64) -> bool {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let hit = y == 1.5;
+    let miss = 2.5e0 != y;
+    hit && miss
+}

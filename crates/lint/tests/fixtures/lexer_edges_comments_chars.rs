@@ -1,0 +1,27 @@
+//@path: crates/sim/src/fixture.rs
+/* Block comment with violations: x.unwrap(); HashMap::new();
+   /* nested block comment: Instant::now() and panic!("boom") */
+   still commented after the nested close: y.partial_cmp(&z).unwrap()
+*/
+
+// 'a is a lifetime, 'x' is a char literal; the lexer must not let an
+// unterminated-looking quote swallow the rest of the file.
+pub fn lifetimes<'a>(x: &'a str) -> &'a str {
+    let c: char = 'x';
+    let q = '\'';
+    let nl = '\n';
+    let _ = (c, q, nl);
+    x
+}
+
+// Raw identifiers are ordinary idents to the lexer.
+pub fn r#match(r#type: u32) -> u32 {
+    r#type
+}
+
+pub fn numbers() -> f64 {
+    let n = 1.max(2);
+    let r: Vec<u32> = (0..9).collect();
+    let x = 2.5_f64;
+    x + n as f64 + r.len() as f64
+}

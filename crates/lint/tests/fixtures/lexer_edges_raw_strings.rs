@@ -1,0 +1,17 @@
+//@path: crates/sim/src/fixture.rs
+// Violation-shaped text inside string literals must never produce
+// findings: the lexer has to track plain, raw, byte, and raw-byte
+// string boundaries exactly.
+pub fn strings() -> Vec<String> {
+    vec![
+        "HashMap<u32, u32>::new().unwrap()".to_owned(),
+        r"Instant::now() and SystemTime::now()".to_owned(),
+        r#"let m: HashMap<u32, u32> = panic!("x");"#.to_owned(),
+        r##"nested r#"delimiters"# inside"##.to_owned(),
+        "escaped quote \" then x.partial_cmp(&y).unwrap()".to_owned(),
+    ]
+}
+
+pub fn bytes() -> (&'static [u8], &'static [u8]) {
+    (b"SystemTime::now()", br#"xs.sort_by(|a, b| a.partial_cmp(b).unwrap())"#)
+}

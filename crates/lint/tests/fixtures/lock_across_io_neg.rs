@@ -1,0 +1,12 @@
+//@path: crates/server/src/fixture.rs
+pub fn consumed(service: &RwLock<Service>, stream: &mut TcpStream) {
+    let response = lock_write(service).handle();
+    write_line(stream, &response);
+}
+
+pub fn dropped(service: &RwLock<Service>, stream: &mut TcpStream) {
+    let svc = lock_read(service);
+    let snapshot = svc.snapshot();
+    drop(svc);
+    write_line(stream, &snapshot);
+}

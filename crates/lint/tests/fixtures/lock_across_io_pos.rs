@@ -1,0 +1,12 @@
+//@path: crates/server/src/fixture.rs
+use std::io::Write;
+use std::sync::RwLock;
+
+pub fn chained(service: &RwLock<Service>) {
+    lock_read(service).save_checkpoint("state.json");
+}
+
+pub fn bound<W: Write>(service: &RwLock<Service>, out: &mut W) {
+    let svc = lock_write(service);
+    let _ = writeln!(out, "{}", svc.status());
+}

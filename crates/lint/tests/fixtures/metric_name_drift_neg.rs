@@ -1,0 +1,8 @@
+//@path: crates/sim/src/fixture.rs
+pub fn emit(metrics: &Registry, verb: &str) {
+    metrics.counter("sim.events.arrival").add(1);
+    let t = metrics.timer("server.request_seconds");
+    let dynamic = format!("server.requests.{verb}");
+    metrics.counter(&dynamic).add(1);
+    drop(t);
+}

@@ -1,0 +1,6 @@
+//@path: crates/sim/src/fixture.rs
+pub fn emit(metrics: &Registry) {
+    metrics.counter("sim.bogus_events").add(1);
+    let rows = [("lp.not_a_real_key", 7u64)];
+    let _ = rows;
+}

@@ -1,0 +1,18 @@
+//@path: crates/sim/src/fixture.rs
+use std::collections::BTreeMap;
+
+pub struct Plan {
+    pub hosts: BTreeMap<u32, u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_order_is_fine_in_test_scratch_space() {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.len(), 1);
+    }
+}

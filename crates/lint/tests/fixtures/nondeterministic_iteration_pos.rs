@@ -1,0 +1,6 @@
+//@path: crates/sim/src/fixture.rs
+use std::collections::HashMap;
+
+pub struct Plan {
+    pub hosts: HashMap<u32, u32>,
+}

@@ -1,0 +1,20 @@
+//@path: crates/core/src/fixture.rs
+pub fn f(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "missing".to_owned())
+}
+
+// The caller's loop bound keeps the option populated.
+#[allow(clippy::unwrap_used)]
+pub fn g(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v: Vec<u32> = Vec::new();
+        assert!(v.first().is_none());
+        let _ = Option::<u32>::None.unwrap_or_default();
+    }
+}

@@ -1,0 +1,9 @@
+//@path: crates/core/src/fixture.rs
+pub fn f(x: Option<u32>, y: Result<u32, String>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("must parse");
+    if a > b {
+        panic!("a exceeded b");
+    }
+    todo!()
+}

@@ -1,0 +1,17 @@
+//@path: crates/sim/src/fixture.rs
+use std::time::Duration;
+
+pub fn horizon(base: Duration) -> Duration {
+    base * 3
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let t0 = Instant::now();
+        assert!(t0.elapsed().as_secs() < 3600);
+    }
+}

@@ -1,0 +1,6 @@
+//@path: crates/sim/src/fixture.rs
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

@@ -1,0 +1,139 @@
+//! Golden tests for the rule set.
+//!
+//! Every `tests/fixtures/*.rs` file is a small source fragment whose
+//! first line is a `//@path: <workspace-relative-path>` directive — the
+//! virtual location the engine scopes rules by. The sibling
+//! `*.expected` file holds the findings the fragment must produce, one
+//! per line as `line:col [rule-id] message`; an empty (or absent)
+//! golden asserts the fragment is clean. Regenerate after an
+//! intentional rule change with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p harmony-lint --test golden
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use harmony_lint::check_source;
+use harmony_lint::rules::DriftData;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Fixtures the corpus must cover: at least one positive (has findings)
+/// and one negative (clean) fixture per rule.
+const RULES: &[&str] = &[
+    "nondeterministic-iteration",
+    "float-ordering",
+    "panic-in-lib",
+    "wall-clock-in-sim",
+    "lock-across-io",
+    "metric-name-drift",
+];
+
+#[test]
+fn fixtures_match_goldens() {
+    let root = workspace_root();
+    let drift = DriftData::load(&root).expect("telemetry key registry must load");
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let update = std::env::var_os("UPDATE_GOLDENS").is_some();
+
+    let mut fixtures: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    fixtures.sort();
+    assert!(!fixtures.is_empty(), "no fixtures found in {}", dir.display());
+
+    let mut positive: Vec<&str> = Vec::new();
+    let mut negative: Vec<&str> = Vec::new();
+    for path in &fixtures {
+        let src = fs::read_to_string(path).expect("read fixture");
+        let rel = src
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("//@path:"))
+            .map(str::trim)
+            .unwrap_or_else(|| panic!("{}: first line must be `//@path: <rel>`", path.display()));
+
+        let findings = check_source(rel, &src, &drift, None);
+        let actual: Vec<String> = findings
+            .iter()
+            .map(|f| format!("{}:{} [{}] {}", f.line, f.col, f.rule, f.message))
+            .collect();
+
+        let golden_path = path.with_extension("expected");
+        if update {
+            let mut text = actual.join("\n");
+            if !text.is_empty() {
+                text.push('\n');
+            }
+            fs::write(&golden_path, text).expect("write golden");
+        }
+        let golden_text = fs::read_to_string(&golden_path).unwrap_or_default();
+        let expected: Vec<&str> = golden_text.lines().filter(|l| !l.trim().is_empty()).collect();
+        assert_eq!(
+            actual, expected,
+            "\nfixture {} diverged from its golden {}\n(set UPDATE_GOLDENS=1 to regenerate)",
+            path.display(),
+            golden_path.display()
+        );
+
+        // Fixtures are named `<rule_id>_{pos,neg}*.rs` (underscored) or
+        // `lexer_*.rs`; a clean rule-named fixture is that rule's
+        // negative case, a finding-producing one its positive case.
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("").replace('_', "-");
+        for rule in RULES {
+            if actual.iter().any(|l| l.contains(&format!("[{rule}]"))) {
+                positive.push(rule);
+            } else if actual.is_empty() && stem.starts_with(rule) {
+                negative.push(rule);
+            }
+        }
+    }
+
+    for rule in RULES {
+        assert!(positive.contains(rule), "corpus has no positive fixture for `{rule}`");
+        assert!(negative.contains(rule), "corpus has no negative fixture for `{rule}`");
+    }
+}
+
+/// The acceptance gate the CI job relies on: a clean tree exits 0 under
+/// `--deny`, and the same tree with one injected violation does not.
+#[test]
+fn deny_gate_flags_injected_violation() {
+    let root = workspace_root();
+    let drift = DriftData::load(&root).expect("registry");
+    let clean = "pub fn plan() -> Vec<u32> { Vec::new() }\n";
+    assert!(check_source("crates/sim/src/inject.rs", clean, &drift, None).is_empty());
+    let injected = "use std::collections::HashMap;\npub fn plan(m: &HashMap<u32, u32>) {}\n";
+    let findings = check_source("crates/sim/src/inject.rs", injected, &drift, None);
+    assert!(
+        findings.iter().any(|f| f.rule == "nondeterministic-iteration"),
+        "injected HashMap must be flagged: {findings:?}"
+    );
+}
+
+/// End-to-end: the real workspace is clean under `--deny` (nonzero exit
+/// would also fail CI's lint job, but catching it here gives a local
+/// signal with the findings in the test output).
+#[test]
+fn real_tree_is_clean_under_deny() {
+    let root = workspace_root();
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_harmony-lint"))
+        .args(["--deny", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run harmony-lint");
+    assert!(
+        output.status.success(),
+        "harmony-lint --deny failed on the workspace:\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

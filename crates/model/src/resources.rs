@@ -165,6 +165,9 @@ impl Resources {
 impl Index<usize> for Resources {
     type Output = f64;
 
+    // Out-of-range indexing panics by the `Index` contract, as for
+    // slices; every in-tree caller iterates 0..NUM_RESOURCES.
+    #[allow(clippy::panic)]
     fn index(&self, index: usize) -> &f64 {
         match index {
             0 => &self.cpu,
@@ -175,6 +178,8 @@ impl Index<usize> for Resources {
 }
 
 impl IndexMut<usize> for Resources {
+    // Same `Index` contract as above.
+    #[allow(clippy::panic)]
     fn index_mut(&mut self, index: usize) -> &mut f64 {
         match index {
             0 => &mut self.cpu,

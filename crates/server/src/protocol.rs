@@ -401,6 +401,9 @@ impl Response {
 }
 
 impl Serialize for Response {
+    // The Error arm of the match below is unreachable: that variant
+    // returns early at the top of the fn.
+    #[allow(clippy::unreachable)]
     fn to_value(&self) -> Value {
         let mut map = BTreeMap::new();
         if let Response::Error { message } = self {

@@ -1,7 +1,7 @@
 //! The discrete-event loop.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use harmony_model::{
     EnergyPrice, MachineCatalog, MachineTypeId, PriorityGroup, Resources, SimDuration, SimTime,
@@ -164,10 +164,14 @@ impl PendKey {
 }
 
 /// Bidirectional task↔machine placement book.
+///
+/// Ordered maps, deliberately: crash handling and repack iterate these,
+/// and the run must be bit-identical across repeats for checkpoint
+/// replay (see `tests/determinism.rs`), so no hash-order dependence.
 #[derive(Debug, Default)]
 struct Placements {
-    host_of: HashMap<usize, MachineId>,
-    residents: HashMap<MachineId, Vec<usize>>,
+    host_of: BTreeMap<usize, MachineId>,
+    residents: BTreeMap<MachineId, Vec<usize>>,
 }
 
 impl Placements {
@@ -308,7 +312,7 @@ impl<'t> Simulation<'t> {
         // instant before the run starts: the same tasks arrive, just
         // compressed in time, so conservation is unaffected.
         let mut effective_arrival: Vec<SimTime> = tasks.iter().map(|t| t.arrival).collect();
-        let mut burst_counts: HashMap<usize, usize> = HashMap::new();
+        let mut burst_counts: BTreeMap<usize, usize> = BTreeMap::new();
         if let Some(plan) = plan.as_ref() {
             for (ei, ev) in plan.events().iter().enumerate() {
                 if let FaultKind::ArrivalBurst { window } = ev.kind {
@@ -817,7 +821,7 @@ impl<'t> Simulation<'t> {
         // skipped without re-attempting placement, so a wall of blocked
         // large tasks cannot starve placeable small ones further down
         // the queue.
-        let mut failed_shapes: HashSet<(u8, u64, u64)> = HashSet::new();
+        let mut failed_shapes: BTreeSet<(u8, u64, u64)> = BTreeSet::new();
         let shape = |task: &Task| {
             (
                 task.priority.level(),

@@ -36,6 +36,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
+pub mod keys;
+
 /// A monotonically increasing event count.
 #[derive(Debug, Default)]
 pub struct Counter {

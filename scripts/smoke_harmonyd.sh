@@ -19,7 +19,17 @@ set -euo pipefail
 HARMONYD=${HARMONYD:-target/release/harmonyd}
 HARMONYCTL=${HARMONYCTL:-target/release/harmonyctl}
 REPLAY=${REPLAY:-target/release/replay}
+HARMONY_LINT=${HARMONY_LINT:-target/release/harmony-lint}
 RESULTS_DIR=${HARMONY_RESULTS_DIR:-results}
+
+# Before booting anything: every metric name the smoke checks below
+# key on must exist in the telemetry registry and DESIGN.md, or this
+# script would probe counters that can never move. The drift rule is
+# the cheap static version of that guarantee.
+if [[ ! -x "$HARMONY_LINT" ]]; then
+    cargo build --release -p harmony-lint
+fi
+"$HARMONY_LINT" --deny --rule metric-name-drift
 
 workdir=$(mktemp -d "${TMPDIR:-/tmp}/harmonyd-smoke.XXXXXX")
 daemon_pid=""

@@ -26,7 +26,7 @@ fn simulate_mmn(lambda: f64, mu: f64, servers: usize, n_customers: usize, seed: 
         let (idx, &earliest) = free_at
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .unwrap();
         let start = earliest.max(t);
         let service = exp(mu, &mut rng);
