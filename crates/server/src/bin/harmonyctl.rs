@@ -9,7 +9,7 @@ use std::process::ExitCode;
 
 use harmony_model::Task;
 use harmony_server::protocol::{Request, Response};
-use harmony_server::Client;
+use harmony_server::{Client, RetryPolicy};
 use harmony_trace::{Trace, TraceConfig, TraceGenerator};
 use serde::Serialize;
 
@@ -35,6 +35,11 @@ VERBS:
 OPTIONS:
   --addr HOST:PORT         daemon address (required)
   --output PATH            also write the raw JSON response to PATH
+  --retries N              retry connect failures and typed overloaded
+                           responses up to N times with capped,
+                           deterministically jittered exponential
+                           backoff (default 0 = no retries)
+  --retry-seed S           jitter seed for the retry schedule (default 0)
 ";
 
 fn load_tasks(file: Option<&str>, count: usize, seed: u64) -> Result<Vec<Task>, String> {
@@ -61,6 +66,8 @@ fn run() -> Result<bool, String> {
     let mut count: usize = 100;
     let mut seed: u64 = 2013;
     let mut horizon: Option<usize> = None;
+    let mut retries: u32 = 0;
+    let mut retry_seed: u64 = 0;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -80,6 +87,13 @@ fn run() -> Result<bool, String> {
             "--horizon" => {
                 horizon =
                     Some(grab("--horizon")?.parse().map_err(|e| format!("--horizon: {e}"))?);
+            }
+            "--retries" => {
+                retries = grab("--retries")?.parse().map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--retry-seed" => {
+                retry_seed =
+                    grab("--retry-seed")?.parse().map_err(|e| format!("--retry-seed: {e}"))?;
             }
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -109,9 +123,16 @@ fn run() -> Result<bool, String> {
     };
 
     let addr = addr.ok_or_else(|| "--addr is required".to_owned())?;
-    let mut client =
-        Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let response = client.request(&request).map_err(|e| format!("request failed: {e}"))?;
+    let policy = RetryPolicy {
+        attempts: retries.saturating_add(1),
+        seed: retry_seed,
+        ..RetryPolicy::default()
+    };
+    let mut client = Client::connect_with_retry(&addr, &policy)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let response = client
+        .request_with_retry(&request, &policy)
+        .map_err(|e| format!("request failed: {e}"))?;
 
     let text = serde_json::to_string_pretty(&response.to_value())
         .map_err(|e| format!("render failed: {e}"))?;

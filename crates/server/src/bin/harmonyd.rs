@@ -41,6 +41,26 @@ OPTIONS:
   --period-mins M          control period override in minutes
   --tick-secs S            wall-clock seconds between automatic control
                            ticks; 0 = manual ticks only (default 0)
+  --read-timeout-ms N      per-frame read deadline / connection idle
+                           budget in ms (default 30000)
+  --write-timeout-ms N     socket write deadline in ms (default 10000)
+  --max-inflight N         admission-control high-water mark: expensive
+                           verbs past N concurrent requests are shed
+                           with a typed overloaded response (default 16)
+  --max-connections N      hard cap on concurrent connections; excess
+                           connections get a typed overloaded response
+                           and are closed (default 64)
+  --retry-after-ms N       retry hint attached to overloaded responses
+                           (default 100)
+  --watchdog-deadline-multiple N
+                           a tick running longer than N control periods
+                           is superseded by the watchdog (default 4)
+  --chaos-tick-panic-every N
+                           chaos testing: panic on every Nth tick
+  --chaos-tick-stall-every N
+                           chaos testing: stall on every Nth tick
+  --chaos-tick-stall-ms N  chaos testing: stall duration in ms
+                           (default 1000)
   --help                   show this help
 ";
 
@@ -56,6 +76,15 @@ struct Args {
     scale: usize,
     period_mins: Option<f64>,
     tick_secs: f64,
+    read_timeout_ms: u64,
+    write_timeout_ms: u64,
+    max_inflight: usize,
+    max_connections: usize,
+    retry_after_ms: u64,
+    watchdog_deadline_multiple: u32,
+    chaos_tick_panic_every: Option<u64>,
+    chaos_tick_stall_every: Option<u64>,
+    chaos_tick_stall_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -71,6 +100,15 @@ fn parse_args() -> Result<Args, String> {
         scale: 100,
         period_mins: None,
         tick_secs: 0.0,
+        read_timeout_ms: 30_000,
+        write_timeout_ms: 10_000,
+        max_inflight: 16,
+        max_connections: net::MAX_CONNECTIONS,
+        retry_after_ms: 100,
+        watchdog_deadline_multiple: 4,
+        chaos_tick_panic_every: None,
+        chaos_tick_stall_every: None,
+        chaos_tick_stall_ms: 1000,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -109,6 +147,55 @@ fn parse_args() -> Result<Args, String> {
                 args.tick_secs =
                     grab("--tick-secs")?.parse().map_err(|e| format!("--tick-secs: {e}"))?;
             }
+            "--read-timeout-ms" => {
+                args.read_timeout_ms = grab("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))?;
+            }
+            "--write-timeout-ms" => {
+                args.write_timeout_ms = grab("--write-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--write-timeout-ms: {e}"))?;
+            }
+            "--max-inflight" => {
+                args.max_inflight = grab("--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("--max-inflight: {e}"))?;
+            }
+            "--max-connections" => {
+                args.max_connections = grab("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?;
+            }
+            "--retry-after-ms" => {
+                args.retry_after_ms = grab("--retry-after-ms")?
+                    .parse()
+                    .map_err(|e| format!("--retry-after-ms: {e}"))?;
+            }
+            "--watchdog-deadline-multiple" => {
+                args.watchdog_deadline_multiple = grab("--watchdog-deadline-multiple")?
+                    .parse()
+                    .map_err(|e| format!("--watchdog-deadline-multiple: {e}"))?;
+            }
+            "--chaos-tick-panic-every" => {
+                args.chaos_tick_panic_every = Some(
+                    grab("--chaos-tick-panic-every")?
+                        .parse()
+                        .map_err(|e| format!("--chaos-tick-panic-every: {e}"))?,
+                );
+            }
+            "--chaos-tick-stall-every" => {
+                args.chaos_tick_stall_every = Some(
+                    grab("--chaos-tick-stall-every")?
+                        .parse()
+                        .map_err(|e| format!("--chaos-tick-stall-every: {e}"))?,
+                );
+            }
+            "--chaos-tick-stall-ms" => {
+                args.chaos_tick_stall_ms = grab("--chaos-tick-stall-ms")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-tick-stall-ms: {e}"))?;
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -122,8 +209,11 @@ fn parse_args() -> Result<Args, String> {
 fn build_service(args: &Args) -> Result<Service, String> {
     let snapshot = args.snapshot.clone().or_else(|| args.resume.clone());
     if let Some(resume) = &args.resume {
-        let checkpoint = state::load(resume)
+        let (checkpoint, recovery) = state::load_with_recovery(resume)
             .map_err(|e| format!("cannot load checkpoint {}: {e}", resume.display()))?;
+        for event in &recovery {
+            eprintln!("harmonyd: checkpoint recovery: {event}");
+        }
         let service = Service::from_checkpoint(checkpoint, snapshot)?;
         eprintln!(
             "harmonyd: resumed from {} at tick {}",
@@ -168,7 +258,26 @@ fn run() -> Result<(), String> {
 
     let tick_period = (args.tick_secs > 0.0)
         .then(|| Duration::from_millis((args.tick_secs * 1000.0).max(1.0) as u64));
-    net::serve(listener, Arc::new(RwLock::new(service)), tick_period)
+    let options = net::ServeOptions {
+        tick_period,
+        limits: net::ConnectionLimits {
+            max_connections: args.max_connections.max(1),
+            max_inflight: args.max_inflight.max(1),
+            read_timeout: Duration::from_millis(args.read_timeout_ms.max(1)),
+            write_timeout: Duration::from_millis(args.write_timeout_ms.max(1)),
+            retry_after_ms: args.retry_after_ms,
+        },
+        watchdog: net::WatchdogPolicy {
+            deadline_multiple: args.watchdog_deadline_multiple.max(1),
+            ..net::WatchdogPolicy::default()
+        },
+        chaos: net::TickerChaos {
+            panic_every: args.chaos_tick_panic_every,
+            stall_every: args.chaos_tick_stall_every,
+            stall: Duration::from_millis(args.chaos_tick_stall_ms),
+        },
+    };
+    net::serve(listener, Arc::new(RwLock::new(service)), options)
         .map_err(|e| format!("server error: {e}"))?;
     eprintln!("harmonyd: shut down cleanly");
     Ok(())

@@ -19,13 +19,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod chaos;
 pub mod client;
 pub mod net;
 pub mod protocol;
+pub mod rng;
 pub mod service;
 pub mod state;
 
-pub use client::Client;
-pub use protocol::{HistogramBody, MetricsBody, Request, Response, StatusBody, MAX_LINE_BYTES};
+pub use client::{Client, RetryPolicy};
+pub use protocol::{
+    ErrorKind, HistogramBody, MetricsBody, Request, Response, StatusBody, MAX_LINE_BYTES,
+};
 pub use service::Service;
-pub use state::{Checkpoint, CatalogSpec, ClassifierSource, CHECKPOINT_VERSION};
+pub use state::{Checkpoint, CatalogSpec, ClassifierSource, RecoveryEvent, CHECKPOINT_VERSION};

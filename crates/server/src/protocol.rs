@@ -29,7 +29,8 @@
 //! serialize identically in both.
 
 use std::collections::BTreeMap;
-use std::io::{self, BufRead, Read, Write};
+use std::io::{self, BufRead, Write};
+use std::time::Instant;
 
 use harmony::monitor::ClassForecast;
 use harmony::rounding::IntegerPlan;
@@ -159,6 +160,10 @@ pub struct StatusBody {
     pub has_plan: bool,
     /// Checkpoint path, when checkpointing is enabled.
     pub snapshot_path: Option<String>,
+    /// Background-ticker restarts forced by the watchdog.
+    pub ticker_restarts: u64,
+    /// Why the ticker was last restarted, if it ever was.
+    pub ticker_last_error: Option<String>,
 }
 
 impl Serialize for StatusBody {
@@ -175,6 +180,8 @@ impl Serialize for StatusBody {
         map.insert("pending_events".to_owned(), self.pending_events.to_value());
         map.insert("has_plan".to_owned(), self.has_plan.to_value());
         map.insert("snapshot_path".to_owned(), self.snapshot_path.to_value());
+        map.insert("ticker_restarts".to_owned(), self.ticker_restarts.to_value());
+        map.insert("ticker_last_error".to_owned(), self.ticker_last_error.to_value());
         Value::Object(map)
     }
 }
@@ -193,6 +200,15 @@ impl Deserialize for StatusBody {
             pending_events: usize::from_value(v.field("pending_events")?)?,
             has_plan: bool::from_value(v.field("has_plan")?)?,
             snapshot_path: Option::from_value(v.field("snapshot_path")?)?,
+            // Absent in pre-watchdog daemons' status bodies.
+            ticker_restarts: match v.field("ticker_restarts") {
+                Ok(field) => u64::from_value(field)?,
+                Err(_) => 0,
+            },
+            ticker_last_error: match v.field("ticker_last_error") {
+                Ok(field) => Option::from_value(field)?,
+                Err(_) => None,
+            },
         })
     }
 }
@@ -326,12 +342,47 @@ impl Deserialize for MetricsBody {
     }
 }
 
+/// Why a request failed — carried on the wire so clients can react
+/// mechanically (retry after a shed, reconnect after a timeout) instead
+/// of parsing prose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame or request was malformed; fix the request.
+    BadRequest,
+    /// A read or write deadline expired; the daemon closes the
+    /// connection after sending this.
+    Timeout,
+    /// Admission control shed the request before it touched any state;
+    /// it is safe to retry after `retry_after_ms`.
+    Overloaded {
+        /// Suggested client backoff before retrying.
+        retry_after_ms: u64,
+    },
+    /// The request was valid but the daemon failed to execute it.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire tag for this kind.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Overloaded { .. } => "overloaded",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
 /// A daemon response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// The request failed; the connection stays usable.
+    /// The request failed; unless the kind is [`ErrorKind::Timeout`],
+    /// the connection stays usable.
     Error {
-        /// What went wrong.
+        /// Why it failed, typed.
+        kind: ErrorKind,
+        /// What went wrong, for humans.
         message: String,
     },
     /// Observations accepted.
@@ -383,6 +434,29 @@ pub enum Response {
 }
 
 impl Response {
+    /// A malformed-input error.
+    pub fn bad_request(message: impl Into<String>) -> Response {
+        Response::Error { kind: ErrorKind::BadRequest, message: message.into() }
+    }
+
+    /// A deadline-expiry error.
+    pub fn timeout(message: impl Into<String>) -> Response {
+        Response::Error { kind: ErrorKind::Timeout, message: message.into() }
+    }
+
+    /// A load-shedding error with a retry hint.
+    pub fn overloaded(retry_after_ms: u64, message: impl Into<String>) -> Response {
+        Response::Error {
+            kind: ErrorKind::Overloaded { retry_after_ms },
+            message: message.into(),
+        }
+    }
+
+    /// A daemon-side execution failure.
+    pub fn internal(message: impl Into<String>) -> Response {
+        Response::Error { kind: ErrorKind::Internal, message: message.into() }
+    }
+
     /// The wire type tag (`None` for errors, which carry no tag).
     pub fn tag(&self) -> Option<&'static str> {
         match self {
@@ -406,9 +480,13 @@ impl Serialize for Response {
     #[allow(clippy::unreachable)]
     fn to_value(&self) -> Value {
         let mut map = BTreeMap::new();
-        if let Response::Error { message } = self {
+        if let Response::Error { kind, message } = self {
             map.insert("ok".to_owned(), false.to_value());
+            map.insert("kind".to_owned(), kind.tag().to_value());
             map.insert("error".to_owned(), message.to_value());
+            if let ErrorKind::Overloaded { retry_after_ms } = kind {
+                map.insert("retry_after_ms".to_owned(), retry_after_ms.to_value());
+            }
             return Value::Object(map);
         }
         map.insert("ok".to_owned(), true.to_value());
@@ -460,7 +538,29 @@ impl Serialize for Response {
 impl Deserialize for Response {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         if !bool::from_value(v.field("ok")?)? {
-            return Ok(Response::Error { message: String::from_value(v.field("error")?)? });
+            // `kind` is absent in pre-resilience responses; default to
+            // Internal so old daemons stay parseable.
+            let kind = match v.get("kind") {
+                None | Some(Value::Null) => ErrorKind::Internal,
+                Some(tag) => match String::from_value(tag)?.as_str() {
+                    "bad-request" => ErrorKind::BadRequest,
+                    "timeout" => ErrorKind::Timeout,
+                    "overloaded" => ErrorKind::Overloaded {
+                        retry_after_ms: match v.get("retry_after_ms") {
+                            Some(ms) => u64::from_value(ms)?,
+                            None => 0,
+                        },
+                    },
+                    "internal" => ErrorKind::Internal,
+                    other => {
+                        return Err(DeError::new(format!("unknown error kind `{other}`")))
+                    }
+                },
+            };
+            return Ok(Response::Error {
+                kind,
+                message: String::from_value(v.field("error")?)?,
+            });
         }
         let tag = String::from_value(v.field("type")?)?;
         match tag.as_str() {
@@ -520,20 +620,90 @@ pub fn write_line<W: Write, T: Serialize>(writer: &mut W, message: &T) -> io::Re
 /// Propagates reader failures; an over-long line yields
 /// [`io::ErrorKind::InvalidData`].
 pub fn read_line<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
-    let mut buf = Vec::new();
-    let mut limited = reader.take(MAX_LINE_BYTES as u64 + 1);
-    let n = limited.read_until(b'\n', &mut buf)?;
-    if n == 0 {
-        return Ok(None);
-    }
-    if buf.len() > MAX_LINE_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("line exceeds the {MAX_LINE_BYTES}-byte cap"),
-        ));
-    }
-    if buf.last() == Some(&b'\n') {
-        buf.pop();
+    read_frame(reader, None)
+}
+
+/// Reads one line like [`read_line`], but gives up once `deadline`
+/// passes. The deadline is checked between buffered chunks, so it also
+/// catches a byte-dribbling sender that never lets the socket-level
+/// read timeout fire; for it to bound a *silent* peer, the underlying
+/// stream must additionally carry a `set_read_timeout` no longer than
+/// the deadline.
+///
+/// # Errors
+///
+/// An expired deadline (or a socket read timeout surfacing as
+/// `WouldBlock`/`TimedOut`) yields [`io::ErrorKind::TimedOut`]; an
+/// over-long or non-UTF-8 line yields [`io::ErrorKind::InvalidData`].
+pub fn read_line_deadline<R: BufRead>(
+    reader: &mut R,
+    deadline: Instant,
+) -> io::Result<Option<String>> {
+    read_frame(reader, Some(deadline))
+}
+
+fn read_frame<R: BufRead>(reader: &mut R, deadline: Option<Instant>) -> io::Result<Option<String>> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let (done, used) = {
+            let chunk = match reader.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        if buf.is_empty() {
+                            "idle deadline expired while waiting for a frame"
+                        } else {
+                            "read deadline expired mid-frame"
+                        },
+                    ));
+                }
+                Err(e) => return Err(e),
+            };
+            if chunk.is_empty() {
+                // EOF: a clean boundary with nothing buffered, or the
+                // final unterminated line.
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                (true, 0)
+            } else {
+                match chunk.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        buf.extend_from_slice(&chunk[..pos]);
+                        (true, pos + 1)
+                    }
+                    None => {
+                        let n = chunk.len();
+                        buf.extend_from_slice(chunk);
+                        (false, n)
+                    }
+                }
+            }
+        };
+        reader.consume(used);
+        // The cap applies to frame content (the newline is excluded),
+        // matching write_line's accept condition exactly.
+        if buf.len() > MAX_LINE_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line exceeds the {MAX_LINE_BYTES}-byte cap"),
+            ));
+        }
+        if done {
+            break;
+        }
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "read deadline expired mid-frame",
+                ));
+            }
+        }
     }
     String::from_utf8(buf)
         .map(Some)
@@ -567,11 +737,37 @@ mod tests {
 
     #[test]
     fn error_response_shape() {
-        let resp = Response::Error { message: "bad verb".to_owned() };
+        let resp = Response::bad_request("bad verb");
         let text = serde_json::to_string(&resp).unwrap();
         assert!(text.contains("\"ok\":false"), "{text}");
+        assert!(text.contains("\"kind\":\"bad-request\""), "{text}");
         let back: Response = serde_json::from_str(&text).unwrap();
         assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn error_kinds_roundtrip() {
+        for resp in [
+            Response::bad_request("x"),
+            Response::timeout("deadline expired"),
+            Response::overloaded(250, "shed"),
+            Response::internal("boom"),
+        ] {
+            let text = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, resp, "wire text: {text}");
+        }
+        // Overloaded carries its retry hint on the wire.
+        let text =
+            serde_json::to_string(&Response::overloaded(250, "shed")).unwrap();
+        assert!(text.contains("\"retry_after_ms\":250"), "{text}");
+        // A pre-resilience error without a kind still parses.
+        let back: Response =
+            serde_json::from_str("{\"ok\":false,\"error\":\"old daemon\"}").unwrap();
+        assert_eq!(
+            back,
+            Response::Error { kind: ErrorKind::Internal, message: "old daemon".to_owned() }
+        );
     }
 
     #[test]
@@ -618,5 +814,107 @@ mod tests {
     fn missing_verb_rejected() {
         assert!(serde_json::from_str::<Request>("{}").is_err());
         assert!(serde_json::from_str::<Request>("{\"verb\":\"frobnicate\"}").is_err());
+    }
+
+    // ------------------------------------------------------------------
+    // Adversarial framing: every malformed input must yield a typed
+    // error (or skippable empty frame), never a panic or a hang.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn line_exactly_at_cap_is_accepted_just_past_is_rejected() {
+        // Exactly MAX content bytes + newline: legal (write_line would
+        // have produced it).
+        let mut exact = vec![b'y'; MAX_LINE_BYTES];
+        exact.push(b'\n');
+        let mut reader = io::BufReader::new(&exact[..]);
+        let line = read_line(&mut reader).unwrap().unwrap();
+        assert_eq!(line.len(), MAX_LINE_BYTES);
+
+        // One byte more: typed InvalidData, not a hang.
+        let mut over = vec![b'y'; MAX_LINE_BYTES + 1];
+        over.push(b'\n');
+        let mut reader = io::BufReader::new(&over[..]);
+        assert_eq!(read_line(&mut reader).unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_lines_and_interleaved_garbage_keep_the_stream_parseable() {
+        let mut stream = Vec::new();
+        write_line(&mut stream, &Request::Status).unwrap();
+        stream.extend_from_slice(b"\n");
+        stream.extend_from_slice(b"%%% not json at all {{{\n");
+        write_line(&mut stream, &Request::Tick).unwrap();
+        let mut reader = io::BufReader::new(&stream[..]);
+
+        assert_eq!(read_line(&mut reader).unwrap().unwrap(), "{\"verb\":\"status\"}");
+        assert_eq!(read_line(&mut reader).unwrap().unwrap(), "");
+        let garbage = read_line(&mut reader).unwrap().unwrap();
+        assert!(serde_json::from_str::<Request>(&garbage).is_err(), "typed parse error");
+        assert_eq!(read_line(&mut reader).unwrap().unwrap(), "{\"verb\":\"tick\"}");
+        assert!(read_line(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn utf8_split_across_reads_reassembles() {
+        // A 1-byte BufReader forces every multi-byte char to arrive
+        // split across fill_buf calls.
+        let text = "héterogénéité ⚙ über alles";
+        let mut framed = text.as_bytes().to_vec();
+        framed.push(b'\n');
+        let mut reader = io::BufReader::with_capacity(1, &framed[..]);
+        assert_eq!(read_line(&mut reader).unwrap().unwrap(), text);
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_typed_error() {
+        let bytes = b"\xff\xfe garbage\n";
+        let mut reader = io::BufReader::new(&bytes[..]);
+        assert_eq!(read_line(&mut reader).unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn unterminated_final_line_is_returned_at_eof() {
+        let bytes = b"{\"verb\":\"status\"}";
+        let mut reader = io::BufReader::new(&bytes[..]);
+        assert_eq!(read_line(&mut reader).unwrap().unwrap(), "{\"verb\":\"status\"}");
+        assert!(read_line(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn deadline_reader_times_out_on_a_dribbled_frame() {
+        use std::io::Read;
+
+        // A reader that yields one byte per call and never finishes the
+        // frame: the deadline check between chunks must fire.
+        struct Dribble;
+        impl Read for Dribble {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                buf[0] = b'x';
+                Ok(1)
+            }
+        }
+        let mut reader = io::BufReader::with_capacity(1, Dribble);
+        let deadline = Instant::now() + std::time::Duration::from_millis(30);
+        let err = read_line_deadline(&mut reader, deadline).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn deadline_reader_maps_socket_timeouts_to_timed_out() {
+        use std::io::Read;
+
+        // A reader standing in for a socket whose read timeout expired.
+        struct Silent;
+        impl Read for Silent {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "no bytes"))
+            }
+        }
+        let mut reader = io::BufReader::new(Silent);
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        let err = read_line_deadline(&mut reader, deadline).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
     }
 }

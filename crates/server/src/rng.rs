@@ -1,0 +1,76 @@
+//! A minimal splitmix64 PRNG shared by the client retry jitter and the
+//! chaos harness.
+//!
+//! Both consumers need *reproducible* randomness — a retry schedule
+//! that unit tests can assert byte-for-byte, and a fault plan that
+//! replays identically for a given seed — so this mirrors the
+//! dependency-free splitmix64 convention established by
+//! `harmony-sim`'s fault injector rather than pulling in an external
+//! generator.
+
+/// A seedable, deterministic, platform-stable PRNG.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `usize` in `[0, n)`. Returns 0 for `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..256 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(rng.below(10) < 10);
+        }
+        assert_eq!(rng.below(0), 0);
+    }
+}

@@ -27,6 +27,11 @@ pub struct Service {
     buffered: Vec<Task>,
     total_observations: u64,
     snapshot_path: Option<PathBuf>,
+    // Watchdog bookkeeping: how often the background ticker had to be
+    // restarted and why, surfaced via `status`. Deliberately not part
+    // of the checkpoint — a restart wipes the slate.
+    ticker_restarts: u64,
+    ticker_last_error: Option<String>,
 }
 
 impl Service {
@@ -46,6 +51,8 @@ impl Service {
             buffered: Vec::new(),
             total_observations: 0,
             snapshot_path,
+            ticker_restarts: 0,
+            ticker_last_error: None,
         }
     }
 
@@ -77,7 +84,15 @@ impl Service {
             buffered: checkpoint.buffered,
             total_observations: checkpoint.total_observations,
             snapshot_path,
+            ticker_restarts: 0,
+            ticker_last_error: None,
         })
+    }
+
+    /// Records one watchdog-forced ticker restart for `status`.
+    pub fn note_ticker_restart(&mut self, why: &str) {
+        self.ticker_restarts += 1;
+        self.ticker_last_error = Some(why.to_owned());
     }
 
     /// The underlying pipeline (read-only).
@@ -137,7 +152,11 @@ impl Service {
         }
     }
 
-    fn status(&self) -> StatusBody {
+    /// Builds the `status` response body. Public (rather than routed
+    /// through [`Service::handle`]) so the network layer can answer
+    /// `status` under a *read* lock even while sheddable verbs queue
+    /// for the write lock.
+    pub fn status_body(&self) -> StatusBody {
         StatusBody {
             ticks: self.pipeline.ticks(),
             now_secs: self.pipeline.now().as_secs(),
@@ -153,6 +172,8 @@ impl Service {
                 .snapshot_path
                 .as_ref()
                 .map(|p| p.display().to_string()),
+            ticker_restarts: self.ticker_restarts,
+            ticker_last_error: self.ticker_last_error.clone(),
         }
     }
 
@@ -184,7 +205,7 @@ impl Service {
                     classes: self.pipeline.forecast_tiered(horizon),
                 }
             }
-            Request::Status => Response::Status(self.status()),
+            Request::Status => Response::Status(self.status_body()),
             Request::Metrics => Response::Metrics(MetricsBody::from(
                 &harmony_telemetry::global().snapshot(),
             )),
@@ -193,9 +214,7 @@ impl Service {
                 self.autosave();
                 match self.pipeline.last_plan().cloned() {
                     Some(plan) => Response::Ticked { tick, plan },
-                    None => Response::Error {
-                        message: "tick produced no plan".to_owned(),
-                    },
+                    None => Response::internal("tick produced no plan"),
                 }
             }
             Request::DrainEvents => Response::Events {
@@ -210,13 +229,10 @@ impl Service {
                         .unwrap_or_default(),
                     bytes,
                 },
-                Ok(None) => Response::Error {
-                    message: "no snapshot path configured (start harmonyd with --snapshot)"
-                        .to_owned(),
-                },
-                Err(e) => Response::Error {
-                    message: format!("snapshot failed: {e}"),
-                },
+                Ok(None) => Response::bad_request(
+                    "no snapshot path configured (start harmonyd with --snapshot)",
+                ),
+                Err(e) => Response::internal(format!("snapshot failed: {e}")),
             },
             Request::Shutdown => Response::ShuttingDown,
         }
@@ -291,6 +307,22 @@ mod tests {
                 assert_eq!(body.total_observations, n as u64);
                 assert!(!body.has_plan);
                 assert!(body.snapshot_path.is_none());
+                assert_eq!(body.ticker_restarts, 0);
+                assert!(body.ticker_last_error.is_none());
+            }
+            other => panic!("expected Status, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ticker_restarts_surface_in_status() {
+        let (mut service, _) = test_service(None);
+        service.note_ticker_restart("chaos: injected tick panic #1");
+        service.note_ticker_restart("tick exceeded deadline");
+        match service.handle(Request::Status) {
+            Response::Status(body) => {
+                assert_eq!(body.ticker_restarts, 2);
+                assert_eq!(body.ticker_last_error.as_deref(), Some("tick exceeded deadline"));
             }
             other => panic!("expected Status, got {other:?}"),
         }

@@ -9,14 +9,25 @@
 //! pending degradation events), and any observations buffered but not
 //! yet consumed by a tick.
 //!
-//! # Atomicity
+//! # Atomicity, integrity, and generations
 //!
-//! [`save_atomic`] serializes to `<path>.tmp` (fsynced) and then
-//! `rename(2)`s over the target. On POSIX the rename is atomic within a
-//! filesystem, so a reader — including a daemon restarted after
-//! `kill -9` — sees either the previous complete checkpoint or the new
-//! complete checkpoint, never a torn file. A leftover `.tmp` after a
-//! crash is garbage and is ignored (and overwritten) by the next save.
+//! [`save_atomic`] wraps the serialized checkpoint in a CRC32-carrying
+//! envelope (`{"crc32":N,"payload":{...}}`), writes it to `<path>.tmp`
+//! (fsynced), rotates the current `<path>` to `<path>.1`, and then
+//! `rename(2)`s the tmp over the target. On POSIX the renames are
+//! atomic within a filesystem, so a reader — including a daemon
+//! restarted after `kill -9` — sees either the previous complete
+//! checkpoint or the new complete checkpoint, never a torn file. A
+//! leftover `.tmp` after a crash is garbage: [`load_with_recovery`]
+//! removes it (reporting [`RecoveryEvent::StaleTmpRemoved`]) and the
+//! next save overwrites it regardless.
+//!
+//! The CRC covers the exact payload bytes inside the envelope, so
+//! torn writes, truncation, and bit rot are all detected *before* any
+//! JSON parse is attempted. When the primary fails verification,
+//! [`load_with_recovery`] falls back to the `<path>.1` generation and
+//! reports typed [`RecoveryEvent`]s instead of dying — the daemon
+//! resumes from the last durable state rather than refusing to boot.
 
 use std::fs;
 use std::io::{self, Write};
@@ -202,6 +213,22 @@ impl Deserialize for Checkpoint {
     }
 }
 
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte
+/// slice — the checkpoint-envelope integrity check. Hand-rolled and
+/// table-free like the rest of the vendored stand-ins, so the server
+/// crate stays zero-dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
 /// FNV-1a-64 over a byte slice — the trace-file integrity hash.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
@@ -287,40 +314,248 @@ pub fn refit_classifier(
     TaskClassifier::fit(trace.tasks(), config).map_err(|e| format!("classifier fit failed: {e}"))
 }
 
-/// Serializes a checkpoint to `<path>.tmp`, fsyncs, and atomically
-/// renames it over `path`.
+/// What [`load_with_recovery`] had to do beyond a clean read — the
+/// typed degradation report for checkpoint restore, logged by the
+/// daemon instead of crashing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// A `<path>.tmp` left by an interrupted save was removed; it can
+    /// never poison a later [`save_atomic`].
+    StaleTmpRemoved {
+        /// The removed temp file.
+        path: String,
+    },
+    /// The primary checkpoint failed CRC verification or parsing (or
+    /// was missing) and was skipped.
+    PrimaryRejected {
+        /// The rejected file.
+        path: String,
+        /// Why it was rejected (truncation, CRC mismatch, parse error).
+        reason: String,
+    },
+    /// The previous generation (`<path>.1`) served the restore.
+    RecoveredFromGeneration {
+        /// The generation file that was loaded.
+        path: String,
+    },
+    /// A pre-CRC (bare-payload) checkpoint was accepted without
+    /// integrity verification.
+    LegacyUnverified {
+        /// The legacy file.
+        path: String,
+    },
+}
+
+impl std::fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryEvent::StaleTmpRemoved { path } => {
+                write!(f, "removed stale checkpoint temp file {path}")
+            }
+            RecoveryEvent::PrimaryRejected { path, reason } => {
+                write!(f, "rejected checkpoint {path}: {reason}")
+            }
+            RecoveryEvent::RecoveredFromGeneration { path } => {
+                write!(f, "recovered from previous checkpoint generation {path}")
+            }
+            RecoveryEvent::LegacyUnverified { path } => {
+                write!(f, "loaded legacy (pre-CRC) checkpoint {path} without verification")
+            }
+        }
+    }
+}
+
+/// `<path>.tmp` — the staging file for an atomic save.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// `<path>.1` — the previous checkpoint generation kept as a fallback.
+pub fn generation_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".1");
+    PathBuf::from(os)
+}
+
+const ENVELOPE_PREFIX: &str = "{\"crc32\":";
+const ENVELOPE_PAYLOAD: &str = ",\"payload\":";
+
+/// Wraps serialized payload text in the CRC envelope. The CRC covers
+/// the payload bytes exactly as embedded, so verification never depends
+/// on JSON re-serialization being canonical.
+fn encode_envelope(payload: &str) -> String {
+    format!("{ENVELOPE_PREFIX}{}{ENVELOPE_PAYLOAD}{payload}}}\n", crc32(payload.as_bytes()))
+}
+
+/// Splits envelope text into (stored CRC, payload bytes). Structural
+/// damage — truncation, a torn tail, garbage — is a typed error here,
+/// before any JSON parsing.
+fn decode_envelope(text: &str) -> Result<(u32, &str), String> {
+    let trimmed = text.trim_end_matches(['\n', '\r']);
+    let rest = trimmed
+        .strip_prefix(ENVELOPE_PREFIX)
+        .ok_or_else(|| "missing envelope prefix".to_owned())?;
+    let sep = rest
+        .find(ENVELOPE_PAYLOAD)
+        .ok_or_else(|| "envelope missing payload separator (truncated?)".to_owned())?;
+    let crc: u32 = rest[..sep]
+        .parse()
+        .map_err(|e| format!("bad envelope crc field `{}`: {e}", &rest[..sep]))?;
+    let body = &rest[sep + ENVELOPE_PAYLOAD.len()..];
+    let payload = body
+        .strip_suffix('}')
+        .ok_or_else(|| "envelope missing closing brace (truncated?)".to_owned())?;
+    Ok((crc, payload))
+}
+
+/// Serializes a checkpoint into the CRC envelope, writes it to
+/// `<path>.tmp`, fsyncs, rotates the current `path` to `<path>.1`, and
+/// atomically renames the tmp over `path`. After a successful save,
+/// `path` holds the new checkpoint and `<path>.1` the previous one.
 ///
 /// # Errors
 ///
-/// Propagates I/O failures (the `.tmp` file may remain; it is inert).
+/// Propagates I/O failures (the `.tmp` file may remain; it is inert —
+/// [`load_with_recovery`] removes it). The generation rotation is
+/// best-effort: its failure never blocks the primary rename.
 pub fn save_atomic(checkpoint: &Checkpoint, path: &Path) -> io::Result<u64> {
-    let text = serde_json::to_string(checkpoint)
+    let payload = serde_json::to_string(checkpoint)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    let tmp: PathBuf = {
-        let mut os = path.as_os_str().to_owned();
-        os.push(".tmp");
-        PathBuf::from(os)
-    };
+    let text = encode_envelope(&payload);
+    let tmp = tmp_path(path);
     {
         let mut file = fs::File::create(&tmp)?;
         file.write_all(text.as_bytes())?;
-        file.write_all(b"\n")?;
         file.sync_all()?;
     }
+    if path.exists() {
+        let _ = fs::rename(path, generation_path(path));
+    }
     fs::rename(&tmp, path)?;
-    Ok(text.len() as u64 + 1)
+    Ok(text.len() as u64)
 }
 
-/// Loads a checkpoint from disk.
+/// Reads and verifies one checkpoint file. The bool is `true` when the
+/// file was a legacy bare payload accepted without CRC verification.
+fn read_verified(path: &Path) -> Result<(Checkpoint, bool), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    if text.starts_with(ENVELOPE_PREFIX) {
+        let (stored, payload) = decode_envelope(&text)?;
+        let computed = crc32(payload.as_bytes());
+        if computed != stored {
+            return Err(format!(
+                "crc mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ));
+        }
+        let checkpoint =
+            serde_json::from_str(payload).map_err(|e| format!("payload parse failed: {e}"))?;
+        Ok((checkpoint, false))
+    } else {
+        // Pre-CRC checkpoints are bare payloads; accept them so old
+        // snapshots keep loading, but flag the missing verification.
+        let checkpoint =
+            serde_json::from_str(&text).map_err(|e| format!("parse failed: {e}"))?;
+        Ok((checkpoint, true))
+    }
+}
+
+/// Loads a checkpoint, surviving a corrupt or missing primary: removes
+/// any stale `<path>.tmp`, verifies the primary's CRC, and falls back
+/// to the `<path>.1` generation when the primary is torn, truncated,
+/// bit-flipped, or absent. Every deviation from a clean read is
+/// reported as a typed [`RecoveryEvent`].
 ///
 /// # Errors
 ///
-/// Propagates I/O failures; malformed or version-mismatched contents
-/// yield [`io::ErrorKind::InvalidData`].
+/// Fails only when *both* the primary and the fallback generation are
+/// unreadable; the combined reasons land in one
+/// [`io::ErrorKind::InvalidData`] error.
+pub fn load_with_recovery(path: &Path) -> io::Result<(Checkpoint, Vec<RecoveryEvent>)> {
+    let mut events = Vec::new();
+    let tmp = tmp_path(path);
+    if tmp.exists() && fs::remove_file(&tmp).is_ok() {
+        events.push(RecoveryEvent::StaleTmpRemoved { path: tmp.display().to_string() });
+    }
+    match read_verified(path) {
+        Ok((checkpoint, legacy)) => {
+            if legacy {
+                events.push(RecoveryEvent::LegacyUnverified { path: path.display().to_string() });
+            }
+            Ok((checkpoint, events))
+        }
+        Err(reason) => {
+            events.push(RecoveryEvent::PrimaryRejected {
+                path: path.display().to_string(),
+                reason: reason.clone(),
+            });
+            let generation = generation_path(path);
+            match read_verified(&generation) {
+                Ok((checkpoint, legacy)) => {
+                    if legacy {
+                        events.push(RecoveryEvent::LegacyUnverified {
+                            path: generation.display().to_string(),
+                        });
+                    }
+                    events.push(RecoveryEvent::RecoveredFromGeneration {
+                        path: generation.display().to_string(),
+                    });
+                    Ok((checkpoint, events))
+                }
+                Err(generation_reason) => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "checkpoint unrecoverable: primary {}: {reason}; generation {}: \
+                         {generation_reason}",
+                        path.display(),
+                        generation.display()
+                    ),
+                )),
+            }
+        }
+    }
+}
+
+/// Loads a checkpoint from disk ([`load_with_recovery`] with the
+/// recovery report discarded).
+///
+/// # Errors
+///
+/// Propagates I/O failures; contents unrecoverable from both
+/// generations yield [`io::ErrorKind::InvalidData`].
 pub fn load(path: &Path) -> io::Result<Checkpoint> {
-    let text = fs::read_to_string(path)?;
-    serde_json::from_str(&text)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    load_with_recovery(path).map(|(checkpoint, _)| checkpoint)
+}
+
+/// Truncates a checkpoint file to `len` bytes — the torture helper the
+/// chaos harness uses to simulate a torn write.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn truncate_to(path: &Path, len: u64) -> io::Result<()> {
+    let file = fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(len)?;
+    file.sync_all()
+}
+
+/// Flips one bit of a checkpoint file (`byte_index` wraps modulo the
+/// file length) — the torture helper the chaos harness uses to
+/// simulate bit rot.
+///
+/// # Errors
+///
+/// Propagates I/O failures; flipping a bit of an empty file is an
+/// [`io::ErrorKind::InvalidInput`] error.
+pub fn flip_bit(path: &Path, byte_index: u64, bit: u8) -> io::Result<()> {
+    let mut bytes = fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "cannot flip a bit of an empty file"));
+    }
+    let idx = (byte_index % bytes.len() as u64) as usize;
+    bytes[idx] ^= 1 << (bit % 8);
+    fs::write(path, bytes)
 }
 
 #[cfg(test)]
@@ -333,6 +568,165 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn crc_vectors() {
+        // The IEEE 802.3 check value plus degenerate inputs.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"harmony"), crc32(b"harmonx"));
+    }
+
+    #[test]
+    fn envelope_roundtrip_and_truncation_detection() {
+        let payload = r#"{"k":1,"f":0.5}"#;
+        let text = encode_envelope(payload);
+        assert!(text.ends_with('\n'));
+        let (crc, body) = decode_envelope(&text).unwrap();
+        assert_eq!(body, payload);
+        assert_eq!(crc, crc32(payload.as_bytes()));
+        // Structural damage is caught before any JSON parse.
+        assert!(decode_envelope(&text[..text.len() - 3]).is_err());
+        assert!(decode_envelope("{\"crc32\":12").is_err());
+        assert!(decode_envelope("not an envelope").is_err());
+    }
+
+    fn test_checkpoint(ticks: u64) -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            config: HarmonyConfig::default(),
+            classifier: ClassifierConfig { k_per_group: Some([2, 2, 2]), ..Default::default() },
+            source: ClassifierSource::Synthetic { seed: 9, span_secs: 120.0 },
+            catalog: CatalogSpec { name: "table2".to_owned(), divisor: 100 },
+            state: OnlineState {
+                ticks,
+                errors: 0,
+                histories: vec![vec![0.5, 0.25]],
+                last_plan: None,
+                pending_events: Vec::new(),
+                lp_basis: None,
+            },
+            buffered: Vec::new(),
+            total_observations: ticks * 10,
+        }
+    }
+
+    fn test_dir(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("harmonyd-state-{label}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn second_save_rotates_previous_generation() {
+        let dir = test_dir("rotate");
+        let path = dir.join("ckpt.json");
+        save_atomic(&test_checkpoint(1), &path).unwrap();
+        assert!(!generation_path(&path).exists(), "no generation after first save");
+        save_atomic(&test_checkpoint(2), &path).unwrap();
+        let generation = generation_path(&path);
+        assert!(generation.exists(), "second save keeps the previous generation");
+        assert_eq!(load(&path).unwrap().state.ticks, 2);
+        assert_eq!(load(&generation).unwrap().state.ticks, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_in_primary_falls_back_to_generation() {
+        let dir = test_dir("bitflip");
+        let path = dir.join("ckpt.json");
+        save_atomic(&test_checkpoint(1), &path).unwrap();
+        save_atomic(&test_checkpoint(2), &path).unwrap();
+        // Flip a bit somewhere in the payload region (past the header).
+        flip_bit(&path, 40, 2).unwrap();
+        let (back, events) = load_with_recovery(&path).unwrap();
+        assert_eq!(back.state.ticks, 1, "the intact generation serves the restore");
+        assert!(
+            events.iter().any(|e| matches!(e, RecoveryEvent::PrimaryRejected { .. })),
+            "events: {events:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e, RecoveryEvent::RecoveredFromGeneration { .. })),
+            "events: {events:?}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_primary_falls_back_to_generation() {
+        let dir = test_dir("truncate");
+        let path = dir.join("ckpt.json");
+        save_atomic(&test_checkpoint(1), &path).unwrap();
+        save_atomic(&test_checkpoint(2), &path).unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        truncate_to(&path, len / 2).unwrap();
+        let (back, events) = load_with_recovery(&path).unwrap();
+        assert_eq!(back.state.ticks, 1);
+        assert!(events.iter().any(|e| matches!(e, RecoveryEvent::PrimaryRejected { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_primary_falls_back_to_generation() {
+        let dir = test_dir("missing");
+        let path = dir.join("ckpt.json");
+        save_atomic(&test_checkpoint(1), &path).unwrap();
+        save_atomic(&test_checkpoint(2), &path).unwrap();
+        fs::remove_file(&path).unwrap();
+        let (back, events) = load_with_recovery(&path).unwrap();
+        assert_eq!(back.state.ticks, 1);
+        assert!(events.iter().any(|e| matches!(e, RecoveryEvent::RecoveredFromGeneration { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn both_generations_corrupt_is_a_typed_error() {
+        let dir = test_dir("hopeless");
+        let path = dir.join("ckpt.json");
+        save_atomic(&test_checkpoint(1), &path).unwrap();
+        save_atomic(&test_checkpoint(2), &path).unwrap();
+        truncate_to(&path, 10).unwrap();
+        truncate_to(&generation_path(&path), 10).unwrap();
+        let err = load_with_recovery(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("unrecoverable"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_never_poisons_the_next_save() {
+        // Regression: a crash between `File::create(.tmp)` and the
+        // rename leaves a stale tmp; load must remove it, and a later
+        // save_atomic must succeed and leave no tmp behind.
+        let dir = test_dir("staletmp");
+        let path = dir.join("ckpt.json");
+        save_atomic(&test_checkpoint(1), &path).unwrap();
+        fs::write(tmp_path(&path), b"{\"torn mid-write").unwrap();
+        let (back, events) = load_with_recovery(&path).unwrap();
+        assert_eq!(back.state.ticks, 1);
+        assert!(
+            events.iter().any(|e| matches!(e, RecoveryEvent::StaleTmpRemoved { .. })),
+            "events: {events:?}"
+        );
+        assert!(!tmp_path(&path).exists());
+        save_atomic(&test_checkpoint(2), &path).unwrap();
+        assert!(!tmp_path(&path).exists());
+        assert_eq!(load(&path).unwrap().state.ticks, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_bare_payload_checkpoints_still_load() {
+        let dir = test_dir("legacy");
+        let path = dir.join("ckpt.json");
+        let payload = serde_json::to_string(&test_checkpoint(3)).unwrap();
+        fs::write(&path, format!("{payload}\n")).unwrap();
+        let (back, events) = load_with_recovery(&path).unwrap();
+        assert_eq!(back.state.ticks, 3);
+        assert!(events.iter().any(|e| matches!(e, RecoveryEvent::LegacyUnverified { .. })));
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

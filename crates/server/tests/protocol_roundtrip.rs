@@ -7,7 +7,9 @@ use harmony::rounding::IntegerPlan;
 use harmony_model::{
     JobId, Priority, Resources, SchedulingClass, SimDuration, SimTime, Task, TaskId,
 };
-use harmony_server::protocol::{HistogramBody, MetricsBody, Request, Response, StatusBody};
+use harmony_server::protocol::{
+    ErrorKind, HistogramBody, MetricsBody, Request, Response, StatusBody,
+};
 use harmony_sim::{DegradationEvent, DegradationKind, ForecastTier};
 use proptest::prelude::*;
 
@@ -96,12 +98,14 @@ fn arb_status() -> impl Strategy<Value = StatusBody> {
         (0u64..1 << 32, 0.0f64..1e9, 0usize..100, 0usize..10_000),
         (0u64..1 << 40, 1usize..20, 1usize..11, 0usize..100_000),
         (0usize..50, any::<bool>(), any::<bool>(), arb_string()),
+        (0u64..100, any::<bool>(), arb_string()),
     )
         .prop_map(
             |(
                 (ticks, now_secs, errors, buffered),
                 (total_observations, n_classes, machine_types, total_machines),
                 (pending_events, has_plan, has_path, path),
+                (ticker_restarts, has_ticker_error, ticker_error),
             )| StatusBody {
                 ticks,
                 now_secs,
@@ -114,6 +118,8 @@ fn arb_status() -> impl Strategy<Value = StatusBody> {
                 pending_events,
                 has_plan,
                 snapshot_path: has_path.then_some(path),
+                ticker_restarts,
+                ticker_last_error: has_ticker_error.then_some(ticker_error),
             },
         )
 }
@@ -177,9 +183,18 @@ fn arb_metrics() -> impl Strategy<Value = MetricsBody> {
         })
 }
 
+fn arb_error_kind() -> impl Strategy<Value = ErrorKind> {
+    (0usize..4, 0u64..100_000).prop_map(|(pick, retry)| match pick {
+        0 => ErrorKind::BadRequest,
+        1 => ErrorKind::Timeout,
+        2 => ErrorKind::Overloaded { retry_after_ms: retry },
+        _ => ErrorKind::Internal,
+    })
+}
+
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        (0usize..10, arb_string(), arb_status()),
+        (0usize..10, (arb_string(), arb_error_kind()), arb_status()),
         (0u64..1 << 32, any::<bool>(), arb_plan()),
         (1usize..50, prop::collection::vec(arb_forecast(), 0..4)),
         (prop::collection::vec(arb_degradation(), 0..4), 0u64..1 << 32),
@@ -187,13 +202,13 @@ fn arb_response() -> impl Strategy<Value = Response> {
     )
         .prop_map(
             |(
-                (pick, text, status),
+                (pick, (text, kind), status),
                 (tick, has_plan, plan),
                 (horizon, classes),
                 (events, bytes),
                 metrics,
             )| match pick {
-                0 => Response::Error { message: text },
+                0 => Response::Error { kind, message: text },
                 1 => Response::Submitted { buffered: horizon, total: tick },
                 2 => Response::Plan { tick, plan: has_plan.then_some(plan) },
                 3 => Response::Forecast { horizon, classes },

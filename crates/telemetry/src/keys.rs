@@ -37,6 +37,9 @@ pub const REGISTERED_KEYS: &[&str] = &[
     "server.errors",
     "server.request_seconds",
     "server.requests",
+    "server.shed_total",
+    "server.ticker_restarts",
+    "server.timeout_total",
     "sim.controller_seconds",
     "sim.events.arrival",
     "sim.events.boot",

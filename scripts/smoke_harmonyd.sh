@@ -110,6 +110,11 @@ warm = counters.get("lp.warm_start_hits", 0)
 cold = counters.get("lp.warm_start_fallbacks", 0)
 if warm + cold < 1:
     sys.exit(f"warm-start counters missing or zero: {counters}")
+# The resilience counters are pre-registered at daemon start, so they
+# must be present (zero is fine — this session sheds nothing).
+for key in ("server.shed_total", "server.timeout_total", "server.ticker_restarts"):
+    if key not in counters:
+        sys.exit(f"resilience counter {key} missing: {sorted(counters)}")
 gauges = m.get("gauges")
 if not isinstance(gauges, dict):
     sys.exit(f"metrics response has no gauges object: {m}")
