@@ -525,6 +525,12 @@ fn print_faults(report: &SimReport) {
             FaultRecordKind::ArrivalBurst { tasks_warped } => {
                 println!("  {at:7.2} h  arrival burst: {tasks_warped} tasks warped")
             }
+            FaultRecordKind::SpotEviction { machine_type, machines, evicted, failed } => {
+                println!(
+                    "  {at:7.2} h  spot reclaim {machine_type:?}: {machines} machines, \
+                     {evicted} evicted, {failed} failed"
+                )
+            }
         }
     }
 }

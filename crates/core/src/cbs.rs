@@ -22,10 +22,97 @@
 //! this is exactly an LP, solved by `harmony-lp`.
 
 use harmony_lp::{PiecewiseLinear, Problem, Sense, VarId};
-use harmony_model::{EnergyPrice, MachineCatalog, Resources, SimTime, NUM_RESOURCES};
+use harmony_model::{
+    EnergyPrice, MachineCatalog, MachineTypeId, PriorityGroup, Resources, SimTime, NUM_RESOURCES,
+};
+use harmony_pricing::{MarketPolicy, PriceBook, SloCostCurve};
 use serde::{Deserialize, Serialize};
 
 use crate::{HarmonyConfig, HarmonyError};
+
+/// The monetary inputs for [`CbsObjective::Dollars`]: who charges what
+/// for a machine-hour, which market the plan may shop, what an unserved
+/// container-hour costs per class, and which classes need accelerators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DollarCosts {
+    /// Per-machine-type rental rates (on-demand and spot).
+    pub book: PriceBook,
+    /// Whether the plan may price capacity on the spot market.
+    pub market: MarketPolicy,
+    /// Per-class SLO-violation cost curves (index = class id); replaces
+    /// the flat `utility_per_hour` slope of the energy objective.
+    pub slo_costs: Vec<SloCostCurve>,
+    /// Per-class accelerator slots one container needs (index = class
+    /// id); `0.0` for CPU-only classes. A class with accelerator demand
+    /// is only compatible with machine types whose
+    /// [`harmony_model::MachineType::accel_capacity`] covers it, and
+    /// accelerator slots get their own capacity row.
+    pub accel_demand: Vec<f64>,
+}
+
+impl DollarCosts {
+    /// Default costs for a catalog and a set of class priority groups:
+    /// the seeded default price book, the per-group default SLO curves,
+    /// and no accelerator demand.
+    pub fn default_for(
+        catalog: &MachineCatalog,
+        groups: &[PriorityGroup],
+        market: MarketPolicy,
+        seed: u64,
+    ) -> Self {
+        DollarCosts {
+            book: PriceBook::default_for(catalog, seed),
+            market,
+            slo_costs: groups.iter().map(|&g| SloCostCurve::default_for_group(g)).collect(),
+            accel_demand: vec![0.0; groups.len()],
+        }
+    }
+}
+
+/// What CBS-RELAX optimizes.
+///
+/// `Energy` is the paper's Section VII objective — scheduling utility
+/// minus electricity and switching cost. `Dollars` swaps the coefficient
+/// model for cloud economics: active machines additionally pay their
+/// rental rate (risk-adjusted spot or on-demand, per
+/// [`PriceBook::planning_rate`]), and serving demand earns the avoided
+/// SLO-violation dollars of the per-class [`SloCostCurve`] instead of a
+/// flat utility. The LP structure (variables, rows) is unchanged for
+/// `Energy`, so plans and bases are bit-identical with pre-pricing
+/// builds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CbsObjective {
+    /// Utility minus energy and switching cost (Section VII, Eq. 14).
+    Energy,
+    /// Rental + energy + switching + expected SLO-violation dollars.
+    Dollars(DollarCosts),
+}
+
+impl CbsObjective {
+    /// Stable lowercase name (used in artifacts and CLI flags).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CbsObjective::Energy => "energy",
+            CbsObjective::Dollars(_) => "dollars",
+        }
+    }
+}
+
+/// The dollar accounting of a solved plan (only produced under
+/// [`CbsObjective::Dollars`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCost {
+    /// Planned rental over the whole horizon, in dollars.
+    pub rental_dollars: f64,
+    /// Rental of the first (actuated) step alone, in dollars.
+    pub first_step_rental_dollars: f64,
+    /// Expected SLO-violation dollars of demand the plan leaves
+    /// unserved over the horizon.
+    pub slo_dollars: f64,
+    /// Machine-weighted fraction of the plan priced on spot quotes,
+    /// in `[0, 1]`.
+    pub spot_fraction: f64,
+}
 
 /// Inputs to one CBS-RELAX solve.
 #[derive(Debug, Clone)]
@@ -83,6 +170,9 @@ pub struct CbsSolve {
     pub warm_started: bool,
     /// Simplex pivots this solve took (phase 1 + phase 2).
     pub pivots: usize,
+    /// Dollar accounting of the plan; `None` under
+    /// [`CbsObjective::Energy`].
+    pub cost: Option<PlanCost>,
 }
 
 /// Solves CBS-RELAX cold.
@@ -118,12 +208,37 @@ pub fn solve_cbs_relax(
 ///
 /// * [`HarmonyError::InvalidConfig`] for inconsistent input shapes.
 /// * [`HarmonyError::Optimization`] if the LP solve fails.
-// Index loops mirror the x[t][m][n] variable grid; iterators would
-// obscure the LP structure.
-#[allow(clippy::needless_range_loop)]
 pub fn solve_cbs_relax_warm(
     inputs: &CbsInputs<'_>,
     config: &HarmonyConfig,
+    warm: Option<&harmony_lp::Basis>,
+) -> Result<CbsSolve, HarmonyError> {
+    solve_cbs_relax_priced(inputs, config, &CbsObjective::Energy, warm)
+}
+
+/// Solves CBS-RELAX under an explicit [`CbsObjective`].
+///
+/// With [`CbsObjective::Energy`] this is exactly
+/// [`solve_cbs_relax_warm`] — same variables, rows, and coefficients,
+/// bit for bit. With [`CbsObjective::Dollars`] the coefficient model
+/// changes (rental on `z`, SLO-cost curves as utility) and two
+/// accelerator-aware pieces activate: classes with accelerator demand
+/// are only compatible with machine types that can host them, and
+/// accelerator slots get their own capacity row per type and period.
+///
+/// # Errors
+///
+/// * [`HarmonyError::InvalidConfig`] for inconsistent input shapes, a
+///   price book that does not cover the catalog, or per-class cost
+///   vectors of the wrong length.
+/// * [`HarmonyError::Optimization`] if the LP solve fails.
+// Index loops mirror the x[t][m][n] variable grid; iterators would
+// obscure the LP structure.
+#[allow(clippy::needless_range_loop)]
+pub fn solve_cbs_relax_priced(
+    inputs: &CbsInputs<'_>,
+    config: &HarmonyConfig,
+    objective: &CbsObjective,
     warm: Option<&harmony_lp::Basis>,
 ) -> Result<CbsSolve, HarmonyError> {
     let m_types = inputs.catalog.len();
@@ -149,15 +264,52 @@ pub fn solve_cbs_relax_warm(
             reason: "utility length must match classes".into(),
         });
     }
+    let costs = match objective {
+        CbsObjective::Energy => None,
+        CbsObjective::Dollars(costs) => {
+            costs
+                .book
+                .check_covers(inputs.catalog)
+                .map_err(|e| HarmonyError::InvalidConfig { reason: e.to_string() })?;
+            if costs.slo_costs.len() != n_classes {
+                return Err(HarmonyError::InvalidConfig {
+                    reason: "slo_costs length must match classes".into(),
+                });
+            }
+            if costs.accel_demand.len() != n_classes {
+                return Err(HarmonyError::InvalidConfig {
+                    reason: "accel_demand length must match classes".into(),
+                });
+            }
+            if costs.accel_demand.iter().any(|a| !a.is_finite() || *a < 0.0) {
+                return Err(HarmonyError::InvalidConfig {
+                    reason: "accel_demand must be finite and non-negative".into(),
+                });
+            }
+            Some(costs)
+        }
+    };
 
     let period_hours = config.control_period.as_hours();
     let mut p = Problem::new(Sense::Maximize);
 
-    // Compatibility: which machine types can host which containers.
+    // Compatibility: which machine types can host which containers. A
+    // class with accelerator demand additionally needs a type whose
+    // accelerator capacity covers one container's slots.
     let compatible: Vec<Vec<bool>> = (0..m_types)
         .map(|m| {
-            let cap = inputs.catalog.machine_type(harmony_model::MachineTypeId(m)).capacity;
-            (0..n_classes).map(|n| inputs.container_sizes[n].fits_within(cap)).collect()
+            let ty = inputs.catalog.machine_type(MachineTypeId(m));
+            (0..n_classes)
+                .map(|n| {
+                    let fits = inputs.container_sizes[n].fits_within(ty.capacity);
+                    match costs {
+                        Some(c) if c.accel_demand[n] > 0.0 => {
+                            fits && c.accel_demand[n] <= ty.accel_capacity + 1e-9
+                        }
+                        _ => fits,
+                    }
+                })
+                .collect()
         })
         .collect();
 
@@ -171,10 +323,19 @@ pub fn solve_cbs_relax_warm(
         let time = inputs.now + config.control_period * t as f64;
         let price = inputs.price.price_at(time); // $/kWh
         for m in 0..m_types {
-            let ty = inputs.catalog.machine_type(harmony_model::MachineTypeId(m));
+            let ty = inputs.catalog.machine_type(MachineTypeId(m));
             // Energy cost of keeping one machine idle for one period.
             let idle_cost = price * ty.power.idle_watts / 1000.0 * period_hours;
-            z[t][m] = p.add_var(format!("z_{m}_{t}"), 0.0, ty.count as f64, -idle_cost);
+            // Under the dollar objective an active machine also pays its
+            // risk-adjusted rental rate for the period (spot-eviction
+            // premium included via the planning rate); under the energy
+            // objective the hardware is owned and rental is zero, which
+            // leaves the coefficient bit-identical to the unpriced build.
+            let rental = costs.map_or(0.0, |c| {
+                c.book.planning_rate(MachineTypeId(m), time, c.market).dollars_per_hour
+                    * period_hours
+            });
+            z[t][m] = p.add_var(format!("z_{m}_{t}"), 0.0, ty.count as f64, -(idle_cost + rental));
             dp[t][m] = p.add_var(format!("dp_{m}_{t}"), 0.0, f64::INFINITY, -ty.switching_cost);
             dm[t][m] = p.add_var(format!("dm_{m}_{t}"), 0.0, f64::INFINITY, -ty.switching_cost);
             for n in 0..n_classes {
@@ -208,9 +369,25 @@ pub fn solve_cbs_relax_warm(
                 }
                 continue;
             }
-            let slope = inputs.utility_per_hour[n] * period_hours;
-            let f = PiecewiseLinear::linear_capped(width, slope)
-                .map_err(HarmonyError::Optimization)?;
+            // Energy: the flat per-class utility slope. Dollars: the
+            // concave SLO-cost curve — the critical head of demand earns
+            // the full violation cost when served, the elastic tail the
+            // lower one.
+            let f = match costs {
+                None => {
+                    let slope = inputs.utility_per_hour[n] * period_hours;
+                    PiecewiseLinear::linear_capped(width, slope)
+                        .map_err(HarmonyError::Optimization)?
+                }
+                Some(c) => {
+                    let segs: Vec<(f64, f64)> = c.slo_costs[n]
+                        .utility_segments(width)
+                        .into_iter()
+                        .map(|(w, s)| (w, s * period_hours))
+                        .collect();
+                    PiecewiseLinear::concave(segs).map_err(HarmonyError::Optimization)?
+                }
+            };
             let segs = f.add_to_problem(&mut p, &format!("u_{n}_{t}"));
             // Σ segments = Σ_m x_mnt (utility accrues per assigned
             // container, saturating at demand).
@@ -248,7 +425,8 @@ pub fn solve_cbs_relax_warm(
             p.add_eq(terms, rhs);
 
             // Capacity per resource: Σ_n ω c_nr x ≤ C_mr z  (Eq. 17).
-            let cap = inputs.catalog.machine_type(harmony_model::MachineTypeId(m)).capacity;
+            let ty = inputs.catalog.machine_type(MachineTypeId(m));
+            let cap = ty.capacity;
             for r in 0..NUM_RESOURCES {
                 let mut terms: Vec<(VarId, f64)> = Vec::new();
                 for n in 0..n_classes {
@@ -261,6 +439,23 @@ pub fn solve_cbs_relax_warm(
                 }
                 terms.push((z[t][m], -cap[r]));
                 p.add_le(terms, 0.0);
+            }
+            // Accelerator slots are a third capacity axis, present only
+            // under the dollar objective: Σ_n ω a_n x ≤ A_m z.
+            if let Some(c) = costs {
+                if ty.accel_capacity > 0.0 {
+                    let terms: Vec<(VarId, f64)> = (0..n_classes)
+                        .filter(|&n| c.accel_demand[n] > 0.0)
+                        .filter_map(|n| {
+                            x[t][m][n].map(|v| (v, config.omega * c.accel_demand[n]))
+                        })
+                        .collect();
+                    if !terms.is_empty() {
+                        let mut terms = terms;
+                        terms.push((z[t][m], -ty.accel_capacity));
+                        p.add_le(terms, 0.0);
+                    }
+                }
             }
         }
     }
@@ -311,12 +506,76 @@ pub fn solve_cbs_relax_warm(
                 .collect()
         })
         .collect();
+    let cost = costs.map(|c| {
+        let plan_cost = account_plan(inputs, config, c, &z_out, &x_out);
+        registry.counter("cost.dollar_solves").inc();
+        registry.gauge("cost.plan_rental_dollars").set(plan_cost.rental_dollars);
+        registry.gauge("cost.plan_slo_dollars").set(plan_cost.slo_dollars);
+        registry.gauge("cost.spot_fraction").set(plan_cost.spot_fraction);
+        plan_cost
+    });
     Ok(CbsSolve {
         plan: CbsPlan { z: z_out, x: x_out, objective: solution.objective() },
         basis: solution.basis().clone(),
         warm_started: solution.warm_started(),
         pivots: solution.pivots(),
+        cost,
     })
+}
+
+/// Dollar accounting of a solved plan: rental at the planning rates the
+/// LP priced with, and the SLO-violation dollars of demand left
+/// unserved (the utility the plan left on the table).
+fn account_plan(
+    inputs: &CbsInputs<'_>,
+    config: &HarmonyConfig,
+    costs: &DollarCosts,
+    z: &[Vec<f64>],
+    x: &[Vec<Vec<f64>>],
+) -> PlanCost {
+    let period_hours = config.control_period.as_hours();
+    let mut rental = 0.0;
+    let mut first_step = 0.0;
+    let mut spot_machines = 0.0;
+    let mut total_machines = 0.0;
+    for (t, row) in z.iter().enumerate() {
+        let time = inputs.now + config.control_period * t as f64;
+        for (m, &zv) in row.iter().enumerate() {
+            let quote = costs.book.planning_rate(MachineTypeId(m), time, costs.market);
+            let dollars = zv * quote.dollars_per_hour * period_hours;
+            rental += dollars;
+            if t == 0 {
+                first_step += dollars;
+            }
+            total_machines += zv;
+            if quote.spot {
+                spot_machines += zv;
+            }
+        }
+    }
+    // Violation dollars of the unserved slice of each class-period: the
+    // curve's value over [served, demand], charged for one period.
+    let mut slo = 0.0;
+    for (t, demand_row) in inputs.demand.iter().enumerate() {
+        for (n, &width) in demand_row.iter().enumerate() {
+            if width <= 0.0 {
+                continue;
+            }
+            let served: f64 = x[t].iter().map(|per_n| per_n[n]).sum::<f64>().min(width);
+            let mut pos = 0.0;
+            for (w, slope) in costs.slo_costs[n].utility_segments(width) {
+                let unserved = (pos + w - served.max(pos)).clamp(0.0, w);
+                slo += unserved * slope * period_hours;
+                pos += w;
+            }
+        }
+    }
+    PlanCost {
+        rental_dollars: rental,
+        first_step_rental_dollars: first_step,
+        slo_dollars: slo,
+        spot_fraction: if total_machines > 0.0 { spot_machines / total_machines } else { 0.0 },
+    }
 }
 
 #[cfg(test)]
@@ -637,6 +896,247 @@ mod tests {
         let idle_warm = solve(0.0, Some(&busy.basis)).unwrap();
         assert!(!idle_warm.warm_started, "structure change must force a cold fallback");
         assert_eq!(idle_warm.plan, idle_cold.plan, "fallback must match the cold plan");
+    }
+
+    fn dollar_costs(catalog: &MachineCatalog, n_classes: usize) -> DollarCosts {
+        DollarCosts::default_for(
+            catalog,
+            &vec![harmony_model::PriorityGroup::Production; n_classes],
+            MarketPolicy::SpotAware,
+            2013,
+        )
+    }
+
+    #[test]
+    fn energy_objective_is_bit_identical_through_priced_entry() {
+        let catalog = catalog();
+        let sizes = vec![Resources::new(0.05, 0.03)];
+        let utility = vec![1.0];
+        let demand = vec![vec![20.0], vec![20.0]];
+        let initial = vec![0.0; 4];
+        let inputs = CbsInputs {
+            catalog: &catalog,
+            container_sizes: &sizes,
+            utility_per_hour: &utility,
+            demand: &demand,
+            initial_active: &initial,
+            price: &EnergyPrice::default(),
+            now: SimTime::ZERO,
+        };
+        let via_warm = solve_cbs_relax_warm(&inputs, &config(), None).unwrap();
+        let via_priced =
+            solve_cbs_relax_priced(&inputs, &config(), &CbsObjective::Energy, None).unwrap();
+        assert_eq!(via_priced.plan, via_warm.plan);
+        assert_eq!(via_priced.pivots, via_warm.pivots);
+        assert!(via_priced.cost.is_none(), "energy solves carry no dollar accounting");
+    }
+
+    #[test]
+    fn dollar_objective_accounts_rental_and_prefers_spot() {
+        let catalog = MachineCatalog::table2_with_accel().scaled(100);
+        let sizes = vec![Resources::new(0.05, 0.03)];
+        let utility = vec![1.0];
+        let demand = vec![vec![40.0], vec![40.0]];
+        let initial = vec![0.0; 5];
+        let costs = dollar_costs(&catalog, 1);
+        let inputs = CbsInputs {
+            catalog: &catalog,
+            container_sizes: &sizes,
+            utility_per_hour: &utility,
+            demand: &demand,
+            initial_active: &initial,
+            price: &EnergyPrice::default(),
+            now: SimTime::ZERO,
+        };
+        let solve = solve_cbs_relax_priced(
+            &inputs,
+            &config(),
+            &CbsObjective::Dollars(costs.clone()),
+            None,
+        )
+        .unwrap();
+        let cost = solve.cost.expect("dollar solves must carry accounting");
+        let served: f64 = solve.plan.x[0].iter().map(|per_n| per_n[0]).sum();
+        assert!(served > 39.0, "production demand must be served, got {served}");
+        assert!(cost.rental_dollars > 0.0);
+        assert!(cost.first_step_rental_dollars > 0.0);
+        assert!(cost.first_step_rental_dollars <= cost.rental_dollars + 1e-12);
+        assert!((0.0..=1.0).contains(&cost.spot_fraction));
+        // Under SpotAware with the default book, every type except the
+        // R210 has a spot quote that undercuts on-demand; the plan
+        // should put essentially all capacity on spot-priced types (the
+        // R210 is the most expensive host per unit of capacity).
+        assert!(
+            cost.spot_fraction > 0.9,
+            "spot capacity should dominate, got {}",
+            cost.spot_fraction
+        );
+        // The same instance under OnDemandOnly pays strictly more rent
+        // for the same served demand.
+        let od = DollarCosts { market: MarketPolicy::OnDemandOnly, ..costs };
+        let od_solve =
+            solve_cbs_relax_priced(&inputs, &config(), &CbsObjective::Dollars(od), None).unwrap();
+        let od_cost = od_solve.cost.unwrap();
+        assert_eq!(od_cost.spot_fraction, 0.0);
+        assert!(
+            od_cost.rental_dollars > cost.rental_dollars,
+            "on-demand rent {} must exceed spot-aware rent {}",
+            od_cost.rental_dollars,
+            cost.rental_dollars
+        );
+    }
+
+    #[test]
+    fn accel_demand_routes_to_accelerator_machines_only() {
+        let catalog = MachineCatalog::table2_with_accel().scaled(100);
+        // Class 0 is CPU-only, class 1 needs one accelerator slot.
+        let sizes = vec![Resources::new(0.05, 0.03), Resources::new(0.05, 0.05)];
+        let utility = vec![1.0, 1.0];
+        let demand = vec![vec![10.0, 6.0]];
+        let initial = vec![0.0; 5];
+        let mut costs = dollar_costs(&catalog, 2);
+        costs.accel_demand = vec![0.0, 1.0];
+        let plan = solve_cbs_relax_priced(
+            &CbsInputs {
+                catalog: &catalog,
+                container_sizes: &sizes,
+                utility_per_hour: &utility,
+                demand: &demand,
+                initial_active: &initial,
+                price: &EnergyPrice::default(),
+                now: SimTime::ZERO,
+            },
+            &config(),
+            &CbsObjective::Dollars(costs),
+            None,
+        )
+        .unwrap()
+        .plan;
+        // Only the GPU type (id 4) may host the accelerator class.
+        for m in 0..4 {
+            assert_eq!(plan.x[0][m][1], 0.0, "CPU type {m} must not host accel containers");
+        }
+        assert!(
+            plan.x[0][4][1] > 5.9,
+            "the GPU type must host the accel class: {:?}",
+            plan.x[0]
+        );
+        // And accelerator slots cap the assignment: 4 slots/machine, so
+        // 6 containers need at least 1.5 machines powered.
+        assert!(plan.z[0][4] >= 1.5 - 1e-6, "accel capacity row must bind, got {}", plan.z[0][4]);
+    }
+
+    #[test]
+    fn slo_curve_tail_is_left_unserved_when_rent_exceeds_value() {
+        // One class whose critical head is worth far more than a
+        // machine-hour and whose tail is worth nothing: the LP serves
+        // exactly the head.
+        let catalog = MachineCatalog::table2_with_accel().scaled(100);
+        let sizes = vec![Resources::new(0.05, 0.03)];
+        let utility = vec![1.0];
+        let demand = vec![vec![20.0]];
+        let initial = vec![0.0; 5];
+        let mut costs = dollar_costs(&catalog, 1);
+        costs.slo_costs = vec![harmony_pricing::SloCostCurve::new(0.5, 5.0, 0.0).unwrap()];
+        let solve = solve_cbs_relax_priced(
+            &CbsInputs {
+                catalog: &catalog,
+                container_sizes: &sizes,
+                utility_per_hour: &utility,
+                demand: &demand,
+                initial_active: &initial,
+                price: &EnergyPrice::default(),
+                now: SimTime::ZERO,
+            },
+            &config(),
+            &CbsObjective::Dollars(costs),
+            None,
+        )
+        .unwrap();
+        let served: f64 = solve.plan.x[0].iter().map(|per_n| per_n[0]).sum();
+        assert!(
+            (served - 10.0).abs() < 0.5,
+            "only the critical head should be served, got {served}"
+        );
+        // The plan accounts the unserved tail... at its zero tail rate.
+        let cost = solve.cost.unwrap();
+        assert!(cost.slo_dollars.abs() < 1e-9, "a zero-rate tail costs nothing: {cost:?}");
+    }
+
+    #[test]
+    fn dollar_warm_restart_matches_cold() {
+        let catalog = MachineCatalog::table2_with_accel().scaled(100);
+        let sizes = vec![Resources::new(0.05, 0.03)];
+        let utility = vec![1.0];
+        let initial = vec![0.0; 5];
+        let costs = dollar_costs(&catalog, 1);
+        let objective = CbsObjective::Dollars(costs);
+        let solve = |demand: f64, warm: Option<&harmony_lp::Basis>| {
+            solve_cbs_relax_priced(
+                &CbsInputs {
+                    catalog: &catalog,
+                    container_sizes: &sizes,
+                    utility_per_hour: &utility,
+                    demand: &[vec![demand], vec![demand]],
+                    initial_active: &initial,
+                    price: &EnergyPrice::default(),
+                    now: SimTime::ZERO,
+                },
+                &config(),
+                &objective,
+                warm,
+            )
+            .unwrap()
+        };
+        let first = solve(20.0, None);
+        let cold = solve(24.0, None);
+        let warm = solve(24.0, Some(&first.basis));
+        assert!(warm.warm_started, "same-structure dollar re-solve must warm start");
+        assert!(
+            (warm.plan.objective - cold.plan.objective).abs()
+                < 1e-6 * (1.0 + cold.plan.objective.abs()),
+            "warm {} vs cold {}",
+            warm.plan.objective,
+            cold.plan.objective
+        );
+    }
+
+    #[test]
+    fn dollar_shape_validation() {
+        let catalog = MachineCatalog::table2_with_accel().scaled(100);
+        let sizes = vec![Resources::new(0.05, 0.03)];
+        let utility = vec![1.0];
+        let demand = vec![vec![5.0]];
+        let initial = vec![0.0; 5];
+        let inputs = CbsInputs {
+            catalog: &catalog,
+            container_sizes: &sizes,
+            utility_per_hour: &utility,
+            demand: &demand,
+            initial_active: &initial,
+            price: &EnergyPrice::default(),
+            now: SimTime::ZERO,
+        };
+        let good = dollar_costs(&catalog, 1);
+        // A book priced for a different catalog must be rejected.
+        let mut wrong_book = good.clone();
+        wrong_book.book = PriceBook::default_for(&MachineCatalog::table2(), 2013);
+        // Mis-sized per-class vectors must be rejected.
+        let mut wrong_curves = good.clone();
+        wrong_curves.slo_costs.push(harmony_pricing::SloCostCurve::default_for_group(
+            harmony_model::PriorityGroup::Gratis,
+        ));
+        let mut wrong_accel = good.clone();
+        wrong_accel.accel_demand = vec![0.0, 0.0];
+        let mut negative_accel = good;
+        negative_accel.accel_demand = vec![-1.0];
+        for bad in [wrong_book, wrong_curves, wrong_accel, negative_accel] {
+            assert!(matches!(
+                solve_cbs_relax_priced(&inputs, &config(), &CbsObjective::Dollars(bad), None),
+                Err(HarmonyError::InvalidConfig { .. })
+            ));
+        }
+        assert_eq!(CbsObjective::Energy.name(), "energy");
     }
 
     #[test]

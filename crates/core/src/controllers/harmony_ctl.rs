@@ -18,7 +18,7 @@ use harmony_sim::{
 };
 use harmony_telemetry as telemetry;
 
-use crate::cbs::{solve_cbs_relax_warm, CbsInputs, CbsPlan};
+use crate::cbs::{solve_cbs_relax_priced, CbsInputs, CbsObjective, CbsPlan};
 use crate::classify::TaskClassifier;
 use crate::containers::ContainerManager;
 use crate::monitor::ArrivalMonitor;
@@ -36,6 +36,7 @@ pub struct HarmonyCore {
     manager: ContainerManager,
     monitor: ArrivalMonitor,
     price: EnergyPrice,
+    objective: CbsObjective,
     errors: usize,
     /// The last successfully-solved integer plan, re-actuated when a
     /// solve fails (the ladder's first rung).
@@ -73,11 +74,25 @@ impl HarmonyCore {
             manager,
             monitor,
             price,
+            objective: CbsObjective::Energy,
             errors: 0,
             last_plan: None,
             lp_basis: None,
             degradations: Vec::new(),
         })
+    }
+
+    /// Swaps the CBS-RELAX objective (default:
+    /// [`CbsObjective::Energy`]). Drops any carried warm-start basis —
+    /// the dollar objective builds a different LP.
+    pub fn set_objective(&mut self, objective: CbsObjective) {
+        self.objective = objective;
+        self.lp_basis = None;
+    }
+
+    /// The objective in effect.
+    pub fn objective(&self) -> &CbsObjective {
+        &self.objective
     }
 
     /// The configuration in effect.
@@ -220,7 +235,7 @@ impl HarmonyCore {
             .map(|n| n as f64)
             .collect();
         let lp_span = registry.timer("pipeline.lp_seconds");
-        let solve = solve_cbs_relax_warm(
+        let solve = solve_cbs_relax_priced(
             &CbsInputs {
                 catalog: observation.cluster.catalog(),
                 container_sizes: &container_sizes,
@@ -231,6 +246,7 @@ impl HarmonyCore {
                 now: observation.now,
             },
             &self.config,
+            &self.objective,
             self.lp_basis.as_ref(),
         )?;
         drop(lp_span);
@@ -395,6 +411,14 @@ impl CbsController {
         Ok(CbsController { core: HarmonyCore::new(classifier, config, price)?, quota })
     }
 
+    /// Provisions under `objective` instead of the default energy
+    /// objective.
+    #[must_use]
+    pub fn with_objective(mut self, objective: CbsObjective) -> Self {
+        self.core.set_objective(objective);
+        self
+    }
+
     /// The shared pipeline (for inspection in tests/benches).
     pub fn core(&self) -> &HarmonyCore {
         &self.core
@@ -445,6 +469,14 @@ impl CbpController {
         price: EnergyPrice,
     ) -> Result<Self, HarmonyError> {
         Ok(CbpController { core: HarmonyCore::new(classifier, config, price)? })
+    }
+
+    /// Provisions under `objective` instead of the default energy
+    /// objective.
+    #[must_use]
+    pub fn with_objective(mut self, objective: CbsObjective) -> Self {
+        self.core.set_objective(objective);
+        self
     }
 
     /// The shared pipeline (for inspection in tests/benches).

@@ -65,6 +65,7 @@ pub mod pipeline;
 pub mod rounding;
 mod serde_impls;
 
+pub use cbs::{CbsObjective, DollarCosts, PlanCost};
 pub use config::HarmonyConfig;
 pub use error::HarmonyError;
 pub use online::{OnlinePipeline, OnlineState};

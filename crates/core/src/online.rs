@@ -26,7 +26,7 @@ use harmony_sim::{DegradationEvent, DegradationKind};
 use serde::value::{DeError, Value};
 use serde::{Deserialize, Serialize};
 
-use crate::cbs::{solve_cbs_relax_warm, CbsInputs};
+use crate::cbs::{solve_cbs_relax_priced, CbsInputs, CbsObjective};
 use crate::classify::TaskClassifier;
 use crate::containers::ContainerManager;
 use crate::monitor::{ArrivalMonitor, ClassForecast};
@@ -56,6 +56,9 @@ pub struct OnlineState {
     /// (equal-objective) vertices, so dropping the basis across a
     /// restore would break bit-identical plan reproduction.
     pub lp_basis: Option<harmony_lp::Basis>,
+    /// Cumulative first-step rental dollars actuated so far (stays 0.0
+    /// under the energy objective).
+    pub cost_dollars: f64,
 }
 
 impl Serialize for OnlineState {
@@ -67,6 +70,7 @@ impl Serialize for OnlineState {
         map.insert("last_plan".to_owned(), self.last_plan.to_value());
         map.insert("pending_events".to_owned(), self.pending_events.to_value());
         map.insert("lp_basis".to_owned(), self.lp_basis.to_value());
+        map.insert("cost_dollars".to_owned(), self.cost_dollars.to_value());
         Value::Object(map)
     }
 }
@@ -84,6 +88,11 @@ impl Deserialize for OnlineState {
                 Ok(Value::Null) | Err(_) => None,
                 Ok(other) => Some(Deserialize::from_value(other)?),
             },
+            // Tolerate checkpoints written before the pricing subsystem.
+            cost_dollars: match v.field("cost_dollars") {
+                Ok(Value::Null) | Err(_) => 0.0,
+                Ok(other) => f64::from_value(other)?,
+            },
         })
     }
 }
@@ -96,6 +105,7 @@ pub struct OnlinePipeline {
     catalog: MachineCatalog,
     config: HarmonyConfig,
     price: EnergyPrice,
+    objective: CbsObjective,
     manager: ContainerManager,
     monitor: ArrivalMonitor,
     last_plan: Option<IntegerPlan>,
@@ -105,6 +115,9 @@ pub struct OnlinePipeline {
     ticks: u64,
     errors: usize,
     degradations: Vec<DegradationEvent>,
+    /// Cumulative first-step rental dollars actuated so far (dollar
+    /// objective only; checkpointed in [`OnlineState`]).
+    cost_dollars: f64,
 }
 
 impl OnlinePipeline {
@@ -133,6 +146,7 @@ impl OnlinePipeline {
             catalog,
             config,
             price,
+            objective: CbsObjective::Energy,
             manager,
             monitor,
             last_plan: None,
@@ -140,7 +154,28 @@ impl OnlinePipeline {
             ticks: 0,
             errors: 0,
             degradations: Vec::new(),
+            cost_dollars: 0.0,
         })
+    }
+
+    /// Provisions under `objective` instead of the default energy
+    /// objective.
+    #[must_use]
+    pub fn with_objective(mut self, objective: CbsObjective) -> Self {
+        self.objective = objective;
+        self.lp_basis = None;
+        self
+    }
+
+    /// The objective in effect.
+    pub fn objective(&self) -> &CbsObjective {
+        &self.objective
+    }
+
+    /// Cumulative first-step rental dollars actuated so far (0.0 under
+    /// the energy objective).
+    pub fn cost_dollars(&self) -> f64 {
+        self.cost_dollars
     }
 
     /// The configuration in effect.
@@ -300,7 +335,7 @@ impl OnlinePipeline {
             None => vec![0.0; self.catalog.len()],
         };
         let lp_span = registry.timer("pipeline.lp_seconds");
-        let solve = solve_cbs_relax_warm(
+        let solve = solve_cbs_relax_priced(
             &CbsInputs {
                 catalog: &self.catalog,
                 container_sizes: &container_sizes,
@@ -311,11 +346,18 @@ impl OnlinePipeline {
                 now,
             },
             &self.config,
+            &self.objective,
             self.lp_basis.as_ref(),
         )?;
         drop(lp_span);
         // Carry the optimal basis into the next tick's solve.
         self.lp_basis = Some(solve.basis);
+        if let Some(cost) = &solve.cost {
+            // The first step is what the daemon actuates, so that is the
+            // slice that accrues into the running spend.
+            self.cost_dollars += cost.first_step_rental_dollars;
+            registry.gauge("cost.cumulative_dollars").set(self.cost_dollars);
+        }
         let plan = solve.plan;
         Ok(registry.time("pipeline.rounding_seconds", || {
             round_first_step(&plan, &self.catalog, &container_sizes)
@@ -331,6 +373,7 @@ impl OnlinePipeline {
             last_plan: self.last_plan.clone(),
             pending_events: self.degradations.clone(),
             lp_basis: self.lp_basis.clone(),
+            cost_dollars: self.cost_dollars,
         }
     }
 
@@ -367,6 +410,7 @@ impl OnlinePipeline {
         self.last_plan = state.last_plan;
         self.degradations = state.pending_events;
         self.lp_basis = state.lp_basis;
+        self.cost_dollars = state.cost_dollars;
         Ok(())
     }
 }
@@ -500,6 +544,7 @@ mod tests {
             last_plan: Some(IntegerPlan { machines: vec![1], quotas: vec![vec![0]] }),
             pending_events: Vec::new(),
             lp_basis: None,
+            cost_dollars: 0.0,
         };
         assert!(pipeline.restore(bad).is_err());
         let bad_classes = OnlineState {
@@ -509,6 +554,7 @@ mod tests {
             last_plan: None,
             pending_events: Vec::new(),
             lp_basis: None,
+            cost_dollars: 0.0,
         };
         assert!(pipeline.restore(bad_classes).is_err());
     }
@@ -526,6 +572,63 @@ mod tests {
         let state = OnlineState::from_value(&v).unwrap();
         assert_eq!(state.lp_basis, None);
         assert_eq!(state.ticks, 2);
+    }
+
+    #[test]
+    fn checkpoint_without_cost_dollars_field_still_loads() {
+        // A checkpoint written before the pricing subsystem has no
+        // cost_dollars key; it must deserialize (to zero spend).
+        let (mut pipeline, trace) = fixture();
+        drive(&mut pipeline, &trace, 2);
+        let mut v = pipeline.state().to_value();
+        if let Value::Object(map) = &mut v {
+            map.remove("cost_dollars");
+        }
+        let state = OnlineState::from_value(&v).unwrap();
+        assert_eq!(state.cost_dollars, 0.0);
+        assert_eq!(state.ticks, 2);
+    }
+
+    #[test]
+    fn dollar_objective_accrues_and_checkpoints_spend() {
+        use crate::cbs::{CbsObjective, DollarCosts};
+        use harmony_pricing::MarketPolicy;
+
+        let (pipeline, trace) = fixture();
+        let groups: Vec<_> =
+            pipeline.classifier().classes().iter().map(|c| c.group).collect();
+        let costs = DollarCosts::default_for(
+            pipeline.catalog(),
+            &groups,
+            MarketPolicy::SpotAware,
+            2013,
+        );
+        let (base, _) = fixture();
+        let mut priced = base.with_objective(CbsObjective::Dollars(costs));
+        drive(&mut priced, &trace, 3);
+        assert_eq!(priced.error_count(), 0);
+        assert!(
+            priced.cost_dollars() > 0.0,
+            "a served workload must accrue rental spend, got {}",
+            priced.cost_dollars()
+        );
+        // The spend survives a checkpoint/restore round trip.
+        let state = priced.state();
+        assert_eq!(state.cost_dollars, priced.cost_dollars());
+        let text = serde_json::to_string(&state).unwrap();
+        let back: OnlineState = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, state);
+        let (fresh, _) = fixture();
+        let mut restored = fresh.with_objective(CbsObjective::Dollars(
+            DollarCosts::default_for(
+                priced.catalog(),
+                &groups,
+                MarketPolicy::SpotAware,
+                2013,
+            ),
+        ));
+        restored.restore(back).unwrap();
+        assert_eq!(restored.cost_dollars(), priced.cost_dollars());
     }
 
     #[test]

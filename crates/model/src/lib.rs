@@ -43,6 +43,6 @@ pub use class::{ClassStats, TaskClassId};
 pub use error::ModelError;
 pub use machine::{MachineCatalog, MachineType, MachineTypeId};
 pub use power::{EnergyPrice, PowerModel};
-pub use resources::{ResourceKind, Resources, NUM_RESOURCES};
+pub use resources::{AccelResources, ResourceKind, Resources, NUM_RESOURCES};
 pub use task::{JobId, Priority, PriorityGroup, SchedulingClass, Task, TaskId};
 pub use time::{SimDuration, SimTime};

@@ -11,8 +11,8 @@ use serde::value::{DeError, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    JobId, MachineTypeId, Priority, Resources, SchedulingClass, SimDuration, SimTime, Task,
-    TaskClassId, TaskId,
+    AccelResources, JobId, MachineTypeId, Priority, Resources, SchedulingClass, SimDuration,
+    SimTime, Task, TaskClassId, TaskId,
 };
 
 macro_rules! impl_u64_newtype {
@@ -101,6 +101,28 @@ impl Deserialize for Resources {
     }
 }
 
+impl Serialize for AccelResources {
+    fn to_value(&self) -> Value {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("compute".to_owned(), self.compute.to_value());
+        map.insert("accel".to_owned(), self.accel.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for AccelResources {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let out = AccelResources {
+            compute: Resources::from_value(v.field("compute")?)?,
+            accel: f64::from_value(v.field("accel")?)?,
+        };
+        if !out.is_valid() {
+            return Err(DeError::new("AccelResources must be finite and non-negative"));
+        }
+        Ok(out)
+    }
+}
+
 impl Serialize for Priority {
     fn to_value(&self) -> Value {
         self.level().to_value()
@@ -169,5 +191,14 @@ mod tests {
     fn negative_duration_rejected_on_read() {
         let v = Value::Number(-1.0);
         assert!(SimDuration::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn accel_resources_round_trip_and_reject() {
+        let a = AccelResources::new(Resources::new(0.25, 0.5), 2.0);
+        let back = AccelResources::from_value(&a.to_value()).unwrap();
+        assert_eq!(a, back);
+        let bad = AccelResources { compute: Resources::new(0.1, 0.1), accel: -1.0 };
+        assert!(AccelResources::from_value(&bad.to_value()).is_err());
     }
 }

@@ -1,0 +1,48 @@
+//! Error type for price-book and cost-curve construction.
+
+use std::fmt;
+
+/// Why a pricing object could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PricingError {
+    /// A $/hour rate was non-finite or non-positive.
+    InvalidRate {
+        /// Which rate was rejected (e.g. `"on_demand_per_hour"`).
+        what: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A price book does not cover every type of the catalog it is
+    /// used with.
+    CatalogMismatch {
+        /// Types priced by the book.
+        book_types: usize,
+        /// Types in the catalog.
+        catalog_types: usize,
+    },
+    /// An SLO cost curve had an invalid shape (fraction out of range,
+    /// slopes not non-increasing, or non-finite dollars).
+    InvalidCurve {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PricingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PricingError::InvalidRate { what, value } => {
+                write!(f, "invalid rate {what} = {value}: must be finite and positive")
+            }
+            PricingError::CatalogMismatch { book_types, catalog_types } => write!(
+                f,
+                "price book covers {book_types} machine types but the catalog has {catalog_types}"
+            ),
+            PricingError::InvalidCurve { reason } => {
+                write!(f, "invalid SLO cost curve: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PricingError {}

@@ -1,0 +1,203 @@
+//! Post-hoc dollar accounting over a simulation report.
+//!
+//! The ledger is controller-agnostic: every variant and objective is
+//! charged from the same [`PriceBook`] under the same [`MarketPolicy`],
+//! so "the dollar objective is cheaper" is a statement about plans, not
+//! about bookkeeping.
+
+use harmony_model::{MachineTypeId, SimDuration};
+use harmony_sim::SimReport;
+
+use crate::book::{MarketPolicy, PriceBook};
+
+/// Dollar totals for one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// Machine rental: active machine-hours × the market rate in effect
+    /// at each sample.
+    pub rental_dollars: f64,
+    /// Energy, as metered by the simulator.
+    pub energy_dollars: f64,
+    /// Machine on/off switching, as metered by the simulator.
+    pub switching_dollars: f64,
+    /// SLO-violation dollars: scheduling delay beyond each group's
+    /// target, charged per task-hour late.
+    pub slo_dollars: f64,
+}
+
+impl CostBreakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> f64 {
+        self.rental_dollars + self.energy_dollars + self.switching_dollars + self.slo_dollars
+    }
+}
+
+/// The accounting rules: a price book, a market policy, and per-group
+/// SLO delay targets and late rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Rates per machine type.
+    pub book: PriceBook,
+    /// Which market the run was allowed to buy from.
+    pub policy: MarketPolicy,
+    /// Delay targets in seconds, indexed by priority-group index
+    /// (gratis, other, production).
+    pub slo_target_secs: [f64; 3],
+    /// Dollars per task-hour of delay beyond the target, same indexing.
+    pub slo_late_per_hour: [f64; 3],
+}
+
+impl CostModel {
+    /// A model with the workspace's default SLO targets (the
+    /// `HarmonyConfig` defaults) and late rates scaled like the default
+    /// utilities: production lateness is ~two orders costlier than
+    /// gratis lateness.
+    pub fn new(book: PriceBook, policy: MarketPolicy) -> Self {
+        CostModel {
+            book,
+            policy,
+            slo_target_secs: [600.0, 120.0, 15.0],
+            slo_late_per_hour: [0.005, 0.06, 0.60],
+        }
+    }
+
+    /// Charges one run. `sample_interval` must be the simulator's
+    /// sampling interval (the spacing of `report.series`), which the
+    /// rental integral uses as its step.
+    pub fn assess(&self, report: &SimReport, sample_interval: SimDuration) -> CostBreakdown {
+        let hours = sample_interval.as_secs() / 3600.0;
+        let mut rental = 0.0;
+        for point in &report.series {
+            for (ty, &active) in point.active_per_type.iter().enumerate() {
+                if active > 0 {
+                    rental += active as f64
+                        * self.book.market_rate(MachineTypeId(ty), point.time, self.policy)
+                        * hours;
+                }
+            }
+        }
+        let mut slo = 0.0;
+        for (g, delays) in report.delays_by_group.iter().enumerate() {
+            let target = self.slo_target_secs[g];
+            let rate = self.slo_late_per_hour[g];
+            for &d in delays {
+                if d > target {
+                    slo += (d - target) / 3600.0 * rate;
+                }
+            }
+        }
+        CostBreakdown {
+            rental_dollars: rental,
+            energy_dollars: report.energy_cost_dollars,
+            switching_dollars: report.switch_cost_dollars,
+            slo_dollars: slo,
+        }
+    }
+
+    /// Fraction of completed tasks per group whose scheduling delay met
+    /// the target (1.0 for groups that completed nothing).
+    pub fn slo_attainment(&self, report: &SimReport) -> [f64; 3] {
+        let mut out = [1.0; 3];
+        for (g, delays) in report.delays_by_group.iter().enumerate() {
+            if delays.is_empty() {
+                continue;
+            }
+            let met = delays.iter().filter(|&&d| d <= self.slo_target_secs[g]).count();
+            out[g] = met as f64 / delays.len() as f64;
+        }
+        out
+    }
+
+    /// Task-weighted overall SLO attainment.
+    pub fn slo_attainment_overall(&self, report: &SimReport) -> f64 {
+        let per_group = self.slo_attainment(report);
+        let mut met = 0.0;
+        let mut total = 0.0;
+        for (g, delays) in report.delays_by_group.iter().enumerate() {
+            met += per_group[g] * delays.len() as f64;
+            total += delays.len() as f64;
+        }
+        if total == 0.0 {
+            1.0
+        } else {
+            met / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_model::{MachineCatalog, SimTime};
+    use harmony_sim::TimePoint;
+
+    fn report_with(series: Vec<TimePoint>, delays: [Vec<f64>; 3]) -> SimReport {
+        SimReport {
+            delays_by_group: delays,
+            tasks_completed: 0,
+            tasks_running_at_end: 0,
+            tasks_pending_at_end: 0,
+            tasks_unschedulable: 0,
+            tasks_failed: 0,
+            total_energy_wh: 0.0,
+            energy_cost_dollars: 1.5,
+            switch_count: 0,
+            switch_cost_dollars: 0.25,
+            migrations: 0,
+            evictions: 0,
+            faults: Vec::new(),
+            degradations: Vec::new(),
+            series,
+        }
+    }
+
+    #[test]
+    fn rental_integrates_active_machines_at_market_rates() {
+        let catalog = MachineCatalog::table2();
+        let book = PriceBook::default_for(&catalog, 1);
+        let model = CostModel::new(book.clone(), MarketPolicy::OnDemandOnly);
+        let point = |secs: f64| TimePoint {
+            time: SimTime::from_secs(secs),
+            power_watts: 0.0,
+            active_per_type: vec![2, 0, 1, 0],
+            used_per_type: vec![0; 4],
+            pending_tasks: 0,
+        };
+        let report = report_with(vec![point(0.0), point(1800.0)], Default::default());
+        let cost = model.assess(&report, SimDuration::from_secs(1800.0));
+        let expected = 2.0
+            * (2.0 * book.on_demand_rate(MachineTypeId(0))
+                + book.on_demand_rate(MachineTypeId(2)))
+            * 0.5;
+        assert!((cost.rental_dollars - expected).abs() < 1e-12);
+        assert_eq!(cost.energy_dollars, 1.5);
+        assert_eq!(cost.switching_dollars, 0.25);
+        assert_eq!(cost.slo_dollars, 0.0);
+        assert!((cost.total() - (expected + 1.75)).abs() < 1e-12);
+        // Spot-aware accounting can only be cheaper or equal.
+        let spot = CostModel::new(book, MarketPolicy::SpotAware);
+        assert!(spot.assess(&report, SimDuration::from_secs(1800.0)).rental_dollars <= expected);
+    }
+
+    #[test]
+    fn slo_dollars_and_attainment_follow_targets() {
+        let catalog = MachineCatalog::table2();
+        let model =
+            CostModel::new(PriceBook::default_for(&catalog, 1), MarketPolicy::OnDemandOnly);
+        // One production task an hour late, one on time; gratis all fine.
+        let report = report_with(
+            Vec::new(),
+            [vec![10.0, 20.0], Vec::new(), vec![15.0 + 3600.0, 1.0]],
+        );
+        let cost = model.assess(&report, SimDuration::from_secs(60.0));
+        assert!((cost.slo_dollars - 0.60).abs() < 1e-12);
+        let att = model.slo_attainment(&report);
+        assert_eq!(att[0], 1.0);
+        assert_eq!(att[1], 1.0);
+        assert_eq!(att[2], 0.5);
+        assert!((model.slo_attainment_overall(&report) - 0.75).abs() < 1e-12);
+        // An empty report attains everything and costs nothing in SLO.
+        let empty = report_with(Vec::new(), Default::default());
+        assert_eq!(model.slo_attainment_overall(&empty), 1.0);
+    }
+}

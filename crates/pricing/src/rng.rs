@@ -1,0 +1,75 @@
+//! A minimal splitmix64 PRNG, the same generator the fault subsystem
+//! uses: deterministic, seedable, dependency-free. Duplicated here
+//! (rather than exported from `harmony-sim`) because it is an
+//! implementation detail of both crates, not API.
+
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    pub(crate) fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Uniform usize in `[0, n)`. Returns 0 for `n == 0`.
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Exponentially distributed sample with the given rate (events per
+    /// unit). Returns infinity for a non-positive rate.
+    pub(crate) fn exponential(&mut self, rate: f64) -> f64 {
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        // 1 - u is in (0, 1], so the log is finite and non-positive.
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SplitMix64::new(11);
+        let mut b = SplitMix64::new(11);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(3);
+        for _ in 0..100 {
+            assert!((0.0..1.0).contains(&c.next_f64()));
+            let r = c.range(2.0, 5.0);
+            assert!((2.0..5.0).contains(&r));
+            assert!(c.below(7) < 7);
+            assert!(c.exponential(0.5) >= 0.0);
+        }
+        assert_eq!(c.below(0), 0);
+        assert!(c.exponential(0.0).is_infinite());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based serde round-trips for the pricing types: any book,
+//! series, or curve the constructors accept must survive a trip through
+//! the JSON value model bit-for-bit, and the validating deserializers
+//! must reject what the constructors reject.
+
+use harmony_pricing::{
+    MarketPolicy, PriceBook, SloCostCurve, SpotMarket, SpotPrice, SpotPriceSeries, TypePrice,
+};
+use proptest::prelude::*;
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+fn arb_series() -> impl Strategy<Value = SpotPriceSeries> {
+    proptest::collection::vec(0.7..1.6f64, 24).prop_map(|m| {
+        SpotPriceSeries::from_multipliers(m).expect("strategy generates valid multipliers")
+    })
+}
+
+fn arb_spot() -> impl Strategy<Value = SpotPrice> {
+    (0.01..2.0f64, arb_series(), 0.0..0.5f64, 0.0..2.0f64).prop_map(
+        |(base, series, evict, overhead)| SpotPrice {
+            base_per_hour: base,
+            series,
+            eviction_rate_per_hour: evict,
+            interruption_overhead_hours: overhead,
+        },
+    )
+}
+
+fn arb_type_price() -> impl Strategy<Value = TypePrice> {
+    (0.01..5.0f64, any::<bool>(), arb_spot()).prop_map(|(od, has_spot, spot)| TypePrice {
+        on_demand_per_hour: od,
+        spot: has_spot.then_some(spot),
+    })
+}
+
+fn arb_book() -> impl Strategy<Value = PriceBook> {
+    proptest::collection::vec(arb_type_price(), 1..6)
+        .prop_map(|rates| PriceBook::new(rates).expect("strategy generates valid rates"))
+}
+
+fn arb_curve() -> impl Strategy<Value = SloCostCurve> {
+    (0.01..1.0f64, 0.0..2.0f64, 0.0..1.0f64).prop_map(|(frac, a, b)| {
+        let (critical, tail) = if a >= a * b { (a, a * b) } else { (a * b, a) };
+        SloCostCurve::new(frac, critical, tail).expect("strategy generates concave curves")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn price_book_round_trips(book in arb_book()) {
+        let text = serde_json::to_string(&book).unwrap();
+        let back: PriceBook = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(back, book);
+    }
+
+    #[test]
+    fn spot_series_round_trips(series in arb_series()) {
+        let back = SpotPriceSeries::from_value(&series.to_value()).unwrap();
+        prop_assert_eq!(back, series);
+    }
+
+    #[test]
+    fn slo_curve_round_trips(curve in arb_curve()) {
+        let text = serde_json::to_string(&curve).unwrap();
+        let back: SloCostCurve = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(back, curve);
+    }
+
+    /// Seeds round-trip exactly across the f64-backed JSON number
+    /// model (hence the 2^53 bound — the same bound every seed in the
+    /// workspace's artifacts respects).
+    #[test]
+    fn spot_market_round_trips(seed in 0u64..(1 << 53)) {
+        let market = SpotMarket::new(seed);
+        let back = SpotMarket::from_value(&market.to_value()).unwrap();
+        prop_assert_eq!(back, market);
+    }
+
+    /// Deserialization is the validating kind: flipping a curve into a
+    /// convex shape or zeroing a rate must fail, never produce a struct
+    /// the constructor would have rejected.
+    #[test]
+    fn corrupted_values_rejected(curve in arb_curve(), bump in 0.01..1.0f64) {
+        let mut v = curve.to_value();
+        if let Value::Object(map) = &mut v {
+            map.insert(
+                "tail_per_hour".to_owned(),
+                Value::Number(curve.critical_per_hour + bump),
+            );
+        }
+        prop_assert!(SloCostCurve::from_value(&v).is_err());
+    }
+}
+
+#[test]
+fn market_policy_names_are_stable() {
+    // Artifact readers key on these strings; changing them is a schema
+    // change, not a refactor.
+    assert_eq!(MarketPolicy::OnDemandOnly.name(), "on-demand");
+    assert_eq!(MarketPolicy::SpotAware.name(), "spot-aware");
+}

@@ -34,8 +34,9 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 use harmony::classify::{ClassifierConfig, TaskClassifier};
-use harmony::{HarmonyConfig, OnlineState};
-use harmony_model::{MachineCatalog, SimDuration, Task};
+use harmony::{CbsObjective, DollarCosts, HarmonyConfig, OnlineState};
+use harmony_model::{MachineCatalog, PriorityGroup, SimDuration, Task};
+use harmony_pricing::MarketPolicy;
 use harmony_trace::{google_csv, Trace, TraceConfig, TraceGenerator};
 use serde::value::{DeError, Value};
 use serde::{Deserialize, Serialize};
@@ -115,7 +116,7 @@ impl Deserialize for ClassifierSource {
 /// so a spec rebuilds one exactly).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CatalogSpec {
-    /// `table2` or `google10`.
+    /// `table2`, `table2-accel`, or `google10`.
     pub name: String,
     /// Population divisor passed to [`MachineCatalog::scaled`].
     pub divisor: usize,
@@ -130,8 +131,13 @@ impl CatalogSpec {
     pub fn build(&self) -> Result<MachineCatalog, String> {
         let base = match self.name.as_str() {
             "table2" => MachineCatalog::table2(),
+            "table2-accel" => MachineCatalog::table2_with_accel(),
             "google10" => MachineCatalog::google_ten_types(),
-            other => return Err(format!("unknown catalog `{other}` (table2 or google10)")),
+            other => {
+                return Err(format!(
+                    "unknown catalog `{other}` (table2, table2-accel, or google10)"
+                ))
+            }
         };
         Ok(base.scaled(self.divisor.max(1)))
     }
@@ -155,6 +161,69 @@ impl Deserialize for CatalogSpec {
     }
 }
 
+/// The provisioning objective, in rebuildable form. Dollar costing is
+/// derived data — the default price book and SLO curves are
+/// deterministic functions of (catalog, classifier groups, seed) — so
+/// the checkpoint records the recipe rather than the tables, exactly
+/// like [`ClassifierSource`] records the fit recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectiveSpec {
+    /// Minimize energy + switching (the paper's Eq. 14 objective).
+    Energy,
+    /// Minimize dollars: rental + expected SLO-violation cost.
+    Dollars {
+        /// Allow spot pools (`true`) or stay on-demand only.
+        spot: bool,
+        /// Seed for the default price book.
+        seed: u64,
+    },
+}
+
+impl ObjectiveSpec {
+    /// Rebuilds the concrete [`CbsObjective`] for a catalog and the
+    /// refit classifier's per-class priority groups.
+    pub fn build(&self, catalog: &MachineCatalog, groups: &[PriorityGroup]) -> CbsObjective {
+        match self {
+            ObjectiveSpec::Energy => CbsObjective::Energy,
+            ObjectiveSpec::Dollars { spot, seed } => {
+                let market =
+                    if *spot { MarketPolicy::SpotAware } else { MarketPolicy::OnDemandOnly };
+                CbsObjective::Dollars(DollarCosts::default_for(catalog, groups, market, *seed))
+            }
+        }
+    }
+}
+
+impl Serialize for ObjectiveSpec {
+    fn to_value(&self) -> Value {
+        let mut map = std::collections::BTreeMap::new();
+        match self {
+            ObjectiveSpec::Energy => {
+                map.insert("kind".to_owned(), "energy".to_value());
+            }
+            ObjectiveSpec::Dollars { spot, seed } => {
+                map.insert("kind".to_owned(), "dollars".to_value());
+                map.insert("spot".to_owned(), spot.to_value());
+                map.insert("seed".to_owned(), seed.to_value());
+            }
+        }
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for ObjectiveSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match String::from_value(v.field("kind")?)?.as_str() {
+            "energy" => Ok(ObjectiveSpec::Energy),
+            "dollars" => Ok(ObjectiveSpec::Dollars {
+                spot: bool::from_value(v.field("spot")?)?,
+                seed: u64::from_value(v.field("seed")?)?,
+            }),
+            other => Err(DeError::new(format!("unknown objective `{other}`"))),
+        }
+    }
+}
+
 /// One complete daemon checkpoint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
@@ -169,6 +238,9 @@ pub struct Checkpoint {
     pub source: ClassifierSource,
     /// Catalog provenance.
     pub catalog: CatalogSpec,
+    /// Provisioning objective provenance (pre-cost checkpoints carry
+    /// none and default to [`ObjectiveSpec::Energy`]).
+    pub objective: ObjectiveSpec,
     /// The pipeline's mutable state.
     pub state: OnlineState,
     /// Observations buffered and not yet consumed by a tick.
@@ -185,6 +257,7 @@ impl Serialize for Checkpoint {
         map.insert("classifier".to_owned(), self.classifier.to_value());
         map.insert("source".to_owned(), self.source.to_value());
         map.insert("catalog".to_owned(), self.catalog.to_value());
+        map.insert("objective".to_owned(), self.objective.to_value());
         map.insert("state".to_owned(), self.state.to_value());
         map.insert("buffered".to_owned(), self.buffered.to_value());
         map.insert("total_observations".to_owned(), self.total_observations.to_value());
@@ -206,6 +279,13 @@ impl Deserialize for Checkpoint {
             classifier: ClassifierConfig::from_value(v.field("classifier")?)?,
             source: ClassifierSource::from_value(v.field("source")?)?,
             catalog: CatalogSpec::from_value(v.field("catalog")?)?,
+            // Checkpoints written before dollar costing have no
+            // objective field: treat missing/null as Energy (the
+            // lp_basis tolerance pattern), so old snapshots still load.
+            objective: match v.field("objective") {
+                Ok(Value::Null) | Err(_) => ObjectiveSpec::Energy,
+                Ok(other) => ObjectiveSpec::from_value(other)?,
+            },
             state: OnlineState::from_value(v.field("state")?)?,
             buffered: Vec::from_value(v.field("buffered")?)?,
             total_observations: u64::from_value(v.field("total_observations")?)?,
@@ -599,6 +679,7 @@ mod tests {
             classifier: ClassifierConfig { k_per_group: Some([2, 2, 2]), ..Default::default() },
             source: ClassifierSource::Synthetic { seed: 9, span_secs: 120.0 },
             catalog: CatalogSpec { name: "table2".to_owned(), divisor: 100 },
+            objective: ObjectiveSpec::Energy,
             state: OnlineState {
                 ticks,
                 errors: 0,
@@ -606,6 +687,7 @@ mod tests {
                 last_plan: None,
                 pending_events: Vec::new(),
                 lp_basis: None,
+                cost_dollars: 0.0,
             },
             buffered: Vec::new(),
             total_observations: ticks * 10,
@@ -745,6 +827,7 @@ mod tests {
                 hash: 0xdead_beef_cafe_f00d,
             },
             catalog: CatalogSpec { name: "table2".to_owned(), divisor: 100 },
+            objective: ObjectiveSpec::Dollars { spot: true, seed: 2013 },
             state: OnlineState {
                 ticks: 5,
                 errors: 1,
@@ -752,6 +835,7 @@ mod tests {
                 last_plan: None,
                 pending_events: Vec::new(),
                 lp_basis: None,
+                cost_dollars: 1.5,
             },
             buffered: Vec::new(),
             total_observations: 123,
@@ -772,6 +856,7 @@ mod tests {
             classifier: ClassifierConfig::default(),
             source: ClassifierSource::Synthetic { seed: 1, span_secs: 60.0 },
             catalog: CatalogSpec { name: "table2".to_owned(), divisor: 1 },
+            objective: ObjectiveSpec::Energy,
             state: OnlineState {
                 ticks: 0,
                 errors: 0,
@@ -779,6 +864,7 @@ mod tests {
                 last_plan: None,
                 pending_events: Vec::new(),
                 lp_basis: None,
+                cost_dollars: 0.0,
             },
             buffered: Vec::new(),
             total_observations: 0,
@@ -794,9 +880,63 @@ mod tests {
     fn catalog_spec_builds_known_catalogs() {
         let spec = CatalogSpec { name: "table2".to_owned(), divisor: 100 };
         assert_eq!(spec.build().unwrap().len(), 4);
+        let spec = CatalogSpec { name: "table2-accel".to_owned(), divisor: 100 };
+        let accel = spec.build().unwrap();
+        assert_eq!(accel.len(), 5);
+        assert!(accel.iter().any(|ty| ty.accel_capacity > 0.0));
         let spec = CatalogSpec { name: "google10".to_owned(), divisor: 100 };
         assert!(spec.build().unwrap().len() >= 10);
         let spec = CatalogSpec { name: "nope".to_owned(), divisor: 1 };
         assert!(spec.build().is_err());
+    }
+
+    #[test]
+    fn objective_spec_roundtrips_and_tolerates_absence() {
+        for spec in [
+            ObjectiveSpec::Energy,
+            ObjectiveSpec::Dollars { spot: false, seed: 7 },
+            ObjectiveSpec::Dollars { spot: true, seed: 2013 },
+        ] {
+            let back = ObjectiveSpec::from_value(&spec.to_value()).unwrap();
+            assert_eq!(back, spec);
+        }
+        // A checkpoint written before dollar costing existed has no
+        // `objective` key — it must still load, as Energy.
+        let checkpoint = test_checkpoint(4);
+        let mut v = checkpoint.to_value();
+        if let Value::Object(map) = &mut v {
+            assert!(map.remove("objective").is_some());
+        }
+        let back = Checkpoint::from_value(&v).unwrap();
+        assert_eq!(back.objective, ObjectiveSpec::Energy);
+        assert_eq!(back.state.ticks, 4);
+    }
+
+    #[test]
+    fn dollar_checkpoint_roundtrips_objective() {
+        let dir = test_dir("objective");
+        let path = dir.join("ckpt.json");
+        let mut checkpoint = test_checkpoint(2);
+        checkpoint.objective = ObjectiveSpec::Dollars { spot: true, seed: 99 };
+        checkpoint.catalog = CatalogSpec { name: "table2-accel".to_owned(), divisor: 100 };
+        save_atomic(&checkpoint, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back, checkpoint);
+        // The spec rebuilds a concrete dollar objective on the accel
+        // catalog for any class/group layout.
+        let catalog = back.catalog.build().unwrap();
+        let objective = back.objective.build(
+            &catalog,
+            &[PriorityGroup::Production, PriorityGroup::Other],
+        );
+        match objective {
+            CbsObjective::Dollars(costs) => {
+                assert_eq!(costs.slo_costs.len(), 2);
+                assert_eq!(costs.accel_demand, vec![0.0, 0.0]);
+                assert!(costs.book.check_covers(&catalog).is_ok());
+            }
+            CbsObjective::Energy => panic!("expected a dollar objective"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -157,6 +157,14 @@ impl Serialize for FaultKind {
             FaultKind::ArrivalBurst { window } => {
                 tagged("ArrivalBurst", object(&[("window", window.to_value())]))
             }
+            FaultKind::SpotEviction { machine_type, count, down } => tagged(
+                "SpotEviction",
+                object(&[
+                    ("machine_type", machine_type.to_value()),
+                    ("count", count.to_value()),
+                    ("down", down.to_value()),
+                ]),
+            ),
         }
     }
 }
@@ -177,6 +185,11 @@ impl Deserialize for FaultKind {
             }),
             "ArrivalBurst" => Ok(FaultKind::ArrivalBurst {
                 window: Deserialize::from_value(payload.field("window")?)?,
+            }),
+            "SpotEviction" => Ok(FaultKind::SpotEviction {
+                machine_type: Deserialize::from_value(payload.field("machine_type")?)?,
+                count: usize::from_value(payload.field("count")?)?,
+                down: Deserialize::from_value(payload.field("down")?)?,
             }),
             other => Err(DeError::new(format!("unknown FaultKind `{other}`"))),
         }
@@ -251,6 +264,20 @@ impl Serialize for FaultRecordKind {
                 "ArrivalBurst",
                 object(&[("tasks_warped", tasks_warped.to_value())]),
             ),
+            FaultRecordKind::SpotEviction {
+                machine_type,
+                machines,
+                evicted,
+                failed,
+            } => tagged(
+                "SpotEviction",
+                object(&[
+                    ("machine_type", machine_type.to_value()),
+                    ("machines", machines.to_value()),
+                    ("evicted", evicted.to_value()),
+                    ("failed", failed.to_value()),
+                ]),
+            ),
         }
     }
 }
@@ -277,6 +304,12 @@ impl Deserialize for FaultRecordKind {
             }),
             "ArrivalBurst" => Ok(FaultRecordKind::ArrivalBurst {
                 tasks_warped: usize::from_value(payload.field("tasks_warped")?)?,
+            }),
+            "SpotEviction" => Ok(FaultRecordKind::SpotEviction {
+                machine_type: Deserialize::from_value(payload.field("machine_type")?)?,
+                machines: usize::from_value(payload.field("machines")?)?,
+                evicted: usize::from_value(payload.field("evicted")?)?,
+                failed: usize::from_value(payload.field("failed")?)?,
             }),
             other => Err(DeError::new(format!("unknown FaultRecordKind `{other}`"))),
         }
@@ -444,6 +477,17 @@ mod tests {
     }
 
     #[test]
+    fn spot_eviction_kind_roundtrips() {
+        let kind = FaultKind::SpotEviction {
+            machine_type: harmony_model::MachineTypeId(2),
+            count: 3,
+            down: SimDuration::from_secs(900.0),
+        };
+        let back = FaultKind::from_value(&kind.to_value()).unwrap();
+        assert_eq!(back, kind);
+    }
+
+    #[test]
     fn fault_record_kinds_roundtrip() {
         let kinds = vec![
             FaultRecordKind::MachineCrash {
@@ -461,6 +505,12 @@ mod tests {
                 failed: 0,
             },
             FaultRecordKind::ArrivalBurst { tasks_warped: 42 },
+            FaultRecordKind::SpotEviction {
+                machine_type: harmony_model::MachineTypeId(4),
+                machines: 2,
+                evicted: 6,
+                failed: 1,
+            },
         ];
         for kind in kinds {
             let record = FaultRecord {

@@ -14,6 +14,11 @@
 
 /// Every concrete metric name the workspace records or reads.
 pub const REGISTERED_KEYS: &[&str] = &[
+    "cost.cumulative_dollars",
+    "cost.dollar_solves",
+    "cost.plan_rental_dollars",
+    "cost.plan_slo_dollars",
+    "cost.spot_fraction",
     "forecast.degraded",
     "forecast.tier.arima",
     "forecast.tier.last_observation",
