@@ -13,9 +13,18 @@
 //!    over the same trace, one with `pipeline_workers = Some(1)` and
 //!    one with the automatic worker count. Their integer plans must be
 //!    bit-identical.
+//! 3. **Backend scaling curve.** Cold CBS-RELAX solves of growing
+//!    synthetic instances on the sparse revised simplex and the dense
+//!    tableau oracle. Where dense completes, objectives must agree to
+//!    1e-6 relative and sparse must not lose at the largest point; at
+//!    instances past ~5k variables the dense engine is run under an
+//!    escalating pivot cap just long enough to establish a wall-clock
+//!    *lower bound*, and sparse must win by at least 5× against that
+//!    bound while finishing inside one control period.
 //!
-//! `--quick` (or `HARMONY_SCALE=quick`) shrinks both experiments to
-//! CI-smoke size.
+//! `--quick` (or `HARMONY_SCALE=quick`) shrinks all experiments to
+//! CI-smoke size (the scaling curve then stops at sizes the dense
+//! engine can finish).
 
 use std::time::Instant;
 
@@ -128,6 +137,144 @@ fn lp_experiment(
         cold_seconds,
         warm_seconds,
     }
+}
+
+/// One point of the backend scaling curve.
+struct ScalingPoint {
+    classes: usize,
+    horizon: usize,
+    lp_vars: usize,
+    lp_constraints: usize,
+    sparse_seconds: f64,
+    sparse_pivots: usize,
+    sparse_objective: f64,
+    dense_seconds: f64,
+    /// `true` when the dense run reached optimality; `false` when it was
+    /// stopped by the pivot cap and `dense_seconds` is a lower bound.
+    dense_completed: bool,
+    dense_pivot_cap: Option<usize>,
+}
+
+/// Deterministic synthetic CBS classes: container sizes, utility
+/// slopes, and base demand for `n` classes, spread across the machine
+/// types' capacity range so the LP has non-trivial packing structure.
+fn synthetic_classes(n: usize) -> (Vec<Resources>, Vec<f64>, Vec<f64>) {
+    let sizes = (0..n)
+        .map(|i| {
+            Resources::new(
+                0.02 + 0.28 * ((i * 7 % 13) as f64 / 13.0),
+                0.02 + 0.28 * ((i * 5 % 11) as f64 / 11.0),
+            )
+        })
+        .collect();
+    let utility = (0..n).map(|i| 0.05 + 0.1 * (i % 3) as f64).collect();
+    let base = (0..n).map(|i| 5.0 + 2.0 * (i % 7) as f64).collect();
+    (sizes, utility, base)
+}
+
+/// Threshold above which the dense oracle is no longer run to
+/// optimality: past ~5k variables a full dense solve takes minutes to
+/// hours, so the benchmark only establishes a wall-clock lower bound.
+const DENSE_FULL_SOLVE_MAX_VARS: usize = 5_000;
+
+fn scaling_experiment(
+    catalog: &harmony_model::MachineCatalog,
+    config: &HarmonyConfig,
+    points: &[(usize, usize)],
+) -> Vec<ScalingPoint> {
+    let price = EnergyPrice::default();
+    let mut out = Vec::with_capacity(points.len());
+    for &(classes, horizon) in points {
+        let (sizes, utility, base) = synthetic_classes(classes);
+        let demand = demand_at(1, horizon, &base);
+        let initial = vec![0.0f64; catalog.len()];
+        let inputs = CbsInputs {
+            catalog,
+            container_sizes: &sizes,
+            utility_per_hour: &utility,
+            demand: &demand,
+            initial_active: &initial,
+            price: &price,
+            now: SimTime::ZERO,
+        };
+        let solve = |backend, max_pivots| {
+            let cfg = HarmonyConfig {
+                horizon,
+                lp_backend: backend,
+                max_lp_pivots: max_pivots,
+                ..config.clone()
+            };
+            let clock = Instant::now();
+            let result = solve_cbs_relax_warm(&inputs, &cfg, None);
+            (result, clock.elapsed().as_secs_f64())
+        };
+
+        let (sparse, sparse_seconds) = solve(harmony::SolverBackend::Sparse, 400_000);
+        let sparse = sparse.expect("sparse solve must succeed at every scale point");
+
+        // Dense: full solve while tractable; past the threshold,
+        // escalate a pivot cap until the elapsed time alone proves the
+        // 5x sparse win (every capped run is a lower bound on the full
+        // dense solve).
+        let dense_seconds;
+        let dense_completed;
+        let mut dense_pivot_cap = None;
+        if sparse.lp_vars <= DENSE_FULL_SOLVE_MAX_VARS {
+            let (dense, secs) = solve(harmony::SolverBackend::Dense, 400_000);
+            let dense = dense.expect("dense solve must succeed below the cap threshold");
+            let rel = 1e-6 * (1.0 + sparse.plan.objective.abs());
+            assert!(
+                (sparse.plan.objective - dense.plan.objective).abs() <= rel,
+                "backends disagree at {classes} classes: sparse {} vs dense {}",
+                sparse.plan.objective,
+                dense.plan.objective
+            );
+            dense_seconds = secs;
+            dense_completed = true;
+        } else {
+            let mut cap = 512;
+            let (secs, completed) = loop {
+                let (result, elapsed) = solve(harmony::SolverBackend::Dense, cap);
+                dense_pivot_cap = Some(cap);
+                match result {
+                    Ok(dense) => {
+                        let rel = 1e-6 * (1.0 + sparse.plan.objective.abs());
+                        assert!(
+                            (sparse.plan.objective - dense.plan.objective).abs() <= rel,
+                            "backends disagree at {classes} classes: sparse {} vs dense {}",
+                            sparse.plan.objective,
+                            dense.plan.objective
+                        );
+                        break (elapsed, true);
+                    }
+                    Err(harmony::HarmonyError::Optimization(
+                        harmony_lp::LpError::IterationLimit { .. },
+                    )) => {
+                        if elapsed >= 5.0 * sparse_seconds || cap >= 65_536 {
+                            break (elapsed, false);
+                        }
+                        cap *= 4;
+                    }
+                    Err(e) => panic!("dense capped run failed unexpectedly: {e}"),
+                }
+            };
+            dense_seconds = secs;
+            dense_completed = completed;
+        }
+        out.push(ScalingPoint {
+            classes,
+            horizon,
+            lp_vars: sparse.lp_vars,
+            lp_constraints: sparse.lp_constraints,
+            sparse_seconds,
+            sparse_pivots: sparse.pivots,
+            sparse_objective: sparse.plan.objective,
+            dense_seconds,
+            dense_completed,
+            dense_pivot_cap,
+        });
+    }
+    out
 }
 
 fn main() {
@@ -300,6 +447,79 @@ fn main() {
     );
     println!("plans bit-identical across worker counts: yes");
 
+    // ---- Experiment 3: sparse vs dense scaling curve -----------------
+    section("Backend scaling: sparse revised simplex vs dense tableau");
+    let points: &[(usize, usize)] = match scale {
+        Scale::Quick => &[(8, 2), (40, 3)],
+        Scale::Default => &[(8, 2), (60, 3), (660, 4)],
+        Scale::Full => &[(8, 2), (60, 3), (240, 4), (660, 4)],
+    };
+    let curve = scaling_experiment(&catalog, &config, points);
+    let rows: Vec<Vec<String>> = curve
+        .iter()
+        .map(|p| {
+            vec![
+                p.classes.to_string(),
+                p.horizon.to_string(),
+                p.lp_vars.to_string(),
+                p.lp_constraints.to_string(),
+                fmt(p.sparse_seconds),
+                p.sparse_pivots.to_string(),
+                format!(
+                    "{}{}",
+                    fmt(p.dense_seconds),
+                    if p.dense_completed { "" } else { "+ (capped)" }
+                ),
+            ]
+        })
+        .collect();
+    table(
+        &["classes", "horizon", "lp_vars", "lp_rows", "sparse_s", "sparse_pivots", "dense_s"],
+        &rows,
+    );
+
+    let largest = curve.last().expect("scaling curve has at least one point");
+    let period_secs = config.control_period.as_secs();
+    assert!(
+        largest.sparse_seconds < period_secs,
+        "sparse must solve the largest instance ({} vars) inside one control period: {}s vs {}s",
+        largest.lp_vars,
+        largest.sparse_seconds,
+        period_secs
+    );
+    if largest.dense_completed {
+        assert!(
+            largest.sparse_seconds <= largest.dense_seconds,
+            "sparse must not lose to dense at the largest scale point: {}s vs {}s",
+            largest.sparse_seconds,
+            largest.dense_seconds
+        );
+    }
+    if largest.lp_vars >= DENSE_FULL_SOLVE_MAX_VARS {
+        assert!(
+            largest.dense_seconds >= 5.0 * largest.sparse_seconds,
+            "sparse must beat dense 5x at the largest scale point: sparse {}s, dense {}{}s",
+            largest.sparse_seconds,
+            if largest.dense_completed { "" } else { ">=" },
+            largest.dense_seconds
+        );
+        println!(
+            "largest point: {} vars solved in {}s on sparse; dense needed {}{}s ({}x)",
+            largest.lp_vars,
+            fmt(largest.sparse_seconds),
+            if largest.dense_completed { "" } else { ">=" },
+            fmt(largest.dense_seconds),
+            fmt(largest.dense_seconds / largest.sparse_seconds.max(1e-9)),
+        );
+    } else {
+        println!(
+            "largest point: {} vars; sparse {}s vs dense {}s",
+            largest.lp_vars,
+            fmt(largest.sparse_seconds),
+            fmt(largest.dense_seconds)
+        );
+    }
+
     // ---- Artifact ----------------------------------------------------
     let per_tick = Value::Array(
         lp.ticks
@@ -339,6 +559,40 @@ fn main() {
                 ("workers", Value::Number(workers as f64)),
                 ("auto_workers", Value::Number(auto_workers as f64)),
                 ("plans_identical", Value::Bool(true)),
+            ]),
+        ),
+        (
+            "scaling",
+            object(&[
+                ("control_period_seconds", Value::Number(period_secs)),
+                (
+                    "points",
+                    Value::Array(
+                        curve
+                            .iter()
+                            .map(|p| {
+                                object(&[
+                                    ("classes", Value::Number(p.classes as f64)),
+                                    ("horizon", Value::Number(p.horizon as f64)),
+                                    ("lp_vars", Value::Number(p.lp_vars as f64)),
+                                    ("lp_constraints", Value::Number(p.lp_constraints as f64)),
+                                    ("sparse_seconds", Value::Number(p.sparse_seconds)),
+                                    ("sparse_pivots", Value::Number(p.sparse_pivots as f64)),
+                                    ("sparse_objective", Value::Number(p.sparse_objective)),
+                                    ("dense_seconds", Value::Number(p.dense_seconds)),
+                                    ("dense_completed", Value::Bool(p.dense_completed)),
+                                    (
+                                        "dense_pivot_cap",
+                                        match p.dense_pivot_cap {
+                                            Some(c) => Value::Number(c as f64),
+                                            None => Value::Null,
+                                        },
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
     ]);

@@ -168,8 +168,17 @@ pub struct CbsSolve {
     /// Whether the solver actually restarted from the supplied basis
     /// (`false` on a cold solve *or* a fallback after an unusable basis).
     pub warm_started: bool,
+    /// How the warm-start attempt resolved — [`WarmOutcome::Hit`],
+    /// one of the two fallback kinds, or [`WarmOutcome::Cold`] when no
+    /// basis was supplied. Refines [`CbsSolve::warm_started`].
+    pub warm_outcome: harmony_lp::WarmOutcome,
     /// Simplex pivots this solve took (phase 1 + phase 2).
     pub pivots: usize,
+    /// Decision variables in the LP the solve built (before
+    /// standardization), for capacity planning and benchmarks.
+    pub lp_vars: usize,
+    /// Constraint rows in the LP the solve built.
+    pub lp_constraints: usize,
     /// Dollar accounting of the plan; `None` under
     /// [`CbsObjective::Energy`].
     pub cost: Option<PlanCost>,
@@ -201,8 +210,13 @@ pub fn solve_cbs_relax(
 /// entirely. When demand crosses zero for some class the LP's structure
 /// changes (zero-demand classes generate cap rows instead of utility
 /// segments) and the basis dimensions no longer match — the solver then
-/// falls back to a cold solve transparently, reported through
-/// [`CbsSolve::warm_started`] and the `lp.warm_start_fallbacks` counter.
+/// falls back to a cold solve transparently. [`CbsSolve::warm_outcome`]
+/// says which path ran, mirrored by three mutually exclusive counters:
+/// `lp.warm_start_hits` (restarted from the basis, including in-place
+/// repairs), `lp.warm_start_repair_fallbacks` (basis installed but the
+/// repair phase could not reach feasibility), and
+/// `lp.warm_start_structural_fallbacks` (basis rejected outright —
+/// dimension mismatch, kept artificial, or singular).
 ///
 /// # Errors
 ///
@@ -465,8 +479,11 @@ pub fn solve_cbs_relax_priced(
     // path walks the degradation ladder instead).
     let options = harmony_lp::SimplexOptions {
         max_pivots: Some(config.max_lp_pivots),
+        backend: config.lp_backend,
         ..Default::default()
     };
+    let lp_vars = p.num_vars();
+    let lp_constraints = p.num_constraints();
     let solution = p.solve_warm_with(&options, warm).map_err(|e| {
         harmony_telemetry::global().counter("lp.failures").inc();
         HarmonyError::Optimization(e)
@@ -475,17 +492,19 @@ pub fn solve_cbs_relax_priced(
     registry.counter("lp.solves").inc();
     registry.counter("lp.pivots").add(solution.pivots() as u64);
     registry.counter("lp.phase1_pivots").add(solution.phase1_pivots() as u64);
-    // Fetch both warm-start counters eagerly so both names exist in every
-    // snapshot (a dashboard diffing hits vs. fallbacks should never see a
-    // missing key), then bump the one that applies.
+    // Fetch all three warm-start counters eagerly so every name exists in
+    // every snapshot (a dashboard summing hits plus both fallback kinds
+    // should never see a missing key), then bump the one that applies.
+    // The three are mutually exclusive and, over solves that were handed
+    // a basis, exhaustive.
     let hits = registry.counter("lp.warm_start_hits");
-    let fallbacks = registry.counter("lp.warm_start_fallbacks");
-    if warm.is_some() {
-        if solution.warm_started() {
-            hits.inc();
-        } else {
-            fallbacks.inc();
-        }
+    let repair_fallbacks = registry.counter("lp.warm_start_repair_fallbacks");
+    let structural_fallbacks = registry.counter("lp.warm_start_structural_fallbacks");
+    match solution.warm_outcome() {
+        harmony_lp::WarmOutcome::Cold => {}
+        harmony_lp::WarmOutcome::Hit => hits.inc(),
+        harmony_lp::WarmOutcome::RepairFallback => repair_fallbacks.inc(),
+        harmony_lp::WarmOutcome::StructuralFallback => structural_fallbacks.inc(),
     }
 
     let z_out: Vec<Vec<f64>> = z
@@ -518,7 +537,10 @@ pub fn solve_cbs_relax_priced(
         plan: CbsPlan { z: z_out, x: x_out, objective: solution.objective() },
         basis: solution.basis().clone(),
         warm_started: solution.warm_started(),
+        warm_outcome: solution.warm_outcome(),
         pivots: solution.pivots(),
+        lp_vars,
+        lp_constraints,
         cost,
     })
 }

@@ -67,5 +67,8 @@ mod serde_impls;
 
 pub use cbs::{CbsObjective, DollarCosts, PlanCost};
 pub use config::HarmonyConfig;
+// Re-exported so binaries configuring the solver (harmonyd's
+// --lp-backend flag) need not depend on harmony-lp directly.
+pub use harmony_lp::{SolverBackend, WarmOutcome};
 pub use error::HarmonyError;
 pub use online::{OnlinePipeline, OnlineState};

@@ -54,6 +54,7 @@ impl Serialize for HarmonyConfig {
                     None => Value::Null,
                 },
             ),
+            ("lp_backend", self.lp_backend.to_value()),
         ])
     }
 }
@@ -78,6 +79,12 @@ impl Deserialize for HarmonyConfig {
             pipeline_workers: match v.field("pipeline_workers") {
                 Ok(Value::Null) | Err(_) => None,
                 Ok(other) => Some(usize::from_value(other)?),
+            },
+            // Checkpoints predating the sparse engine carry no backend
+            // key; they get the default (sparse) engine.
+            lp_backend: match v.field("lp_backend") {
+                Ok(Value::Null) | Err(_) => harmony_lp::SolverBackend::default(),
+                Ok(other) => harmony_lp::SolverBackend::from_value(other)?,
             },
         })
     }
@@ -181,6 +188,28 @@ mod tests {
         }
         let back = HarmonyConfig::from_value(&v).unwrap();
         assert_eq!(back.pipeline_workers, None);
+    }
+
+    #[test]
+    fn config_without_lp_backend_field_defaults_to_sparse() {
+        // Checkpoints from before the sparse engine carry no lp_backend
+        // key; they must load with the default backend.
+        let mut v = HarmonyConfig::default().to_value();
+        if let Value::Object(map) = &mut v {
+            map.remove("lp_backend");
+        }
+        let back = HarmonyConfig::from_value(&v).unwrap();
+        assert_eq!(back.lp_backend, harmony_lp::SolverBackend::Sparse);
+    }
+
+    #[test]
+    fn config_lp_backend_roundtrips_both_ways() {
+        let config =
+            HarmonyConfig { lp_backend: harmony_lp::SolverBackend::Dense, ..Default::default() };
+        let text = serde_json::to_string(&config).unwrap();
+        assert!(text.contains("\"dense\""), "backend serializes as its name: {text}");
+        let back: HarmonyConfig = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, config);
     }
 
     #[test]

@@ -3,17 +3,18 @@
 //!
 //! The simulator's clock is virtual (`SimTime`), and checkpoint/resume
 //! (PR 2) replays runs by event sequence: an `Instant::now()` or
-//! `SystemTime::now()` inside `crates/sim` or the controller paths in
-//! `crates/core` would smuggle real time into decisions and break
-//! bit-identical replay. Real-time *measurement* is still available —
-//! route it through `harmony-telemetry`'s `Timer`, which is outside
-//! the deterministic scope and only ever feeds metrics, never control
-//! decisions.
+//! `SystemTime::now()` inside `crates/sim`, the controller paths in
+//! `crates/core`, or the simplex engines in `crates/lp` (whose pivot
+//! sequences must be reproducible for warm-start replay) would smuggle
+//! real time into decisions and break bit-identical replay. Real-time
+//! *measurement* is still available — route it through
+//! `harmony-telemetry`'s `Timer`, which is outside the deterministic
+//! scope and only ever feeds metrics, never control decisions.
 
 use crate::engine::{Ctx, Finding};
 use crate::rules::{Rule, WALL_CLOCK_IN_SIM};
 
-const SCOPE: &[&str] = &["crates/sim/src/", "crates/core/src/"];
+const SCOPE: &[&str] = &["crates/sim/src/", "crates/core/src/", "crates/lp/src/"];
 
 pub struct WallClock;
 
@@ -23,7 +24,7 @@ impl Rule for WallClock {
     }
 
     fn describe(&self) -> &'static str {
-        "Instant::now/SystemTime::now inside crates/sim or crates/core deterministic paths"
+        "Instant::now/SystemTime::now inside crates/sim, crates/core, or crates/lp deterministic paths"
     }
 
     fn check(&self, ctx: &Ctx<'_>, out: &mut Vec<Finding>) {

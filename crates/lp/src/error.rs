@@ -32,6 +32,12 @@ pub enum LpError {
         /// The raw index supplied.
         index: usize,
     },
+    /// The sparse engine's basis factorization broke down numerically:
+    /// a basis whose pivots were all accepted refactorized as singular,
+    /// which means rounding error has degraded it beyond use. Extremely
+    /// rare; re-solving without a warm basis (or on the dense backend)
+    /// is the caller's best recourse.
+    SingularBasis,
 }
 
 impl fmt::Display for LpError {
@@ -50,6 +56,9 @@ impl fmt::Display for LpError {
             }
             LpError::UnknownVariable { index } => {
                 write!(f, "variable index {index} does not belong to this problem")
+            }
+            LpError::SingularBasis => {
+                f.write_str("basis factorization broke down numerically")
             }
         }
     }

@@ -1,0 +1,257 @@
+//! Product-form basis factorization for the sparse revised simplex.
+//!
+//! The basis inverse is never formed explicitly. It is carried as an
+//! *eta file* — a product `B⁻¹ = Eₖ·…·E₂·E₁` of elementary matrices,
+//! each an identity with one column replaced — exactly the quantities a
+//! simplex pivot produces for free. Solving with the basis then costs
+//! one pass over the file:
+//!
+//! * **FTRAN** (`B·x = v`, used for pivot directions and basic values)
+//!   applies the etas oldest-first: `x ← Eᵢ·x`, each application a
+//!   scatter of the eta column scaled by the pivot-row value.
+//! * **BTRAN** (`Bᵀ·y = v`, used for pricing) applies them newest-first:
+//!   `y ← Eᵢᵀ·y`, each application a single sparse dot product that
+//!   overwrites the pivot-row entry.
+//!
+//! Every simplex pivot appends one eta, so solves slow down and rounding
+//! error accumulates as the file grows; [`factorize`] rebuilds the file
+//! from the current basis columns — sparsest column first, partial
+//! pivoting over the unassigned rows — which both compacts the file and
+//! restores numerical accuracy. The engine calls it every
+//! `REFACTOR_EVERY` pivots (see `crate::sparse`).
+
+use crate::sparse::Csc;
+
+/// One product-form elementary matrix: an identity whose column
+/// [`Eta::row`] is replaced by the sparse [`Eta::entries`].
+#[derive(Debug, Clone)]
+pub(crate) struct Eta {
+    /// The pivot row (the replaced column of the identity).
+    row: usize,
+    /// `(row, value)` pairs of the replacement column, the pivot-row
+    /// (diagonal) entry always present.
+    entries: Vec<(usize, f64)>,
+}
+
+/// An eta file representing `B⁻¹` as a product of [`Eta`] matrices.
+#[derive(Debug, Clone)]
+pub(crate) struct EtaFile {
+    etas: Vec<Eta>,
+}
+
+impl EtaFile {
+    /// The empty file: `B⁻¹ = I`.
+    pub(crate) fn identity() -> Self {
+        EtaFile { etas: Vec::new() }
+    }
+
+    /// Number of eta matrices in the file.
+    pub(crate) fn len(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Appends the eta that pivots direction `dir` (= `B⁻¹·a` for the
+    /// entering column `a`) on `pivot_row`: `η_r = 1/d_r`,
+    /// `η_i = −d_i/d_r` elsewhere. Off-pivot magnitudes at or below
+    /// `drop_tol` are dropped to bound fill-in; the diagonal entry is
+    /// always kept.
+    pub(crate) fn push_pivot(&mut self, pivot_row: usize, dir: &[f64], drop_tol: f64) {
+        let d_r = dir[pivot_row];
+        debug_assert!(d_r != 0.0, "eta pivot on zero element");
+        let inv = 1.0 / d_r;
+        let mut entries = Vec::new();
+        for (i, &d) in dir.iter().enumerate() {
+            if i == pivot_row {
+                entries.push((i, inv));
+            } else if d != 0.0 {
+                let e = -d * inv;
+                if e.abs() > drop_tol {
+                    entries.push((i, e));
+                }
+            }
+        }
+        self.etas.push(Eta { row: pivot_row, entries });
+    }
+
+    /// Appends a diagonal sign flip at `row` (`η_r = −1`). The
+    /// warm-restart repair uses this: replacing a basic column with its
+    /// negation turns `B` into `B·S` for a diagonal sign matrix `S`, so
+    /// the new inverse is one sign-flip eta ahead of the old one.
+    pub(crate) fn push_sign_flip(&mut self, row: usize) {
+        self.etas.push(Eta { row, entries: vec![(row, -1.0)] });
+    }
+
+    /// FTRAN: overwrites dense `v` with `B⁻¹v`, applying the etas
+    /// oldest-first. Cost: one scatter per eta whose pivot-row value is
+    /// nonzero.
+    pub(crate) fn ftran(&self, v: &mut [f64]) {
+        for eta in &self.etas {
+            let f = v[eta.row];
+            if f == 0.0 {
+                continue;
+            }
+            for &(i, e) in &eta.entries {
+                if i == eta.row {
+                    v[i] = e * f;
+                } else {
+                    v[i] += e * f;
+                }
+            }
+        }
+    }
+
+    /// BTRAN: overwrites dense `v` with `B⁻ᵀv`, applying the etas
+    /// newest-first. Cost: one sparse dot product per eta.
+    pub(crate) fn btran(&self, v: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut dot = 0.0;
+            for &(i, e) in &eta.entries {
+                dot += v[i] * e;
+            }
+            v[eta.row] = dot;
+        }
+    }
+}
+
+/// Rebuilds an eta file representing `B⁻¹` for the basis made of
+/// `basis_cols` (as a *set* of matrix columns — the assignment of
+/// columns to pivot rows is recomputed here). Columns are eliminated
+/// sparsest-first, with partial pivoting over the rows no earlier
+/// column claimed: both choices are deterministic and the first bounds
+/// fill-in while the second bounds element growth.
+///
+/// Returns the file plus the basic column per pivot row, or `None` when
+/// the columns are linearly dependent at `tol` — the sparse analogue of
+/// the dense engine rejecting a singular warm basis.
+pub(crate) fn factorize(
+    matrix: &Csc,
+    basis_cols: &[usize],
+    tol: f64,
+    drop_tol: f64,
+) -> Option<(EtaFile, Vec<usize>)> {
+    let m = matrix.num_rows();
+    debug_assert_eq!(basis_cols.len(), m, "basis must have one column per row");
+    let mut file = EtaFile::identity();
+    let mut assigned = vec![false; m];
+    let mut basis_by_row = vec![0usize; m];
+    let mut order: Vec<usize> = basis_cols.to_vec();
+    order.sort_by_key(|&j| (matrix.col_nnz(j), j));
+    let mut work = vec![0.0; m];
+    for &j in &order {
+        work.fill(0.0);
+        for (i, a) in matrix.col(j) {
+            work[i] = a;
+        }
+        file.ftran(&mut work);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &w) in work.iter().enumerate() {
+            if assigned[i] {
+                continue;
+            }
+            let mag = w.abs();
+            if best.is_none_or(|(_, bm)| mag > bm) {
+                best = Some((i, mag));
+            }
+        }
+        let (r, mag) = best?;
+        if mag <= tol {
+            return None; // dependent (or duplicate) basis column
+        }
+        file.push_pivot(r, &work, drop_tol);
+        assigned[r] = true;
+        basis_by_row[r] = j;
+    }
+    Some((file, basis_by_row))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3×3 matrix in CSC form via sparse rows:
+    ///   [ 2 1 0 ]
+    ///   [ 0 3 1 ]
+    ///   [ 1 0 4 ]
+    fn example() -> Csc {
+        let rows = vec![
+            vec![(0, 2.0), (1, 1.0)],
+            vec![(1, 3.0), (2, 1.0)],
+            vec![(0, 1.0), (2, 4.0)],
+        ];
+        Csc::from_rows(&rows, 3)
+    }
+
+    fn assert_vec_near(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn factorized_ftran_solves_the_system() {
+        let m = example();
+        let (file, by_row) = factorize(&m, &[0, 1, 2], 1e-9, 0.0).unwrap();
+        // Solve B x = b for b = (5, 10, 13): by substitution from
+        //   2x + y = 5; 3y + z = 10; x + 4z = 13
+        // → 25x = 33, so (x, y, z) = (33, 59, 73)/25. Position r of the
+        // FTRAN result is the value of the variable whose column is
+        // by_row[r].
+        let mut v = [5.0, 10.0, 13.0];
+        file.ftran(&mut v);
+        let mut by_col = [0.0; 3];
+        for (r, &j) in by_row.iter().enumerate() {
+            by_col[j] = v[r];
+        }
+        assert_vec_near(&by_col, &[33.0 / 25.0, 59.0 / 25.0, 73.0 / 25.0]);
+    }
+
+    #[test]
+    fn btran_solves_the_transpose() {
+        let m = example();
+        let (file, by_row) = factorize(&m, &[0, 1, 2], 1e-9, 0.0).unwrap();
+        // Solve Bᵀ y = c where c is in basis-position order: pick the
+        // "cost" of the variable on each pivot row as its column index,
+        // then check Bᵀy = c by multiplying back.
+        let mut y = [0.0; 3];
+        for (r, &j) in by_row.iter().enumerate() {
+            y[r] = (j + 1) as f64;
+        }
+        let c = y;
+        file.btran(&mut y);
+        // Verify: for each basic column j on row r, y·A_j = c[r].
+        for (r, &j) in by_row.iter().enumerate() {
+            let dot: f64 = m.col(j).map(|(i, a)| y[i] * a).sum();
+            assert!((dot - c[r]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn singular_basis_rejected() {
+        let m = example();
+        assert!(factorize(&m, &[0, 0, 2], 1e-9, 0.0).is_none(), "duplicate column");
+    }
+
+    #[test]
+    fn sign_flip_eta_negates_one_row() {
+        let mut file = EtaFile::identity();
+        file.push_sign_flip(1);
+        let mut v = [3.0, 4.0, 5.0];
+        file.ftran(&mut v);
+        assert_vec_near(&v, &[3.0, -4.0, 5.0]);
+        let mut y = [1.0, 2.0, 3.0];
+        file.btran(&mut y);
+        assert_vec_near(&y, &[1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn pivot_eta_matches_gauss_jordan() {
+        // Pivoting direction d on row r must make FTRAN(d) = e_r.
+        let mut file = EtaFile::identity();
+        let d = [0.5, 2.0, -1.5];
+        file.push_pivot(1, &d, 0.0);
+        let mut v = d;
+        file.ftran(&mut v);
+        assert_vec_near(&v, &[0.0, 1.0, 0.0]);
+    }
+}

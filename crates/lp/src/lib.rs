@@ -1,5 +1,6 @@
-//! A dense two-phase simplex LP solver, built from scratch for solving
-//! the paper's CBS-RELAX provisioning relaxation (Eq. 14–16).
+//! A two-phase simplex LP solver — a sparse revised simplex with a
+//! dense tableau oracle — built from scratch for solving the paper's
+//! CBS-RELAX provisioning relaxation (Eq. 14–16).
 //!
 //! CBS-RELAX maximizes a concave objective (energy cost, switching cost
 //! `q_m|δ|`, and a concave scheduling utility `f_n`) over linear
@@ -11,17 +12,29 @@
 //! * each concave `f_n` becomes one variable per linear segment with
 //!   per-segment upper bounds ([`PiecewiseLinear`] does the bookkeeping).
 //!
-//! The solver is a classic dense two-phase primal simplex, tuned for the
-//! control loop that calls it every period: Dantzig most-negative-cost
-//! pricing (with an automatic fallback to Bland's anti-cycling rule after
-//! a degeneracy streak, so termination is preserved), and a warm-start
-//! API — [`Solution::basis`] carries the optimal [`Basis`] out, and
+//! Two interchangeable engines implement the same two-phase primal
+//! simplex ([`SolverBackend`] selects one per solve):
+//!
+//! * the **sparse revised simplex** (default) stores the constraint
+//!   matrix once in compressed sparse column form and carries the basis
+//!   inverse as an eta-file factorization with periodic
+//!   refactorization — per-iteration cost proportional to the nonzero
+//!   count, which is what lets CBS-RELAX instances with tens of
+//!   thousands of columns solve inside one control period;
+//! * the **dense tableau** keeps the whole `B⁻¹A` tableau explicit —
+//!   per-pivot cost O(rows × cols) — and serves as the reference oracle
+//!   the sparse engine is property-tested against.
+//!
+//! Both engines share Dantzig most-negative-cost pricing (with an
+//! automatic fallback to Bland's anti-cycling rule after a degeneracy
+//! streak, so termination is preserved) and the warm-start API —
+//! [`Solution::basis`] carries the optimal [`Basis`] out, and
 //! [`Problem::solve_warm_with`] re-solves a structurally identical
 //! problem from it, skipping phase 1 (or repairing the restart point
-//! with a short phase 1 when the new RHS moved against it). It stays
-//! deterministic and exact
-//! enough for the instance sizes HARMONY solves each control period
-//! (tens of machine types × tens of task classes × a short MPC horizon).
+//! with a short phase 1 when the new RHS moved against it); a basis
+//! taken from one backend warm-starts the other. Everything stays
+//! deterministic: the same problem, options, and warm basis always take
+//! the same pivot sequence.
 //!
 //! A successful solve always yields an optimal [`Solution`]; every
 //! failure outcome — infeasible, unbounded, pivot budget exhausted,
@@ -51,11 +64,13 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod error;
+mod factor;
 mod piecewise;
 mod problem;
 mod simplex;
+mod sparse;
 
 pub use error::LpError;
 pub use piecewise::PiecewiseLinear;
 pub use problem::{Constraint, Problem, Relation, Sense, VarId};
-pub use simplex::{Basis, SimplexOptions, Solution};
+pub use simplex::{Basis, SimplexOptions, Solution, SolverBackend, WarmOutcome};

@@ -1,6 +1,13 @@
-//! Dense two-phase primal simplex with priced pivoting and warm starts.
+//! Shared simplex machinery plus the dense tableau engine.
 //!
-//! The implementation follows the textbook tableau method:
+//! This module owns everything both backends share — standardization to
+//! equality form, the phase-2 cost vector, solution extraction, the
+//! [`Basis`]/[`Solution`]/[`SimplexOptions`] types, and the
+//! [`SolverBackend`] dispatch — and implements the dense two-phase
+//! tableau engine ([`SolverBackend::Dense`]); the sparse revised
+//! simplex lives in `crate::sparse`.
+//!
+//! The dense implementation follows the textbook tableau method:
 //!
 //! 1. **Standardize.** Every user variable is mapped onto one or two
 //!    non-negative columns (shift by a finite lower bound, mirror a
@@ -37,6 +44,68 @@ use serde::{Deserialize, Serialize};
 use crate::problem::{Problem, Relation, Sense, VarId};
 use crate::LpError;
 
+/// Which simplex engine executes a solve.
+///
+/// Both engines implement the same two-phase primal simplex with the
+/// same pricing rules (Dantzig with a Bland anti-cycling fallback), the
+/// same warm-start semantics, and the same [`Basis`] representation, so
+/// a basis taken from one backend warm-starts the other. They differ
+/// only in how the basis inverse is carried: the dense engine keeps the
+/// whole tableau in `B⁻¹A` form (per-pivot cost O(rows × cols)), while
+/// the sparse engine stores the constraint matrix once in compressed
+/// sparse column form and maintains an eta-file factorization of `B⁻¹`
+/// (per-iteration cost proportional to the nonzero count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// Sparse revised simplex: CSC matrix, product-form (eta-file) basis
+    /// updates with periodic refactorization, BTRAN/FTRAN solves. The
+    /// default engine.
+    #[default]
+    Sparse,
+    /// Dense two-phase tableau — the reference oracle the sparse engine
+    /// is tested against. Per-pivot cost O(rows × cols), so it only
+    /// scales to small instances.
+    Dense,
+}
+
+impl SolverBackend {
+    /// Canonical lowercase name, matching [`std::str::FromStr`].
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverBackend::Sparse => "sparse",
+            SolverBackend::Dense => "dense",
+        }
+    }
+}
+
+impl std::str::FromStr for SolverBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sparse" => Ok(SolverBackend::Sparse),
+            "dense" => Ok(SolverBackend::Dense),
+            other => Err(format!("unknown LP backend {other:?} (expected sparse|dense)")),
+        }
+    }
+}
+
+impl Serialize for SolverBackend {
+    fn to_value(&self) -> Value {
+        Value::String(self.name().to_owned())
+    }
+}
+
+impl Deserialize for SolverBackend {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_str() {
+            Some("sparse") => Ok(SolverBackend::Sparse),
+            Some("dense") => Ok(SolverBackend::Dense),
+            _ => Err(DeError::new("unknown SolverBackend")),
+        }
+    }
+}
+
 /// Tuning knobs for the simplex solver.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimplexOptions {
@@ -45,11 +114,17 @@ pub struct SimplexOptions {
     /// Hard cap on pivots across both phases; `None` picks
     /// [`SimplexOptions::auto_pivot_budget`] automatically.
     pub max_pivots: Option<usize>,
+    /// Which engine runs the solve.
+    pub backend: SolverBackend,
 }
 
 impl Default for SimplexOptions {
     fn default() -> Self {
-        SimplexOptions { tolerance: 1e-9, max_pivots: None }
+        SimplexOptions {
+            tolerance: 1e-9,
+            max_pivots: None,
+            backend: SolverBackend::default(),
+        }
     }
 }
 
@@ -65,6 +140,19 @@ impl SimplexOptions {
     pub fn auto_pivot_budget(rows: usize, cols: usize) -> usize {
         200 * (rows + cols) + 10_000
     }
+
+    /// The primal feasibility tolerance, `tolerance.max(1e-7)`.
+    ///
+    /// Pivot *selection* uses the sharper `tolerance`; feasibility
+    /// *classification* — is a restart point inside the polytope, did
+    /// phase 1 reach zero — uses this floored value so accumulated
+    /// elimination error cannot misclassify a vertex. Every feasibility
+    /// test in both backends (warm-restart repair and cold phase 1
+    /// alike) goes through this one definition, so a borderline restart
+    /// is classified identically on every path.
+    pub fn feas_tol(&self) -> f64 {
+        self.tolerance.max(1e-7)
+    }
 }
 
 /// The optimal basis of a solved LP, in standardized column space.
@@ -78,9 +166,9 @@ impl SimplexOptions {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Basis {
     /// Basic column per tableau row.
-    cols: Vec<usize>,
+    pub(crate) cols: Vec<usize>,
     /// Structural + slack column count of the standardized tableau.
-    n_cols: usize,
+    pub(crate) n_cols: usize,
 }
 
 impl Basis {
@@ -132,7 +220,32 @@ pub struct Solution {
     pivots: usize,
     phase1_pivots: usize,
     basis: Basis,
-    warm_started: bool,
+    warm: WarmOutcome,
+}
+
+/// How a solve used (or failed to use) a supplied warm-start basis.
+///
+/// Exactly one outcome applies to every solve, so counting solves by
+/// outcome partitions them — there is no half-warm path that belongs to
+/// two buckets or to none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmOutcome {
+    /// No warm basis was supplied: an ordinary cold two-phase solve.
+    Cold,
+    /// The supplied basis installed and the solve restarted from it —
+    /// either directly (the restart point was still feasible) or after
+    /// an in-place repair phase 1 on the violated rows; see
+    /// [`Solution::phase1_pivots`] to tell the two apart.
+    Hit,
+    /// The basis installed but the restart point could not be repaired
+    /// (the repair phase 1 bottomed out above the feasibility
+    /// tolerance), so the solver fell back to the cold two-phase path.
+    RepairFallback,
+    /// The basis never installed — its dimensions no longer match the
+    /// standardized problem, it kept an artificial column (a redundant
+    /// row in the previous solve), or it has gone singular for the new
+    /// coefficients — so the solver fell back to the cold path.
+    StructuralFallback,
 }
 
 impl Solution {
@@ -179,15 +292,25 @@ impl Solution {
 
     /// Whether this solve restarted from a supplied warm basis (`false`
     /// when no basis was given *or* the given basis was unusable and the
-    /// solver fell back to the cold two-phase path).
+    /// solver fell back to the cold two-phase path). Shorthand for
+    /// `warm_outcome() == WarmOutcome::Hit`.
     pub fn warm_started(&self) -> bool {
-        self.warm_started
+        self.warm == WarmOutcome::Hit
+    }
+
+    /// How the supplied warm basis fared — see [`WarmOutcome`]. Callers
+    /// that account for warm-start effectiveness should match on this
+    /// rather than [`Solution::warm_started`]: the two fallback variants
+    /// distinguish a basis that never installed from one that installed
+    /// but could not be repaired.
+    pub fn warm_outcome(&self) -> WarmOutcome {
+        self.warm
     }
 }
 
 /// How a user variable maps onto standard-form columns.
 #[derive(Debug, Clone, Copy)]
-enum ColMap {
+pub(crate) enum ColMap {
     /// `x = col + lb`, `col ≥ 0`.
     Shifted { col: usize, lb: f64 },
     /// `x = ub - col`, `col ≥ 0` (variable with only an upper bound).
@@ -200,18 +323,24 @@ enum ColMap {
 /// columns, slack/surplus columns appended, right-hand sides
 /// non-negative. Artificial columns are *not* included — the cold path
 /// appends them, the warm path never needs them.
-struct Standardized {
-    maps: Vec<ColMap>,
-    /// `m × struct_and_slack` coefficient rows.
-    a: Vec<Vec<f64>>,
-    b: Vec<f64>,
+///
+/// Rows are stored sparsely — `(column, coefficient)` pairs — so the
+/// standardization cost is proportional to the nonzero count, not to
+/// `rows × cols`. The dense tableau engine scatters them into dense
+/// rows on construction; the sparse engine transposes them into CSC.
+pub(crate) struct Standardized {
+    pub(crate) maps: Vec<ColMap>,
+    /// Sparse coefficient rows over the standardized columns: nonzero
+    /// `(col, coeff)` pairs sorted by column, slack/surplus included.
+    pub(crate) rows: Vec<Vec<(usize, f64)>>,
+    pub(crate) b: Vec<f64>,
     /// Per row, the slack column usable as the initial basis, if any.
-    ready_basis: Vec<Option<usize>>,
+    pub(crate) ready_basis: Vec<Option<usize>>,
     /// Structural + slack column count.
-    struct_and_slack: usize,
+    pub(crate) struct_and_slack: usize,
 }
 
-fn standardize(p: &Problem) -> Standardized {
+pub(crate) fn standardize(p: &Problem) -> Standardized {
     // --- 1. Map user variables to non-negative columns. -----------------
     let mut maps: Vec<ColMap> = Vec::with_capacity(p.vars.len());
     let mut n_cols = 0usize;
@@ -237,89 +366,90 @@ fn standardize(p: &Problem) -> Standardized {
         }
     }
 
-    // --- 2. Build rows in standard column space. -------------------------
-    // Each row: dense coefficients over structural columns + relation+rhs.
+    // --- 2. Build sparse rows in standard column space. ------------------
     struct Row {
-        coeffs: Vec<f64>,
+        coeffs: Vec<(usize, f64)>,
         relation: Relation,
         rhs: f64,
     }
     let m = p.constraints.len() + bound_rows.len();
     let mut rows: Vec<Row> = Vec::with_capacity(m);
     for c in &p.constraints {
-        let mut coeffs = vec![0.0; n_cols];
+        // Accumulate per-column (duplicate terms sum); BTreeMap keeps the
+        // column order sorted and the iteration deterministic.
+        let mut acc: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
         let mut rhs = c.rhs;
         for &(v, a) in &c.terms {
             match maps[v.index()] {
                 ColMap::Shifted { col, lb } => {
-                    coeffs[col] += a;
+                    *acc.entry(col).or_insert(0.0) += a;
                     rhs -= a * lb;
                 }
                 ColMap::Mirrored { col, ub } => {
-                    coeffs[col] -= a;
+                    *acc.entry(col).or_insert(0.0) -= a;
                     rhs -= a * ub;
                 }
                 ColMap::Free { pos, neg } => {
-                    coeffs[pos] += a;
-                    coeffs[neg] -= a;
+                    *acc.entry(pos).or_insert(0.0) += a;
+                    *acc.entry(neg).or_insert(0.0) -= a;
                 }
             }
         }
+        let coeffs: Vec<(usize, f64)> = acc.into_iter().filter(|&(_, a)| a != 0.0).collect();
         rows.push(Row { coeffs, relation: c.relation, rhs });
     }
     for &(col, width) in &bound_rows {
-        let mut coeffs = vec![0.0; n_cols];
-        coeffs[col] = 1.0;
-        rows.push(Row { coeffs, relation: Relation::Le, rhs: width });
+        rows.push(Row { coeffs: vec![(col, 1.0)], relation: Relation::Le, rhs: width });
     }
 
     // --- 3. Equality form with slacks, non-negative rhs. -----------------
     let n_slack = rows.iter().filter(|r| r.relation != Relation::Eq).count();
     let struct_and_slack = n_cols + n_slack;
-    let mut a_mat: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut a_rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
     let mut b: Vec<f64> = Vec::with_capacity(m);
     let mut ready_basis: Vec<Option<usize>> = Vec::with_capacity(m);
     let mut slack_idx = 0usize;
-    for row in &rows {
-        let mut coeffs = row.coeffs.clone();
-        coeffs.resize(struct_and_slack, 0.0);
+    for row in rows {
+        let mut coeffs = row.coeffs;
         let mut rhs = row.rhs;
-        let mut slack_col = None;
-        match row.relation {
+        // The slack column index exceeds every structural index, so
+        // pushing it last keeps the row sorted by column.
+        let slack_col = match row.relation {
             Relation::Le => {
                 let col = n_cols + slack_idx;
                 slack_idx += 1;
-                coeffs[col] = 1.0;
-                slack_col = Some(col);
+                coeffs.push((col, 1.0));
+                Some(col)
             }
             Relation::Ge => {
                 let col = n_cols + slack_idx;
                 slack_idx += 1;
-                coeffs[col] = -1.0;
-                slack_col = Some(col);
+                coeffs.push((col, -1.0));
+                Some(col)
             }
-            Relation::Eq => {}
-        }
+            Relation::Eq => None,
+        };
         // Normalize rhs >= 0.
         if rhs < 0.0 {
-            for c in &mut coeffs {
+            for (_, c) in &mut coeffs {
                 *c = -*c;
             }
             rhs = -rhs;
         }
-        // Slack usable as initial basis only if its coefficient is +1 now.
-        let ready = slack_col.filter(|&c| coeffs[c] > 0.5);
-        a_mat.push(coeffs);
+        // Slack usable as initial basis only if its coefficient is +1 now
+        // (it is the last entry, having the largest column index).
+        let ready = slack_col.filter(|_| matches!(coeffs.last(), Some(&(_, c)) if c > 0.5));
+        a_rows.push(coeffs);
         b.push(rhs);
         ready_basis.push(ready);
     }
 
-    Standardized { maps, a: a_mat, b, ready_basis, struct_and_slack }
+    Standardized { maps, rows: a_rows, b, ready_basis, struct_and_slack }
 }
 
 /// The phase-2 cost vector (sign-adjusted user objective) over `width`
 /// columns.
-fn phase2_cost(p: &Problem, maps: &[ColMap], width: usize) -> Vec<f64> {
+pub(crate) fn phase2_cost(p: &Problem, maps: &[ColMap], width: usize) -> Vec<f64> {
     let sign = match p.sense {
         Sense::Maximize => -1.0,
         Sense::Minimize => 1.0,
@@ -338,16 +468,17 @@ fn phase2_cost(p: &Problem, maps: &[ColMap], width: usize) -> Vec<f64> {
     cost
 }
 
-/// Maps the optimal tableau back to user variable space.
-fn extract(
+/// Maps an optimal basic point (values per standardized column, basic
+/// column per row) back to user variable space. Shared by both engines.
+pub(crate) fn extract(
     p: &Problem,
     std_form: &Standardized,
-    tableau: &Tableau,
-    width: usize,
+    col_values: &[f64],
+    basis_cols: &[usize],
+    pivots: usize,
     phase1_pivots: usize,
-    warm_started: bool,
+    warm: WarmOutcome,
 ) -> Solution {
-    let col_values = tableau.column_values(width);
     let mut values = vec![0.0; p.vars.len()];
     for (v, map) in std_form.maps.iter().enumerate() {
         values[v] = match *map {
@@ -360,11 +491,27 @@ fn extract(
     Solution {
         objective,
         values,
-        pivots: tableau.pivots,
+        pivots,
         phase1_pivots,
-        basis: Basis { cols: tableau.basis.clone(), n_cols: std_form.struct_and_slack },
-        warm_started,
+        basis: Basis { cols: basis_cols.to_vec(), n_cols: std_form.struct_and_slack },
+        warm,
     }
+}
+
+/// Scatters the standardized sparse rows into dense rows for the
+/// tableau engine.
+fn dense_rows(std_form: &Standardized) -> Vec<Vec<f64>> {
+    std_form
+        .rows
+        .iter()
+        .map(|row| {
+            let mut dense = vec![0.0; std_form.struct_and_slack];
+            for &(j, a) in row {
+                dense[j] = a;
+            }
+            dense
+        })
+        .collect()
 }
 
 /// Re-installs `basis` on a freshly standardized tableau by Gauss-Jordan
@@ -382,7 +529,7 @@ fn install_basis(
     tol: f64,
     max_pivots: usize,
 ) -> Option<Tableau> {
-    let m = std_form.a.len();
+    let m = std_form.rows.len();
     if basis.cols.len() != m || basis.n_cols != std_form.struct_and_slack {
         return None; // structural change since the basis was taken
     }
@@ -390,7 +537,7 @@ fn install_basis(
         return None; // an artificial stayed basic (redundant row)
     }
     let mut tableau = Tableau {
-        a: std_form.a.clone(),
+        a: dense_rows(std_form),
         b: std_form.b.clone(),
         basis: vec![0; m],
         tol,
@@ -436,11 +583,12 @@ fn solve_from_basis(
     p: &Problem,
     std_form: &Standardized,
     mut tableau: Tableau,
-    tol: f64,
+    options: &SimplexOptions,
 ) -> Result<Option<Solution>, LpError> {
-    let m = std_form.a.len();
+    let m = std_form.rows.len();
     let struct_and_slack = std_form.struct_and_slack;
-    let feas = tol.max(1e-7);
+    let tol = options.tolerance;
+    let feas = options.feas_tol();
     // Rows where the restart point B⁻¹b went negative: the previous
     // vertex is outside today's polytope (RHS moved against it).
     let violated: Vec<usize> = (0..m).filter(|&i| tableau.b[i] < -feas).collect();
@@ -453,7 +601,16 @@ fn solve_from_basis(
     if violated.is_empty() {
         let cost = phase2_cost(p, &std_form.maps, struct_and_slack);
         tableau.run(&cost, struct_and_slack)?;
-        return Ok(Some(extract(p, std_form, &tableau, struct_and_slack, 0, true)));
+        let col_values = tableau.column_values(struct_and_slack);
+        return Ok(Some(extract(
+            p,
+            std_form,
+            &col_values,
+            &tableau.basis,
+            tableau.pivots,
+            0,
+            WarmOutcome::Hit,
+        )));
     }
 
     // Repair: give each violated row (sign-flipped so its RHS is
@@ -494,7 +651,16 @@ fn solve_from_basis(
     let phase1_pivots = tableau.pivots;
     let cost = phase2_cost(p, &std_form.maps, total);
     tableau.run(&cost, struct_and_slack)?;
-    Ok(Some(extract(p, std_form, &tableau, total, phase1_pivots, true)))
+    let col_values = tableau.column_values(total);
+    Ok(Some(extract(
+        p,
+        std_form,
+        &col_values,
+        &tableau.basis,
+        tableau.pivots,
+        phase1_pivots,
+        WarmOutcome::Hit,
+    )))
 }
 
 pub(crate) fn solve_problem(p: &Problem, options: &SimplexOptions) -> Result<Solution, LpError> {
@@ -506,9 +672,21 @@ pub(crate) fn solve_problem_warm(
     options: &SimplexOptions,
     warm: Option<&Basis>,
 ) -> Result<Solution, LpError> {
+    match options.backend {
+        SolverBackend::Sparse => crate::sparse::solve_sparse(p, options, warm),
+        SolverBackend::Dense => solve_dense(p, options, warm),
+    }
+}
+
+/// The dense two-phase tableau engine ([`SolverBackend::Dense`]).
+fn solve_dense(
+    p: &Problem,
+    options: &SimplexOptions,
+    warm: Option<&Basis>,
+) -> Result<Solution, LpError> {
     let tol = options.tolerance;
     let std_form = standardize(p);
-    let m = std_form.a.len();
+    let m = std_form.rows.len();
     let struct_and_slack = std_form.struct_and_slack;
     // The pivot budget is computed here — once, for both the warm and
     // cold paths — from the standardized problem shape.
@@ -519,13 +697,17 @@ pub(crate) fn solve_problem_warm(
     // --- Warm path: reuse the previous optimal basis. A still-feasible
     // restart skips phase 1 entirely; an infeasible one gets a repair
     // phase 1 over just the violated rows (see solve_from_basis). ------
+    let mut warm_outcome = WarmOutcome::Cold;
     if let Some(basis) = warm {
-        if let Some(tableau) = install_basis(&std_form, basis, tol, max_pivots) {
-            if let Some(solution) = solve_from_basis(p, &std_form, tableau, tol)? {
-                return Ok(solution);
-            }
+        match install_basis(&std_form, basis, tol, max_pivots) {
+            Some(tableau) => match solve_from_basis(p, &std_form, tableau, options)? {
+                Some(solution) => return Ok(solution),
+                // Installed but unrepairable: cold solve decides.
+                None => warm_outcome = WarmOutcome::RepairFallback,
+            },
+            // Never installed: dimension mismatch / artificial / singular.
+            None => warm_outcome = WarmOutcome::StructuralFallback,
         }
-        // Unusable basis: fall through to the cold two-phase solve.
     }
 
     // --- Cold path: artificials and phase-1 tableau. ----------------------
@@ -543,7 +725,7 @@ pub(crate) fn solve_problem_warm(
         }
     }
     let total = struct_and_slack + n_art;
-    let mut a_mat = std_form.a.clone();
+    let mut a_mat = dense_rows(&std_form);
     let b = std_form.b.clone();
     let mut art_seen = 0usize;
     for (i, ready) in ready_basis.iter().enumerate() {
@@ -564,7 +746,7 @@ pub(crate) fn solve_problem_warm(
             *c = 1.0;
         }
         let obj = tableau.run(&cost, total)?;
-        if obj > tol.max(1e-7) {
+        if obj > options.feas_tol() {
             return Err(LpError::Infeasible);
         }
         // Drive remaining basic artificials out where possible.
@@ -587,7 +769,16 @@ pub(crate) fn solve_problem_warm(
     let cost = phase2_cost(p, &std_form.maps, total);
     tableau.run(&cost, art_start)?;
 
-    Ok(extract(p, &std_form, &tableau, total, phase1_pivots, false))
+    let col_values = tableau.column_values(total);
+    Ok(extract(
+        p,
+        &std_form,
+        &col_values,
+        &tableau.basis,
+        tableau.pivots,
+        phase1_pivots,
+        warm_outcome,
+    ))
 }
 
 struct Tableau {
@@ -914,7 +1105,7 @@ mod tests {
         let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
         let y = p.add_var("y", 0.0, f64::INFINITY, 1.0);
         p.add_le(vec![(x, 1.0), (y, 1.0)], 4.0);
-        let opts = SimplexOptions { tolerance: 1e-9, max_pivots: Some(0) };
+        let opts = SimplexOptions { max_pivots: Some(0), ..SimplexOptions::default() };
         assert!(matches!(p.solve_with(&opts), Err(LpError::IterationLimit { limit: 0 })));
     }
 
@@ -1121,7 +1312,128 @@ mod tests {
         assert_eq!(back, basis);
     }
 
+    // --- Feasibility tolerance (one definition for every path) -----------
+
+    #[test]
+    fn feas_tol_formula_is_pinned() {
+        // The floor keeps feasibility classification stable when the
+        // pivot tolerance is sharper than accumulated elimination error.
+        assert_eq!(SimplexOptions::default().feas_tol(), 1e-7);
+        let loose = SimplexOptions { tolerance: 1e-4, ..SimplexOptions::default() };
+        assert_eq!(loose.feas_tol(), 1e-4);
+    }
+
+    /// Regression (satellite of the sparse-engine PR): a warm restart
+    /// whose RHS moved by less than `feas_tol()` must be classified
+    /// still-feasible (no repair), and one violated by more must be
+    /// repaired — identically on both backends, because both share
+    /// `SimplexOptions::feas_tol` instead of re-deriving `tol.max(1e-7)`
+    /// ad hoc per path.
+    #[test]
+    fn borderline_restart_classifies_consistently_across_backends() {
+        let build = |cap: f64| {
+            let mut p = Problem::new(Sense::Minimize);
+            let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+            let y = p.add_var("y", 0.0, f64::INFINITY, 4.0);
+            p.add_ge(vec![(x, 1.0), (y, 1.0)], 10.0);
+            p.add_le(vec![(x, 1.0)], cap);
+            p
+        };
+        // Optimum of build(20): x = 10, y = 0; the cap row's slack is
+        // basic at cap − 10, so re-solving with cap = 10 − δ leaves the
+        // restart point violated by exactly δ.
+        let cold = build(20.0).solve().unwrap();
+        for backend in [SolverBackend::Sparse, SolverBackend::Dense] {
+            let options = SimplexOptions { backend, ..SimplexOptions::default() };
+            // δ below the 1e-7 feasibility floor: zeroed, not repaired.
+            let near = build(10.0 - 5e-8)
+                .solve_warm_with(&options, Some(cold.basis()))
+                .unwrap();
+            assert!(near.warm_started(), "{backend:?}: sub-tolerance restart is a hit");
+            assert_eq!(
+                near.phase1_pivots(),
+                0,
+                "{backend:?}: sub-tolerance violation must not trigger repair"
+            );
+            // δ above the floor: repaired in place, still a hit.
+            let repaired = build(10.0 - 1e-3)
+                .solve_warm_with(&options, Some(cold.basis()))
+                .unwrap();
+            assert!(repaired.warm_started(), "{backend:?}: violated restart is repaired");
+            assert!(
+                repaired.phase1_pivots() >= 1,
+                "{backend:?}: real violation must cost repair pivots"
+            );
+        }
+    }
+
+    // --- Warm outcome accounting -----------------------------------------
+
+    #[test]
+    fn warm_outcome_partitions_the_paths() {
+        let (p, _, _) = phase1_heavy([10.0, 2.0, 3.0]);
+        for backend in [SolverBackend::Sparse, SolverBackend::Dense] {
+            let options = SimplexOptions { backend, ..SimplexOptions::default() };
+            let cold = p.solve_with(&options).unwrap();
+            assert_eq!(cold.warm_outcome(), WarmOutcome::Cold);
+            assert!(!cold.warm_started());
+
+            let warm = p.solve_warm_with(&options, Some(cold.basis())).unwrap();
+            assert_eq!(warm.warm_outcome(), WarmOutcome::Hit);
+            assert!(warm.warm_started());
+
+            // A basis from a different tableau shape: structural fallback.
+            let (other, _, _) = phase1_heavy([1.0, 0.5, 0.2]);
+            let mut bigger = other.clone();
+            let z = bigger.add_var("z", 0.0, f64::INFINITY, 1.0);
+            bigger.add_ge(vec![(z, 1.0)], 1.0);
+            let stale = bigger.solve_with(&options).unwrap();
+            let fell_back = p.solve_warm_with(&options, Some(stale.basis())).unwrap();
+            assert_eq!(fell_back.warm_outcome(), WarmOutcome::StructuralFallback);
+            assert!(!fell_back.warm_started());
+            assert_near(fell_back.objective(), cold.objective());
+        }
+    }
+
     // --- Pivot budget ----------------------------------------------------
+
+    /// Regression (satellite of the sparse-engine PR): re-installing a
+    /// warm basis performs one factorization pivot per row, and those
+    /// pivots must not be charged against `max_pivots` — a basis with
+    /// more rows than the whole pivot budget still installs and solves.
+    /// (`Tableau::pivot` never increments the counter — only
+    /// `Tableau::run` does — and the sparse engine's factorization
+    /// appends etas without touching its counter; this pins both.)
+    #[test]
+    fn basis_install_is_not_charged_against_pivot_budget() {
+        let (p, _, _) = phase1_heavy([10.0, 2.0, 3.0]);
+        let cold = p.solve().unwrap();
+        assert_eq!(cold.basis().num_rows(), 3, "basis has more rows than the budget below");
+        for backend in [SolverBackend::Sparse, SolverBackend::Dense] {
+            let options =
+                SimplexOptions { max_pivots: Some(0), backend, ..SimplexOptions::default() };
+            let warm = p
+                .solve_warm_with(&options, Some(cold.basis()))
+                .expect("identical restart needs zero simplex pivots, so a zero budget passes");
+            assert!(warm.warm_started());
+            assert_eq!(warm.pivots(), 0);
+        }
+    }
+
+    // --- Backend knob -----------------------------------------------------
+
+    #[test]
+    fn backend_parses_and_serializes() {
+        assert_eq!("sparse".parse::<SolverBackend>().unwrap(), SolverBackend::Sparse);
+        assert_eq!("dense".parse::<SolverBackend>().unwrap(), SolverBackend::Dense);
+        assert!("Dense".parse::<SolverBackend>().is_err());
+        assert_eq!(SolverBackend::default(), SolverBackend::Sparse);
+        for backend in [SolverBackend::Sparse, SolverBackend::Dense] {
+            assert_eq!(backend.name().parse::<SolverBackend>().unwrap(), backend);
+            assert_eq!(SolverBackend::from_value(&backend.to_value()).unwrap(), backend);
+        }
+        assert!(SolverBackend::from_value(&Value::Null).is_err());
+    }
 
     #[test]
     fn auto_pivot_budget_formula_is_pinned() {
@@ -1144,7 +1456,7 @@ mod tests {
         p.add_le(vec![(x, 1.0), (y, 1.0)], 10.0);
         p.add_ge(vec![(y, 1.0)], -3.0);
         let std_form = standardize(&p);
-        let rows = std_form.a.len();
+        let rows = std_form.rows.len();
         let cols = std_form.struct_and_slack;
         assert_eq!(rows, 3, "2 constraints + 1 bound row");
         assert_eq!(cols, 3 + 3, "x + y⁺ + y⁻ structural, 3 slack/surplus");

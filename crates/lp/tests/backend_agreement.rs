@@ -1,0 +1,227 @@
+//! Property tests proving the sparse revised simplex and the dense
+//! tableau engine are interchangeable: on random feasible, bounded LPs
+//! the two backends must reach the same objective (≤ 1e-6 relative) —
+//! cold, warm-started, and warm-started *across* backends (a basis
+//! taken from one engine installed on the other).
+//!
+//! The generator covers every standardization shape the solver has:
+//! doubly-bounded variables (bound rows), non-negative and upper-only
+//! ranges (shifted/mirrored columns), free variables (split columns),
+//! all three relations (slack, surplus, artificial-carrying equality
+//! rows), and duplicated equality rows (redundant rows whose artificial
+//! stays basic). Feasibility is guaranteed by construction — every
+//! right-hand side is derived from a random anchor point inside the
+//! variable domains — and boundedness by giving each variable a cost
+//! sign that bounds its own objective term over its domain.
+
+use harmony_lp::{Problem, Sense, SimplexOptions, SolverBackend, WarmOutcome};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+const REL_TOL: f64 = 1e-6;
+
+fn opts(backend: SolverBackend) -> SimplexOptions {
+    SimplexOptions { backend, ..SimplexOptions::default() }
+}
+
+/// One random variable: `kind` picks the domain/cost shape so the
+/// objective term is bounded below over the domain.
+#[derive(Debug, Clone, Copy)]
+struct RandVar {
+    kind: u8,
+    x: f64,
+    w: f64,
+    c: f64,
+}
+
+impl RandVar {
+    /// `(lb, ub, cost)` for the problem.
+    fn def(self) -> (f64, f64, f64) {
+        match self.kind {
+            // Doubly bounded: any cost sign is bounded over a box.
+            0 => (self.x, self.x + self.w, self.c),
+            1 => (self.x, self.x + self.w, -self.c),
+            // Non-negative, open above: positive cost bounds it.
+            2 => (0.0, f64::INFINITY, self.c),
+            // Upper bound only (mirrored column): negative cost bounds it.
+            3 => (f64::NEG_INFINITY, self.x, -self.c),
+            // Free (split column): zero cost keeps it bounded.
+            _ => (f64::NEG_INFINITY, f64::INFINITY, 0.0),
+        }
+    }
+
+    /// A point inside the domain, at fraction `t ∈ [0, 1]`.
+    fn anchor(self, t: f64) -> f64 {
+        match self.kind {
+            0 | 1 => self.x + t * self.w,
+            2 => t * 5.0,
+            3 => self.x - t * 4.0,
+            _ => 6.0 * t - 3.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    vars: Vec<RandVar>,
+    /// Dense coefficient rows (zeros allowed).
+    rows: Vec<Vec<f64>>,
+    /// 0 = ≤, 1 = ≥, 2 = =.
+    relations: Vec<u8>,
+}
+
+impl RandomLp {
+    /// Builds the LP with right-hand sides anchored at the feasible
+    /// point `anchor_t` (one domain fraction per variable), per-row
+    /// non-negative `slacks` widening the inequalities, and per-variable
+    /// positive `cost_scales`.
+    fn build(&self, anchor_t: &[f64], slacks: &[f64], cost_scales: &[f64]) -> Problem {
+        let mut p = Problem::new(Sense::Minimize);
+        let ids: Vec<_> = self
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let (lb, ub, cost) = v.def();
+                p.add_var(format!("x{i}"), lb, ub, cost * cost_scales[i])
+            })
+            .collect();
+        let point: Vec<f64> =
+            self.vars.iter().zip(anchor_t).map(|(v, &t)| v.anchor(t)).collect();
+        for ((row, &rel), &slack) in self.rows.iter().zip(&self.relations).zip(slacks) {
+            let terms: Vec<_> = ids
+                .iter()
+                .zip(row)
+                .filter(|(_, &a)| a != 0.0)
+                .map(|(&v, &a)| (v, a))
+                .collect();
+            if terms.is_empty() {
+                continue;
+            }
+            let at_anchor: f64 = row.iter().zip(&point).map(|(a, x)| a * x).sum();
+            match rel {
+                0 => p.add_le(terms, at_anchor + slack),
+                1 => p.add_ge(terms, at_anchor - slack),
+                _ => p.add_eq(terms, at_anchor),
+            }
+        }
+        p
+    }
+}
+
+fn random_lp(n_vars: usize, n_rows: usize) -> impl Strategy<Value = RandomLp> {
+    let vars = proptest::collection::vec(
+        (0u8..5, -5.0..5.0f64, 0.5..8.0f64, 0.2..5.0f64)
+            .prop_map(|(kind, x, w, c)| RandVar { kind, x, w, c }),
+        n_vars,
+    );
+    let coeff = (any::<bool>(), -3.0..3.0f64).prop_map(|(z, v)| if z { 0.0 } else { v });
+    let rows = proptest::collection::vec(proptest::collection::vec(coeff, n_vars), n_rows);
+    let relations = proptest::collection::vec(0u8..3, n_rows);
+    (vars, rows, relations)
+        .prop_map(|(vars, rows, relations)| RandomLp { vars, rows, relations })
+}
+
+fn assert_objectives_agree(a: f64, b: f64) -> Result<(), TestCaseError> {
+    prop_assert!(
+        (a - b).abs() <= REL_TOL * (1.0 + a.abs().max(b.abs())),
+        "objectives disagree: {a} vs {b}"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cold solves agree between backends.
+    #[test]
+    fn cold_backends_agree(
+        lp in random_lp(8, 6),
+        anchor_t in proptest::collection::vec(0.0..1.0f64, 8),
+        slacks in proptest::collection::vec(0.0..4.0f64, 6),
+    ) {
+        let p = lp.build(&anchor_t, &slacks, &[1.0; 8]);
+        let sparse = p.solve_with(&opts(SolverBackend::Sparse)).unwrap();
+        let dense = p.solve_with(&opts(SolverBackend::Dense)).unwrap();
+        assert_objectives_agree(sparse.objective(), dense.objective())?;
+        prop_assert_eq!(sparse.warm_outcome(), WarmOutcome::Cold);
+        prop_assert_eq!(dense.warm_outcome(), WarmOutcome::Cold);
+    }
+
+    /// Warm restarts after the RHS and costs both moved agree between
+    /// backends — including installing each backend's basis on the
+    /// *other* backend, which is what a checkpoint written before a
+    /// backend change exercises.
+    #[test]
+    fn warm_backends_agree(
+        lp in random_lp(7, 5),
+        t1 in proptest::collection::vec(0.0..1.0f64, 7),
+        s1 in proptest::collection::vec(0.0..4.0f64, 5),
+        t2 in proptest::collection::vec(0.0..1.0f64, 7),
+        s2 in proptest::collection::vec(0.0..4.0f64, 5),
+        cost_scales in proptest::collection::vec(0.5..2.0f64, 7),
+    ) {
+        let p1 = lp.build(&t1, &s1, &[1.0; 7]);
+        let sparse1 = p1.solve_with(&opts(SolverBackend::Sparse)).unwrap();
+        let dense1 = p1.solve_with(&opts(SolverBackend::Dense)).unwrap();
+
+        let p2 = lp.build(&t2, &s2, &cost_scales);
+        let cold2 = p2.solve_with(&opts(SolverBackend::Dense)).unwrap();
+        // Four warm combinations: each backend from its own basis and
+        // from the other's.
+        for (backend, basis) in [
+            (SolverBackend::Sparse, sparse1.basis()),
+            (SolverBackend::Sparse, dense1.basis()),
+            (SolverBackend::Dense, dense1.basis()),
+            (SolverBackend::Dense, sparse1.basis()),
+        ] {
+            let warm = p2.solve_warm_with(&opts(backend), Some(basis)).unwrap();
+            assert_objectives_agree(warm.objective(), cold2.objective())?;
+            // Identical structure and coefficients: the basis installs,
+            // and the generator guarantees feasibility, so the in-place
+            // repair (if the moved RHS requires one) must succeed.
+            prop_assert_eq!(warm.warm_outcome(), WarmOutcome::Hit);
+        }
+    }
+
+    /// Duplicated equality rows leave an artificial basic (redundant
+    /// row): both backends must agree on the objective, carry the
+    /// artificial in the basis identically, and reject that basis for
+    /// warm-starting the same way.
+    #[test]
+    fn redundant_rows_agree(
+        lp in random_lp(6, 4),
+        anchor_t in proptest::collection::vec(0.0..1.0f64, 6),
+        slacks in proptest::collection::vec(0.0..4.0f64, 4),
+    ) {
+        let mut lp = lp;
+        // Duplicate every row and force the first pair to equality so at
+        // least one redundant row exists.
+        lp.rows = lp.rows.iter().cloned().flat_map(|r| [r.clone(), r]).collect();
+        lp.relations =
+            lp.relations.iter().flat_map(|&r| [r, r]).collect();
+        lp.relations[0] = 2;
+        lp.relations[1] = 2;
+        let slacks: Vec<f64> = slacks.iter().flat_map(|&s| [s, s]).collect();
+        let p = lp.build(&anchor_t, &slacks, &[1.0; 6]);
+        let sparse = p.solve_with(&opts(SolverBackend::Sparse)).unwrap();
+        let dense = p.solve_with(&opts(SolverBackend::Dense)).unwrap();
+        assert_objectives_agree(sparse.objective(), dense.objective())?;
+
+        let n_cols = sparse.basis().num_cols();
+        prop_assert_eq!(n_cols, dense.basis().num_cols());
+        let sparse_kept = sparse.basis().columns().iter().any(|&j| j >= n_cols);
+        let dense_kept = dense.basis().columns().iter().any(|&j| j >= n_cols);
+        prop_assert_eq!(sparse_kept, dense_kept, "redundancy must classify identically");
+
+        if sparse_kept {
+            // A basis that kept an artificial is rejected on re-install —
+            // by both backends, with the structural-fallback outcome.
+            for backend in [SolverBackend::Sparse, SolverBackend::Dense] {
+                let warm = p.solve_warm_with(&opts(backend), Some(sparse.basis())).unwrap();
+                prop_assert_eq!(warm.warm_outcome(), WarmOutcome::StructuralFallback);
+                assert_objectives_agree(warm.objective(), dense.objective())?;
+            }
+        }
+    }
+}

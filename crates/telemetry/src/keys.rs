@@ -27,8 +27,9 @@ pub const REGISTERED_KEYS: &[&str] = &[
     "lp.phase1_pivots",
     "lp.pivots",
     "lp.solves",
-    "lp.warm_start_fallbacks",
     "lp.warm_start_hits",
+    "lp.warm_start_repair_fallbacks",
+    "lp.warm_start_structural_fallbacks",
     "monitor.dropped_arrivals",
     "pipeline.classify_seconds",
     "pipeline.errors",

@@ -110,11 +110,21 @@ if counters.get("server.requests", 0) < 6:
 if counters.get("server.requests.tick", 0) < 2:
     sys.exit(f"per-verb request counter missing: {counters}")
 # The second tick attempted a warm LP start from the first tick's
-# basis; it must land in exactly one of these counters.
+# basis; it must land in exactly one of the three mutually exclusive
+# outcome counters, and all three names must exist in the snapshot
+# (they are fetched eagerly so dashboards never see a missing key).
+for key in (
+    "lp.warm_start_hits",
+    "lp.warm_start_repair_fallbacks",
+    "lp.warm_start_structural_fallbacks",
+):
+    if key not in counters:
+        sys.exit(f"warm-start counter {key} missing: {sorted(counters)}")
 warm = counters.get("lp.warm_start_hits", 0)
-cold = counters.get("lp.warm_start_fallbacks", 0)
-if warm + cold < 1:
-    sys.exit(f"warm-start counters missing or zero: {counters}")
+repair = counters.get("lp.warm_start_repair_fallbacks", 0)
+structural = counters.get("lp.warm_start_structural_fallbacks", 0)
+if warm + repair + structural < 1:
+    sys.exit(f"warm-start counters all zero: {counters}")
 # The resilience counters are pre-registered at daemon start, so they
 # must be present (zero is fine — this session sheds nothing).
 for key in ("server.shed_total", "server.timeout_total", "server.ticker_restarts"):
@@ -133,7 +143,7 @@ if gauges.get("cost.cumulative_dollars", 0) <= 0:
     sys.exit(f"cost.cumulative_dollars gauge missing or zero: {gauges}")
 print(
     "metrics verb OK:", counters.get("server.requests"), "requests;",
-    f"warm starts hit={warm} fallback={cold};",
+    f"warm starts hit={warm} repair-fallback={repair} structural-fallback={structural};",
     "workers =", gauges.get("pipeline.workers"), ";",
     "spend = $%.2f" % gauges.get("cost.cumulative_dollars", 0.0),
 )
