@@ -9,7 +9,7 @@ use harmony::classify::{ClassifierConfig, TaskClassifier};
 use harmony::controllers::{CbpController, QuotaState};
 use harmony::HarmonyConfig;
 use harmony_model::{EnergyPrice, MachineCatalog, SimDuration, SimTime};
-use harmony_sim::{Controller, FirstFit, Observation, Simulation, SimulationConfig};
+use harmony_sim::{Controller, FirstFit, Observation, Simulation, SimulationConfig, TaskView};
 use harmony_trace::{TraceConfig, TraceGenerator};
 
 fn bench_simulator(c: &mut Criterion) {
@@ -55,9 +55,9 @@ fn bench_controller_step(c: &mut Criterion) {
             ctl.decide(&Observation {
                 now: SimTime::ZERO,
                 cluster: &cluster,
-                pending: &arrived,
-                arrived_last_period: &arrived,
-                running: &[],
+                pending: TaskView::dense(&arrived),
+                arrived_last_period: TaskView::dense(&arrived),
+                running: TaskView::default(),
             })
         })
     });

@@ -60,7 +60,7 @@ fn flush_period(
     chunk: &mut Vec<harmony_model::Task>,
     period_idx: usize,
 ) -> Vec<Vec<String>> {
-    monitor.record_period(chunk, classifier);
+    monitor.record_period(chunk.iter(), classifier);
     chunk.clear();
     let rates = match monitor.forecast(1) {
         Ok(r) => r,

@@ -46,12 +46,12 @@ use harmony_model::{MachineCatalog, PriorityGroup, SimDuration};
 use harmony_sim::{
     DegradationKind, FaultRecordKind, FirstFit, SimReport, Simulation, SimulationConfig, SCENARIOS,
 };
-use harmony_trace::{google_csv, Trace};
+use harmony_trace::{google_csv, Trace, TraceConfig, TraceGenerator};
 
 fn usage() -> ! {
     eprintln!(
         "usage: replay [<trace-file>] [--controller baseline|cbs|cbp|none] \
-         [--catalog table2|google10] [--scale <divisor>] \
+         [--catalog table2|google10] [--scale <divisor>|paper] \
          [--format jsonl|google-csv] [--period-mins <f64>] \
          [--faults <scenario>] [--fault-seed <u64>] \
          [--snapshot <path>] [--resume <path>] [--stop-after <n>] [--metrics]\n\
@@ -67,6 +67,7 @@ fn main() {
     let mut controller = "cbp".to_owned();
     let mut catalog_name = "table2".to_owned();
     let mut scale = 50usize;
+    let mut paper = false;
     let mut format = "jsonl".to_owned();
     let mut period_mins = 15.0f64;
     let mut fault_scenario: Option<String> = None;
@@ -88,7 +89,16 @@ fn main() {
             "--controller" => controller = grab("--controller"),
             "--catalog" => catalog_name = grab("--catalog"),
             "--scale" => {
-                scale = grab("--scale").parse().unwrap_or_else(|_| usage());
+                let value = grab("--scale");
+                if value == "paper" {
+                    // The paper preset: Table II unscaled (10,000
+                    // machines); without a trace file the paper-scale
+                    // synthetic workload (>1M tasks) is generated.
+                    paper = true;
+                    scale = 1;
+                } else {
+                    scale = value.parse().unwrap_or_else(|_| usage());
+                }
             }
             "--format" => format = grab("--format"),
             "--period-mins" => {
@@ -128,7 +138,9 @@ fn main() {
             eprintln!("cannot resume: {e}");
             exit(1);
         });
+        let started = std::time::Instant::now();
         fault_mode(run, snapshot.or(Some(resume_path)), stop_after);
+        record_events_per_sec(started);
         if metrics {
             write_metrics_artifact();
         }
@@ -155,15 +167,23 @@ fn main() {
             eprintln!("{e}");
             exit(1);
         });
+        let started = std::time::Instant::now();
         fault_mode(run, snapshot, stop_after);
+        record_events_per_sec(started);
         if metrics {
             write_metrics_artifact();
         }
         return;
     }
 
-    let Some(path) = path else { usage() };
-    let trace = load_trace(&path, &format);
+    let trace = match (&path, paper) {
+        (Some(p), _) => load_trace(p, &format),
+        (None, true) => {
+            eprintln!("generating paper-scale synthetic trace (29 days, >1M tasks)...");
+            TraceGenerator::new(TraceConfig::paper_scale()).generate()
+        }
+        (None, false) => usage(),
+    };
     let catalog = parse_catalog(&catalog_name).scaled(scale.max(1));
 
     eprintln!(
@@ -177,6 +197,7 @@ fn main() {
         control_period: SimDuration::from_mins(period_mins),
         ..Default::default()
     };
+    let started = std::time::Instant::now();
     let report = match controller.as_str() {
         "none" => {
             let sim_config = SimulationConfig::new(catalog).all_machines_on();
@@ -205,6 +226,7 @@ fn main() {
             })
         }
     };
+    record_events_per_sec(started);
 
     section("replay report");
     println!("tasks completed:      {}", report.tasks_completed);
@@ -259,6 +281,30 @@ fn main() {
 
     if metrics {
         write_metrics_artifact();
+    }
+}
+
+/// Computes simulator event throughput over the elapsed wall clock and
+/// records it as the `sim.events_per_sec` gauge. The simulator counts
+/// events but cannot read wall clocks (the `wall-clock` lint bans them
+/// in `crates/sim`), so the rate is derived here, outside the engine.
+fn record_events_per_sec(started: std::time::Instant) {
+    let elapsed = started.elapsed().as_secs_f64();
+    let events: u64 = harmony_telemetry::global()
+        .snapshot()
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("sim.events."))
+        .map(|(_, v)| *v)
+        .sum();
+    if elapsed > 0.0 && events > 0 {
+        harmony_telemetry::global()
+            .gauge("sim.events_per_sec")
+            .set(events as f64 / elapsed);
+        eprintln!(
+            "processed {events} events in {elapsed:.2}s wall ({:.0} events/sec)",
+            events as f64 / elapsed
+        );
     }
 }
 

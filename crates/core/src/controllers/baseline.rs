@@ -97,16 +97,16 @@ mod tests {
     use harmony_model::{
         JobId, MachineCatalog, MachineTypeId, Priority, SchedulingClass, SimTime, Task, TaskId,
     };
-    use harmony_sim::Cluster;
+    use harmony_sim::{Cluster, TaskView};
 
     fn obs_with_pending(cluster: &Cluster, pending: &[Task]) -> ControlDecision {
         let mut ctl = BaselineController::new(SimDuration::from_mins(10.0));
         ctl.decide(&Observation {
             now: SimTime::ZERO,
             cluster,
-            pending,
-            arrived_last_period: &[],
-            running: &[],
+            pending: TaskView::dense(pending),
+            arrived_last_period: TaskView::default(),
+            running: TaskView::default(),
         })
     }
 
@@ -173,9 +173,9 @@ mod tests {
         let obs = Observation {
             now: SimTime::ZERO,
             cluster: &cluster,
-            pending: &pending,
-            arrived_last_period: &[],
-            running: &[],
+            pending: TaskView::dense(&pending),
+            arrived_last_period: TaskView::default(),
+            running: TaskView::default(),
         };
         let strict_total: usize = strict.decide(&obs).target_active.iter().sum();
         let loose_total: usize = loose.decide(&obs).target_active.iter().sum();

@@ -504,7 +504,7 @@ mod tests {
     use super::*;
     use crate::classify::{ClassifierConfig, TaskClassifier};
     use harmony_model::{MachineCatalog, SimTime};
-    use harmony_sim::Cluster;
+    use harmony_sim::{Cluster, TaskView};
     use harmony_trace::{TraceConfig, TraceGenerator};
 
     fn fixture() -> (Rc<TaskClassifier>, harmony_trace::Trace, HarmonyConfig) {
@@ -534,9 +534,9 @@ mod tests {
         let decision = ctl.decide(&Observation {
             now: SimTime::ZERO,
             cluster: &cluster,
-            pending: &arrived,
-            arrived_last_period: &arrived,
-            running: &[],
+            pending: TaskView::dense(&arrived),
+            arrived_last_period: TaskView::dense(&arrived),
+            running: TaskView::default(),
         });
         assert_eq!(decision.target_active.len(), 4);
         let total: usize = decision.target_active.iter().sum();
@@ -560,9 +560,9 @@ mod tests {
         let _ = ctl.decide(&Observation {
             now: SimTime::ZERO,
             cluster: &cluster,
-            pending: &arrived,
-            arrived_last_period: &arrived,
-            running: &[],
+            pending: TaskView::dense(&arrived),
+            arrived_last_period: TaskView::dense(&arrived),
+            running: TaskView::default(),
         });
         // Some class has quota somewhere.
         let state = quota.borrow();
@@ -586,9 +586,9 @@ mod tests {
             let decision = ctl.decide(&Observation {
                 now: SimTime::from_secs(600.0 * i as f64),
                 cluster: &cluster,
-                pending: &[],
-                arrived_last_period: &[],
-                running: &[],
+                pending: TaskView::default(),
+                arrived_last_period: TaskView::default(),
+                running: TaskView::default(),
             });
             last_total = decision.target_active.iter().sum();
         }
@@ -608,9 +608,9 @@ mod tests {
         let obs = Observation {
             now: SimTime::ZERO,
             cluster: &cluster,
-            pending: &arrived,
-            arrived_last_period: &arrived,
-            running: &[],
+            pending: TaskView::dense(&arrived),
+            arrived_last_period: TaskView::dense(&arrived),
+            running: TaskView::default(),
         };
         // No previous plan: greedy per-class sizing.
         let decision = ctl.decide(&obs);
@@ -638,9 +638,9 @@ mod tests {
         let first = ctl.decide(&Observation {
             now: SimTime::ZERO,
             cluster: &cluster,
-            pending: &arrived,
-            arrived_last_period: &arrived,
-            running: &[],
+            pending: TaskView::dense(&arrived),
+            arrived_last_period: TaskView::dense(&arrived),
+            running: TaskView::default(),
         });
         assert_eq!(ctl.core().error_count(), 0);
         let _ = ctl.take_degradations();
@@ -652,9 +652,9 @@ mod tests {
         let second = ctl.decide(&Observation {
             now: SimTime::from_secs(600.0),
             cluster: &cluster,
-            pending: &arrived,
-            arrived_last_period: &arrived,
-            running: &[],
+            pending: TaskView::dense(&arrived),
+            arrived_last_period: TaskView::dense(&arrived),
+            running: TaskView::default(),
         });
         let degradations = ctl.take_degradations();
         assert!(
@@ -685,9 +685,9 @@ mod tests {
                 decisions.push(ctl.decide(&Observation {
                     now: SimTime::from_secs(600.0 * i as f64),
                     cluster: &cluster,
-                    pending: &chunk,
-                    arrived_last_period: &chunk,
-                    running: &[],
+                    pending: TaskView::dense(&chunk),
+                    arrived_last_period: TaskView::dense(&chunk),
+                    running: TaskView::default(),
                 }));
             }
             assert_eq!(ctl.core().error_count(), 0);
@@ -708,9 +708,9 @@ mod tests {
         let obs = |i: usize| Observation {
             now: SimTime::from_secs(600.0 * i as f64),
             cluster: &cluster,
-            pending: &arrived,
-            arrived_last_period: &arrived,
-            running: &[],
+            pending: TaskView::dense(&arrived),
+            arrived_last_period: TaskView::dense(&arrived),
+            running: TaskView::default(),
         };
         assert!(ctl.core().lp_basis.is_none());
         let _ = ctl.decide(&obs(0));

@@ -129,14 +129,11 @@ impl Scheduler for QuotaScheduler {
         let preferred = state.order_for(class);
         let rest =
             (0..cluster.catalog().len()).map(MachineTypeId).filter(|t| !preferred.contains(t));
-        for ty in preferred.iter().copied().chain(rest) {
-            for &id in cluster.machines_of_type(ty) {
-                if cluster.machine(id).can_place(task.demand) {
-                    return Some(id);
-                }
-            }
-        }
-        None
+        preferred
+            .iter()
+            .copied()
+            .chain(rest)
+            .find_map(|ty| cluster.first_fit_machine_of_type(ty, task.demand))
     }
 
     fn on_placed(&mut self, task: &Task, _machine: MachineId, _cluster: &Cluster) {

@@ -73,7 +73,10 @@ impl ArrivalMonitor {
     /// they are excluded from the rate history, counted into the
     /// `monitor.dropped_arrivals` telemetry counter, logged, and the
     /// number dropped this period is returned so callers can react.
-    pub fn record_period(&mut self, arrived: &[Task], classifier: &TaskClassifier) -> usize {
+    pub fn record_period<'a, I>(&mut self, arrived: I, classifier: &TaskClassifier) -> usize
+    where
+        I: IntoIterator<Item = &'a Task>,
+    {
         let mut counts = vec![0usize; self.history.len()];
         let mut dropped = 0usize;
         for task in arrived {

@@ -2,10 +2,18 @@
 
 use harmony_model::{MachineCatalog, MachineTypeId, Resources, SimTime};
 
+use crate::index::FreeIndex;
 use crate::machine::{Machine, MachineId};
 
 /// A cluster instantiated from a [`MachineCatalog`]: machines grouped by
 /// type, with bulk power-state management and cluster-level accounting.
+///
+/// With [`Cluster::enable_index`] the cluster additionally maintains an
+/// incremental free-capacity index (per-type max-free segment trees and
+/// active/busy counters — see [`crate::index`]), making placement and
+/// capacity queries O(log machines) instead of O(machines). Queries fall
+/// back to exact linear scans when the index is off, and both paths
+/// return identical results.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     catalog: MachineCatalog,
@@ -16,6 +24,8 @@ pub struct Cluster {
     switch_cost: f64,
     /// Boot-time multiplier, normally 1.0; raised by slow-boot faults.
     boot_factor: f64,
+    /// Incremental capacity index (None → linear-scan reference paths).
+    index: Option<FreeIndex>,
 }
 
 impl Cluster {
@@ -39,6 +49,27 @@ impl Cluster {
             switch_count: 0,
             switch_cost: 0.0,
             boot_factor: 1.0,
+            index: None,
+        }
+    }
+
+    /// Builds (or rebuilds) the incremental capacity index from the
+    /// current machine states. Every subsequent mutation keeps it in
+    /// sync; queries then run in O(log machines).
+    pub fn enable_index(&mut self) {
+        self.index = Some(FreeIndex::new(&self.machines, &self.by_type));
+    }
+
+    /// `true` if the incremental capacity index is maintained.
+    pub fn index_enabled(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Re-reads one machine into the index after a mutation.
+    #[inline]
+    fn touch(&mut self, id: MachineId) {
+        if let Some(index) = self.index.as_mut() {
+            index.touch(&self.machines[id.0]);
         }
     }
 
@@ -83,6 +114,9 @@ impl Cluster {
 
     /// Number of active (on or booting) machines per type.
     pub fn active_per_type(&self) -> Vec<usize> {
+        if let Some(index) = &self.index {
+            return index.active_per_type();
+        }
         self.by_type
             .iter()
             .map(|ids| {
@@ -95,6 +129,9 @@ impl Cluster {
 
     /// Number of machines per type currently running at least one task.
     pub fn used_per_type(&self) -> Vec<usize> {
+        if let Some(index) = &self.index {
+            return index.busy_per_type();
+        }
         self.by_type
             .iter()
             .map(|ids| {
@@ -103,6 +140,61 @@ impl Cluster {
                     .count()
             })
             .collect()
+    }
+
+    /// The lowest-id machine on which `demand` can be placed right now
+    /// (First-Fit order: ids are contiguous per type, in catalog order).
+    /// O(log machines) with the index, an exact linear scan without.
+    pub fn first_fit_machine(&self, demand: Resources) -> Option<MachineId> {
+        if let Some(index) = &self.index {
+            return index.first_fit(&self.machines, demand);
+        }
+        self.machines
+            .iter()
+            .find(|m| m.can_place(demand))
+            .map(|m| m.id())
+    }
+
+    /// The lowest-id machine *of one type* on which `demand` can be
+    /// placed right now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `type_id` is out of range.
+    pub fn first_fit_machine_of_type(
+        &self,
+        type_id: MachineTypeId,
+        demand: Resources,
+    ) -> Option<MachineId> {
+        if let Some(index) = &self.index {
+            return index.first_fit_of_type(&self.machines, type_id.0, demand);
+        }
+        self.by_type[type_id.0]
+            .iter()
+            .find(|id| self.machines[id.0].can_place(demand))
+            .copied()
+    }
+
+    /// Component-wise maximum free capacity over the `On` machines of
+    /// one type, clamped at zero (an all-off type yields
+    /// [`Resources::ZERO`]). The drain pass's O(types) capacity
+    /// pre-filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `type_id` is out of range.
+    pub fn max_free_of_type(&self, type_id: MachineTypeId) -> Resources {
+        if let Some(index) = &self.index {
+            return index.max_free_of_type(type_id.0);
+        }
+        let mut max = Resources::ZERO;
+        for id in &self.by_type[type_id.0] {
+            let m = &self.machines[id.0];
+            if m.is_on() {
+                max = max.max(m.free());
+            }
+        }
+        max
     }
 
     /// Total active machines.
@@ -158,14 +250,16 @@ impl Cluster {
         let ready_at = now + ty.boot_time * self.boot_factor;
         let q = ty.switching_cost;
         let mut started = Vec::new();
-        for &id in &self.by_type[type_id.0] {
+        for i in 0..self.by_type[type_id.0].len() {
             if started.len() >= n {
                 break;
             }
+            let id = self.by_type[type_id.0][i];
             if self.machines[id.0].power_on(now, ready_at) {
                 started.push(id);
                 self.switch_count += 1;
                 self.switch_cost += q;
+                self.touch(id);
             }
         }
         (started, ready_at)
@@ -178,10 +272,11 @@ impl Cluster {
     pub fn power_off_idle(&mut self, type_id: MachineTypeId, n: usize, now: SimTime) -> usize {
         let q = self.catalog.machine_type(type_id).switching_cost;
         let mut stopped = 0;
-        for &id in &self.by_type[type_id.0] {
+        for i in 0..self.by_type[type_id.0].len() {
             if stopped >= n {
                 break;
             }
+            let id = self.by_type[type_id.0][i];
             let m = &mut self.machines[id.0];
             // Prefer draining empty On machines; Booting machines may
             // also be cancelled (counts as a switch).
@@ -189,6 +284,7 @@ impl Cluster {
                 stopped += 1;
                 self.switch_count += 1;
                 self.switch_cost += q;
+                self.touch(id);
             }
         }
         stopped
@@ -202,6 +298,7 @@ impl Cluster {
         if self.machines[id.0].power_off(now) {
             self.switch_count += 1;
             self.switch_cost += q;
+            self.touch(id);
             true
         } else {
             false
@@ -228,13 +325,21 @@ impl Cluster {
     /// charged — a failure is not a provisioning action. Returns `false`
     /// if the machine was not active.
     pub fn crash_machine(&mut self, id: MachineId, now: SimTime, until: SimTime) -> bool {
-        self.machines[id.0].crash(now, until)
+        let crashed = self.machines[id.0].crash(now, until);
+        if crashed {
+            self.touch(id);
+        }
+        crashed
     }
 
     /// Recovers a crashed machine whose downtime has elapsed, leaving it
     /// powered off. Returns `false` if it is not failed or still down.
     pub fn recover_machine(&mut self, id: MachineId, now: SimTime) -> bool {
-        self.machines[id.0].recover(now)
+        let recovered = self.machines[id.0].recover(now);
+        if recovered {
+            self.touch(id);
+        }
+        recovered
     }
 
     /// Reboots one specific powered-off machine without charging
@@ -245,6 +350,7 @@ impl Cluster {
         let ty = self.catalog.machine_type(self.machines[id.0].type_id());
         let ready_at = now + ty.boot_time * self.boot_factor;
         if self.machines[id.0].power_on(now, ready_at) {
+            self.touch(id);
             Some(ready_at)
         } else {
             None
@@ -270,18 +376,28 @@ impl Cluster {
         self.machines[src.0].release(now, demand);
         let ok = self.machines[dst.0].allocate(now, demand);
         debug_assert!(ok, "can_place checked above");
+        self.touch(src);
+        self.touch(dst);
         ok
     }
 
     /// Completes the boot of a machine (no-op if it was turned off again
     /// meanwhile).
     pub fn boot_complete(&mut self, id: MachineId, now: SimTime) -> bool {
-        self.machines[id.0].boot_complete(now)
+        let done = self.machines[id.0].boot_complete(now);
+        if done {
+            self.touch(id);
+        }
+        done
     }
 
     /// Places one task of size `demand` on machine `id`.
     pub fn allocate(&mut self, id: MachineId, demand: Resources, now: SimTime) -> bool {
-        self.machines[id.0].allocate(now, demand)
+        let ok = self.machines[id.0].allocate(now, demand);
+        if ok {
+            self.touch(id);
+        }
+        ok
     }
 
     /// Releases one task of size `demand` from machine `id`.
@@ -291,6 +407,7 @@ impl Cluster {
     /// Panics if the machine has no running tasks.
     pub fn release(&mut self, id: MachineId, demand: Resources, now: SimTime) {
         self.machines[id.0].release(now, demand);
+        self.touch(id);
     }
 }
 

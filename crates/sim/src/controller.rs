@@ -5,6 +5,112 @@ use serde::{Deserialize, Serialize};
 
 use crate::cluster::Cluster;
 
+/// A borrowed, index-based view over a subset of the trace's task arena.
+///
+/// The engine stores every task once, in a flat slice, and hands
+/// controllers *views* — either the whole slice (`dense`) or a list of
+/// indices into it (`indexed`). This removes the per-control-period
+/// `Vec<Task>` clones the seed engine paid for pending/running handoff:
+/// at paper scale those clones alone dominated the control path.
+///
+/// The view is `Copy` and iterates `&Task` in the order of its index
+/// list, so `for task in observation.pending { … }` call sites read
+/// exactly as before.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskView<'a> {
+    tasks: &'a [Task],
+    idxs: Option<&'a [u32]>,
+}
+
+impl<'a> TaskView<'a> {
+    /// A view over a whole slice, in slice order.
+    pub fn dense(tasks: &'a [Task]) -> Self {
+        TaskView { tasks, idxs: None }
+    }
+
+    /// A view over `idxs` positions of the task arena, in `idxs` order.
+    ///
+    /// Indices out of range panic on iteration, like slice indexing.
+    pub fn indexed(tasks: &'a [Task], idxs: &'a [u32]) -> Self {
+        TaskView {
+            tasks,
+            idxs: Some(idxs),
+        }
+    }
+
+    /// Number of tasks in the view.
+    pub fn len(&self) -> usize {
+        match self.idxs {
+            Some(idxs) => idxs.len(),
+            None => self.tasks.len(),
+        }
+    }
+
+    /// `true` if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the viewed tasks in view order.
+    pub fn iter(&self) -> TaskViewIter<'a> {
+        TaskViewIter {
+            view: *self,
+            pos: 0,
+        }
+    }
+}
+
+impl Default for TaskView<'_> {
+    fn default() -> Self {
+        TaskView::dense(&[])
+    }
+}
+
+/// Iterator over a [`TaskView`].
+#[derive(Debug, Clone)]
+pub struct TaskViewIter<'a> {
+    view: TaskView<'a>,
+    pos: usize,
+}
+
+impl<'a> Iterator for TaskViewIter<'a> {
+    type Item = &'a Task;
+
+    fn next(&mut self) -> Option<&'a Task> {
+        let item = match self.view.idxs {
+            Some(idxs) => &self.view.tasks[*idxs.get(self.pos)? as usize],
+            None => self.view.tasks.get(self.pos)?,
+        };
+        self.pos += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.view.len().saturating_sub(self.pos);
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for TaskViewIter<'_> {}
+
+impl<'a> IntoIterator for TaskView<'a> {
+    type Item = &'a Task;
+    type IntoIter = TaskViewIter<'a>;
+
+    fn into_iter(self) -> TaskViewIter<'a> {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &TaskView<'a> {
+    type Item = &'a Task;
+    type IntoIter = TaskViewIter<'a>;
+
+    fn into_iter(self) -> TaskViewIter<'a> {
+        self.iter()
+    }
+}
+
 /// What a controller observes at each control period.
 #[derive(Debug)]
 pub struct Observation<'a> {
@@ -13,13 +119,14 @@ pub struct Observation<'a> {
     /// The cluster (machine states, utilizations, energy so far).
     pub cluster: &'a Cluster,
     /// Tasks waiting to be scheduled, in priority-then-arrival order.
-    pub pending: &'a [Task],
+    pub pending: TaskView<'a>,
     /// Tasks that arrived during the last control period, in arrival
     /// order (the per-class arrival-rate monitor input).
-    pub arrived_last_period: &'a [Task],
+    pub arrived_last_period: TaskView<'a>,
     /// Tasks currently executing on machines (their containers are
-    /// occupied and their hosts cannot be powered off).
-    pub running: &'a [Task],
+    /// occupied and their hosts cannot be powered off), in task-arena
+    /// order.
+    pub running: TaskView<'a>,
 }
 
 /// A capacity-provisioning decision: the number of machines of each type
@@ -156,9 +263,9 @@ mod tests {
         let obs = Observation {
             now: SimTime::ZERO,
             cluster: &cluster,
-            pending: &[],
-            arrived_last_period: &[],
-            running: &[],
+            pending: TaskView::default(),
+            arrived_last_period: TaskView::default(),
+            running: TaskView::default(),
         };
         let d = NullController.decide(&obs);
         assert_eq!(d.target_active, vec![0, 0, 0, 0]);

@@ -42,10 +42,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod calendar;
 mod cluster;
 mod controller;
 mod engine;
 mod faults;
+mod index;
 mod machine;
 mod metrics;
 mod scheduler;
@@ -54,9 +56,9 @@ mod serde_impls;
 pub use cluster::Cluster;
 pub use controller::{
     ControlDecision, Controller, DegradationEvent, DegradationKind, ForecastTier, NullController,
-    Observation,
+    Observation, TaskView, TaskViewIter,
 };
-pub use engine::{Simulation, SimulationConfig};
+pub use engine::{EngineMode, Simulation, SimulationConfig};
 pub use faults::{
     FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord, FaultRecordKind, SCENARIOS,
 };

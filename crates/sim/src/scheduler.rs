@@ -31,22 +31,23 @@ pub trait Scheduler: std::fmt::Debug {
 /// First-Fit: the first `On` machine (in id order) with room.
 ///
 /// Machine ids are contiguous per type, so id order is also "type 0
-/// first" order — the classic heterogeneity-oblivious scan.
+/// first" order — the classic heterogeneity-oblivious scan. Runs in
+/// O(log machines) on an indexed cluster (identical machine choice —
+/// see [`Cluster::first_fit_machine`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FirstFit;
 
 impl Scheduler for FirstFit {
     fn place(&mut self, task: &Task, cluster: &Cluster) -> Option<MachineId> {
-        cluster
-            .machines()
-            .iter()
-            .find(|m| m.can_place(task.demand))
-            .map(|m| m.id())
+        cluster.first_fit_machine(task.demand)
     }
 }
 
 /// Best-Fit: the `On` machine with room whose remaining free capacity
 /// (sum over dimensions, after placement) is smallest — packs tightly.
+///
+/// Inherently a full scan (the objective ranks every feasible machine);
+/// not accelerated by the cluster index.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BestFit;
 
@@ -86,14 +87,9 @@ impl EnergyEfficientFirstFit {
 
 impl Scheduler for EnergyEfficientFirstFit {
     fn place(&mut self, task: &Task, cluster: &Cluster) -> Option<MachineId> {
-        for &ty in &self.order {
-            for &id in cluster.machines_of_type(ty) {
-                if cluster.machine(id).can_place(task.demand) {
-                    return Some(id);
-                }
-            }
-        }
-        None
+        self.order
+            .iter()
+            .find_map(|&ty| cluster.first_fit_machine_of_type(ty, task.demand))
     }
 }
 

@@ -53,6 +53,8 @@ pub const REGISTERED_KEYS: &[&str] = &[
     "sim.events.fault",
     "sim.events.finish",
     "sim.events.sample",
+    "sim.events_per_sec",
+    "sim.heap_peak",
     "sim.pending_peak",
 ];
 

@@ -222,6 +222,19 @@ impl TraceConfig {
         c
     }
 
+    /// The paper-scale workload: the full 29-day window at 2.5x the
+    /// `google_like` arrival rates, which lands above a million tasks —
+    /// the volume the paper's 10,000-machine Table II cluster absorbs.
+    /// Pairs with `MachineCatalog::table2()` unscaled and the indexed
+    /// sim engine (DESIGN.md §16).
+    pub fn paper_scale() -> Self {
+        let mut c = Self::google_like();
+        for a in &mut c.arrivals {
+            a.base_jobs_per_sec *= 2.5;
+        }
+        c
+    }
+
     /// Overrides the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -373,5 +386,16 @@ mod tests {
         );
         let seeded = TraceConfig::small().with_seed(99);
         assert_eq!(seeded.seed, 99);
+        let paper = TraceConfig::paper_scale();
+        assert_eq!(paper.span, SimDuration::from_days(29.0));
+        // ≥ 1M expected tasks: sum over groups of jobs/s × tasks/job ×
+        // span.
+        let expected: f64 = paper
+            .arrivals
+            .iter()
+            .map(|a| a.base_jobs_per_sec * a.mean_tasks_per_job)
+            .sum::<f64>()
+            * paper.span.as_secs();
+        assert!(expected >= 1.0e6, "paper-scale expects {expected} tasks");
     }
 }

@@ -193,7 +193,22 @@ if not want <= names:
     sys.exit(f"telemetry artifact missing stage timings {want - names}")
 if snap.get("counters", {}).get("lp.pivots", 0) < 1:
     sys.exit(f"telemetry artifact missing pivot counters: {snap.get('counters')}")
-print("telemetry artifact OK:", sorted(names))
+# Simulator gauges: the replay ran real simulations, so the pending
+# high-watermark and event-queue peak must have moved, and the bench
+# harness must have attached the wall-clock event throughput (the
+# simulator itself may not read clocks — wall-clock lint).
+gauges = snap.get("gauges", {})
+for key in ("sim.pending_peak", "sim.heap_peak"):
+    if gauges.get(key, -1.0) < 0.0:
+        sys.exit(f"simulator gauge {key} missing: {sorted(gauges)}")
+if gauges.get("sim.events_per_sec", 0.0) <= 0.0:
+    sys.exit(f"sim.events_per_sec gauge missing or zero: {sorted(gauges)}")
+print(
+    "telemetry artifact OK:", sorted(names), ";",
+    "events/sec = %.0f" % gauges["sim.events_per_sec"], ";",
+    "pending peak =", gauges["sim.pending_peak"], ";",
+    "queue peak =", gauges["sim.heap_peak"],
+)
 PY
 
 echo "harmonyd smoke test passed"
