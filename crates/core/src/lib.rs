@@ -60,7 +60,7 @@ pub mod controllers;
 mod error;
 pub mod monitor;
 pub mod online;
-mod par;
+pub mod par;
 pub mod pipeline;
 pub mod rounding;
 mod serde_impls;

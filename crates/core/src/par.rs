@@ -15,7 +15,7 @@ use std::thread;
 /// The number of workers a stage should use: the configured override if
 /// present, otherwise [`std::thread::available_parallelism`], clamped to
 /// `[1, jobs]` so tiny stages never spawn idle threads.
-pub(crate) fn effective_workers(override_workers: Option<usize>, jobs: usize) -> usize {
+pub fn effective_workers(override_workers: Option<usize>, jobs: usize) -> usize {
     let detected = override_workers.unwrap_or_else(|| {
         thread::available_parallelism().map_or(1, NonZeroUsize::get)
     });
@@ -31,7 +31,7 @@ pub(crate) fn effective_workers(override_workers: Option<usize>, jobs: usize) ->
 /// thread — the serial path is literally the same code, which is what
 /// makes "parallel output equals serial output" true by construction
 /// rather than by test alone.
-pub(crate) fn map_indexed<T, E, F>(jobs: usize, workers: usize, f: F) -> Result<Vec<T>, E>
+pub fn map_indexed<T, E, F>(jobs: usize, workers: usize, f: F) -> Result<Vec<T>, E>
 where
     T: Send,
     E: Send,

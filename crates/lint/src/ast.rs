@@ -1,0 +1,193 @@
+//! Lightweight AST for the static-analysis pass.
+//!
+//! The tree is deliberately smaller than rustc's: it keeps exactly what
+//! the rule families need — items, fn signatures, blocks, let-bindings,
+//! calls, method chains, and enough control flow to walk every
+//! expression — and collapses everything else into [`Expr::Unknown`].
+//! Every node carries the index of a representative token in the lexed
+//! stream, so rules can map nodes back to line/col and to the
+//! [`crate::engine::FileModel`] masks (`in_test`, scoped allows)
+//! without a separate span table.
+
+/// Token index range `[start, end)` into the lexed stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+/// A parsed source file: the flat list of top-level items.
+#[derive(Debug, Default)]
+pub struct File {
+    pub items: Vec<Item>,
+}
+
+/// A top-level or nested item.
+#[derive(Debug)]
+pub enum Item {
+    Fn(Fn),
+    Impl(Impl),
+    Mod(Mod),
+    /// Anything the walker does not model (use, struct, enum, const,
+    /// trait declarations without default bodies, macros, ...).
+    Other { span: Span },
+}
+
+/// A function item (free fn, method, or associated fn).
+#[derive(Debug)]
+pub struct Fn {
+    pub name: String,
+    pub is_pub: bool,
+    /// `self`, `&self`, `&mut self` receiver present.
+    pub has_self: bool,
+    pub params: Vec<Param>,
+    /// Raw return-type text (token texts joined by spaces), `""` if none.
+    pub ret: String,
+    /// `None` for trait method declarations without a default body.
+    pub body: Option<Block>,
+    pub span: Span,
+    /// Token index of the fn name.
+    pub tok: usize,
+}
+
+/// One non-self parameter: binding name and raw type text.
+#[derive(Debug)]
+pub struct Param {
+    pub name: String,
+    pub ty: String,
+}
+
+/// An `impl` block; `type_name` is the last path segment of the self
+/// type, `trait_name` the last segment of the implemented trait.
+#[derive(Debug)]
+pub struct Impl {
+    pub type_name: String,
+    pub trait_name: Option<String>,
+    pub items: Vec<Item>,
+    pub span: Span,
+}
+
+/// An inline `mod name { ... }`.
+#[derive(Debug)]
+pub struct Mod {
+    pub name: String,
+    pub items: Vec<Item>,
+    pub span: Span,
+}
+
+/// A `{ ... }` block.
+#[derive(Debug)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let <pat> = <init> [else { .. }];` — `names` are the
+    /// lowercase-initial binding idents of the pattern.
+    Let { names: Vec<String>, init: Option<Expr>, els: Option<Block>, tok: usize },
+    Expr(Expr),
+    Item(Item),
+}
+
+/// An expression. `tok` fields point at the token most useful for
+/// reporting (the callee name for calls, the method name for method
+/// calls, the opening bracket for indexing).
+#[derive(Debug)]
+pub enum Expr {
+    /// `a::b::c` (turbofish stripped). Single-segment paths are plain
+    /// variable references.
+    Path { segs: Vec<String>, tok: usize },
+    /// String/char/number literal, or `true`/`false`.
+    Lit { tok: usize },
+    /// `callee(args)` where callee is usually a path.
+    Call { callee: Box<Expr>, args: Vec<Expr>, tok: usize },
+    /// `recv.name(args)`; `tok` is the method-name token.
+    MethodCall { recv: Box<Expr>, name: String, args: Vec<Expr>, tok: usize },
+    /// `base.name` (also `.await`, numeric tuple fields).
+    Field { base: Box<Expr>, name: String, tok: usize },
+    /// `base[index]`; `tok` is the `[` token.
+    Index { base: Box<Expr>, index: Box<Expr>, tok: usize },
+    /// `inner?`
+    Try { inner: Box<Expr> },
+    /// `&x`, `&mut x`, `*x`, `-x`, `!x`.
+    Unary { inner: Box<Expr> },
+    /// Any binary operator chain member.
+    Binary { lhs: Box<Expr>, rhs: Box<Expr> },
+    /// `lhs = rhs` (and compound assignment).
+    Assign { lhs: Box<Expr>, rhs: Box<Expr> },
+    Block(Block),
+    If { cond: Box<Expr>, then: Block, els: Option<Box<Expr>> },
+    /// `if let <pat> = value { then } else ...` — `names` binds in `then`.
+    IfLet { names: Vec<String>, value: Box<Expr>, then: Block, els: Option<Box<Expr>> },
+    Match { scrutinee: Box<Expr>, arms: Vec<Arm> },
+    Loop { body: Block },
+    While { cond: Box<Expr>, body: Block },
+    /// `while let <pat> = value { body }` — `names` binds in `body`.
+    WhileLet { names: Vec<String>, value: Box<Expr>, body: Block },
+    For { names: Vec<String>, iter: Box<Expr>, body: Block },
+    /// `|params| body` / `move |params| body`.
+    Closure { params: Vec<String>, body: Box<Expr> },
+    /// `name!(args)` — args parsed best-effort as comma-separated exprs.
+    Macro { name: String, args: Vec<Expr>, tok: usize },
+    /// `Path { field: expr, .. }`.
+    StructLit { path: Vec<String>, fields: Vec<(String, Expr)>, tok: usize },
+    /// `(a, b, ...)`; also used for parenthesized groups of arity 1.
+    Tuple { items: Vec<Expr> },
+    /// `[a, b, ...]` / `[x; n]`.
+    Array { items: Vec<Expr> },
+    Return { inner: Option<Box<Expr>> },
+    /// `break` / `continue` (label and value dropped into `inner`).
+    Jump { inner: Option<Box<Expr>> },
+    /// `lo..hi` / `lo..=hi` with either side optional.
+    Range { lo: Option<Box<Expr>>, hi: Option<Box<Expr>> },
+    /// `inner as Type` (type dropped).
+    Cast { inner: Box<Expr> },
+    /// Anything the parser gave up on; `span` covers the skipped tokens.
+    Unknown { span: Span },
+}
+
+/// One match arm: pattern binding names, optional guard, body. `pat`
+/// is the token range of the raw pattern, for rules that need to see
+/// constructor names the binding-name scan drops (`Err`, `Value::Null`).
+#[derive(Debug)]
+pub struct Arm {
+    pub names: Vec<String>,
+    pub pat: Span,
+    pub guard: Option<Expr>,
+    pub body: Expr,
+}
+
+impl Expr {
+    /// A representative token index for reporting, if the node has one.
+    pub fn tok(&self) -> Option<usize> {
+        match self {
+            Expr::Path { tok, .. }
+            | Expr::Lit { tok }
+            | Expr::Call { tok, .. }
+            | Expr::MethodCall { tok, .. }
+            | Expr::Field { tok, .. }
+            | Expr::Index { tok, .. }
+            | Expr::Macro { tok, .. }
+            | Expr::StructLit { tok, .. } => Some(*tok),
+            Expr::Try { inner } | Expr::Unary { inner } | Expr::Cast { inner } => inner.tok(),
+            Expr::Binary { lhs, .. } | Expr::Assign { lhs, .. } => lhs.tok(),
+            Expr::Unknown { span } => Some(span.start),
+            _ => None,
+        }
+    }
+}
+
+/// Walks every item in a file, recursing into mods and impls.
+pub fn walk_items<'a>(items: &'a [Item], f: &mut dyn FnMut(&'a Item)) {
+    for item in items {
+        f(item);
+        match item {
+            Item::Impl(i) => walk_items(&i.items, f),
+            Item::Mod(m) => walk_items(&m.items, f),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-file result cache.
+//!
+//! Local (per-file) rule findings depend only on the file's bytes and
+//! the engine revision, so they are cached keyed on an FNV-1a content
+//! hash. Workspace rules are never cached — interprocedural facts
+//! change when any file does — which keeps the cache a pure
+//! micro-optimization: a stale or deleted cache can cost time, never
+//! correctness. The store lives at `target/lint-cache.tsv` (a flat
+//! tab-separated format so this crate stays parser-free) and is
+//! invalidated wholesale whenever the engine fingerprint — the rule-id
+//! set plus [`ENGINE_REV`] — changes.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+use crate::engine::Finding;
+use crate::rules;
+
+/// Bump when rule logic changes without changing rule ids, so stale
+/// caches from older engines never survive an upgrade.
+pub const ENGINE_REV: &str = "2";
+
+/// Relative location of the store under the workspace root.
+pub const STORE_PATH: &str = "target/lint-cache.tsv";
+
+/// FNV-1a 64-bit — stable across platforms and runs, unlike
+/// `DefaultHasher`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The cache-busting engine identity: format revision plus every rule
+/// id, hashed.
+pub fn engine_fingerprint() -> u64 {
+    let mut id = String::from(ENGINE_REV);
+    for rule in rules::known_ids() {
+        id.push(';');
+        id.push_str(rule);
+    }
+    fnv1a(id.as_bytes())
+}
+
+/// One cached file: content hash and the local findings it produced.
+pub struct Entry {
+    pub hash: u64,
+    pub findings: Vec<Finding>,
+}
+
+/// In-memory cache, loaded once per run.
+#[derive(Default)]
+pub struct Cache {
+    entries: HashMap<String, Entry>,
+}
+
+impl Cache {
+    /// Loads the store; any parse problem or fingerprint mismatch
+    /// yields an empty cache (a cache must never be able to fail a run).
+    pub fn load(root: &Path) -> Cache {
+        let Ok(text) = fs::read_to_string(root.join(STORE_PATH)) else {
+            return Cache::default();
+        };
+        Cache::parse(&text).unwrap_or_default()
+    }
+
+    fn parse(text: &str) -> Option<Cache> {
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        let expected = format!("harmony-lint-cache\t{}", engine_fingerprint());
+        if header != expected {
+            return None;
+        }
+        let ids = rules::known_ids();
+        let mut entries = HashMap::new();
+        let mut current: Option<(String, Entry)> = None;
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("file\t") {
+                if let Some((path, entry)) = current.take() {
+                    entries.insert(path, entry);
+                }
+                let mut parts = rest.splitn(3, '\t');
+                let hash: u64 = parts.next()?.parse().ok()?;
+                let _count = parts.next()?;
+                let path = parts.next()?.to_owned();
+                current = Some((path, Entry { hash, findings: Vec::new() }));
+            } else {
+                let (path, entry) = current.as_mut()?;
+                let mut parts = line.splitn(4, '\t');
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let col: u32 = parts.next()?.parse().ok()?;
+                let rule = parts.next()?;
+                // Rule ids must resolve back to their 'static names; an
+                // unknown id means a foreign cache — discard it all.
+                let rule = *ids.iter().find(|id| **id == rule)?;
+                let message = unescape(parts.next()?);
+                entry.findings.push(Finding {
+                    path: path.clone(),
+                    line: line_no,
+                    col,
+                    rule,
+                    message,
+                });
+            }
+        }
+        if let Some((path, entry)) = current.take() {
+            entries.insert(path, entry);
+        }
+        Some(Cache { entries })
+    }
+
+    /// Cached findings for `rel_path` when the content hash matches.
+    pub fn lookup(&self, rel_path: &str, hash: u64) -> Option<&[Finding]> {
+        let entry = self.entries.get(rel_path)?;
+        (entry.hash == hash).then_some(entry.findings.as_slice())
+    }
+
+    /// Writes a fresh store from this run's per-file results. Errors
+    /// are ignored — a read-only target dir degrades to cold runs.
+    pub fn save(root: &Path, results: &[(String, u64, Vec<Finding>)]) {
+        let mut text = format!("harmony-lint-cache\t{}\n", engine_fingerprint());
+        for (path, hash, findings) in results {
+            text.push_str(&format!("file\t{hash}\t{}\t{path}\n", findings.len()));
+            for f in findings {
+                text.push_str(&format!(
+                    "{}\t{}\t{}\t{}\n",
+                    f.line,
+                    f.col,
+                    f.rule,
+                    escape(&f.message)
+                ));
+            }
+        }
+        let target = root.join(STORE_PATH);
+        if let Some(dir) = target.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        let _ = fs::write(target, text);
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\t', "\\t").replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_the_store_format() {
+        let findings = vec![Finding {
+            path: "crates/x/src/lib.rs".to_owned(),
+            line: 3,
+            col: 9,
+            rule: rules::RNG_PURITY,
+            message: "tab\there, line\nbreak".to_owned(),
+        }];
+        let results = vec![("crates/x/src/lib.rs".to_owned(), 42u64, findings.clone())];
+        let dir = std::env::temp_dir().join("harmony-lint-cache-test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        Cache::save(&dir, &results);
+        let cache = Cache::load(&dir);
+        let hit = cache.lookup("crates/x/src/lib.rs", 42).unwrap();
+        assert_eq!(hit, findings.as_slice());
+        assert!(cache.lookup("crates/x/src/lib.rs", 43).is_none());
+        assert!(cache.lookup("crates/y/src/lib.rs", 42).is_none());
+    }
+
+    #[test]
+    fn foreign_fingerprint_discards_the_cache() {
+        let dir = std::env::temp_dir().join("harmony-lint-cache-fp-test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("target")).unwrap();
+        fs::write(
+            dir.join(STORE_PATH),
+            "harmony-lint-cache\t12345\nfile\t42\t0\tcrates/x/src/lib.rs\n",
+        )
+        .unwrap();
+        let cache = Cache::load(&dir);
+        assert!(cache.lookup("crates/x/src/lib.rs", 42).is_none());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,309 @@
+//! Heuristic workspace call graph.
+//!
+//! Resolution is name-based — there is no type inference — and errs
+//! toward over-approximation, which is the right bias for the
+//! reachability rules built on top (a spurious edge can at worst cause
+//! a finding that a human reviews; a missing edge hides one):
+//!
+//! * `name(...)` — free-fn candidates, preferring same file, then same
+//!   crate, then a unique workspace match;
+//! * `Type::name(...)` / `Self::name(...)` — qualified candidates,
+//!   preferring same crate;
+//! * `recv.name(...)` — every method named `name`, narrowed first by a
+//!   receiver hint (`self.x.m()` prefers impl types whose snake_case
+//!   name contains `x`; `self.m()` prefers the caller's own impl
+//!   type), then preferring same-file and same-crate candidates.
+//!
+//! Call sites inside `#[cfg(test)]` code are kept in the graph but
+//! marked, so rules can scope to production paths.
+
+use std::collections::HashMap;
+
+use crate::ast::Expr;
+use crate::dataflow::walk_fn;
+use crate::symbols::Workspace;
+
+/// One resolved call site.
+#[derive(Debug, Clone, Copy)]
+pub struct CallEdge {
+    /// Callee fn index into [`Workspace::fns`].
+    pub callee: usize,
+    /// Token index of the call site (callee/method name token).
+    pub tok: usize,
+}
+
+/// Adjacency list over [`Workspace::fns`] indices.
+pub struct CallGraph {
+    pub edges: Vec<Vec<CallEdge>>,
+}
+
+impl CallGraph {
+    /// Builds the graph by walking every fn body.
+    pub fn build(ws: &Workspace<'_>) -> Self {
+        let mut by_free: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut by_qual: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut by_method: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (idx, f) in ws.fns.iter().enumerate() {
+            match &f.self_type {
+                Some(_) => {
+                    by_qual.entry(f.qual.as_str()).or_default().push(idx);
+                    // Associated fns without a receiver cannot be the
+                    // target of `recv.name(...)` — indexing them would
+                    // let `x.load(Ordering)` resolve to `Config::load`.
+                    if f.node.has_self {
+                        by_method.entry(f.node.name.as_str()).or_default().push(idx);
+                    }
+                }
+                None => by_free.entry(f.qual.as_str()).or_default().push(idx),
+            }
+        }
+
+        let mut edges = Vec::with_capacity(ws.fns.len());
+        for caller in ws.fns.iter() {
+            let mut out: Vec<CallEdge> = Vec::new();
+            walk_fn(caller.node, &mut |e| {
+                match e {
+                    Expr::Call { callee, tok, .. } => {
+                        if let Expr::Path { segs, .. } = callee.as_ref() {
+                            for target in resolve_path(ws, caller, segs, &by_free, &by_qual) {
+                                out.push(CallEdge { callee: target, tok: *tok });
+                            }
+                        }
+                    }
+                    Expr::MethodCall { recv, name, tok, .. } => {
+                        for target in resolve_method(ws, caller, recv, name, &by_method) {
+                            out.push(CallEdge { callee: target, tok: *tok });
+                        }
+                    }
+                    _ => {}
+                }
+            });
+            out.sort_by_key(|e| (e.callee, e.tok));
+            out.dedup_by_key(|e| (e.callee, e.tok));
+            edges.push(out);
+        }
+        CallGraph { edges }
+    }
+
+    /// BFS from `seeds`; returns for each reached fn the predecessor
+    /// edge it was discovered through (`None` for seeds themselves).
+    /// Traversal is in index order, so the predecessor tree — and any
+    /// path reconstructed from it — is deterministic.
+    pub fn reach_forward(&self, seeds: &[usize]) -> Vec<Option<(usize, usize)>> {
+        let mut pred: Vec<Option<(usize, usize)>> = vec![None; self.edges.len()];
+        let mut seen = vec![false; self.edges.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for &s in seeds {
+            if s < seen.len() && !seen[s] {
+                seen[s] = true;
+                queue.push(s);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let at = queue[head];
+            head += 1;
+            for edge in &self.edges[at] {
+                if !seen[edge.callee] {
+                    seen[edge.callee] = true;
+                    pred[edge.callee] = Some((at, edge.tok));
+                    queue.push(edge.callee);
+                }
+            }
+        }
+        // Seeds are "reached with no predecessor"; unreached nodes are
+        // also None — callers disambiguate with [`CallGraph::reached`].
+        pred
+    }
+
+    /// Reached-set BFS (forward).
+    pub fn reached(&self, seeds: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.edges.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for &s in seeds {
+            if s < seen.len() && !seen[s] {
+                seen[s] = true;
+                queue.push(s);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let at = queue[head];
+            head += 1;
+            for edge in &self.edges[at] {
+                if !seen[edge.callee] {
+                    seen[edge.callee] = true;
+                    queue.push(edge.callee);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Candidates for a path call `a::b::name(...)`.
+fn resolve_path(
+    ws: &Workspace<'_>,
+    caller: &crate::symbols::FnEntry<'_>,
+    segs: &[String],
+    by_free: &HashMap<&str, Vec<usize>>,
+    by_qual: &HashMap<&str, Vec<usize>>,
+) -> Vec<usize> {
+    if segs.is_empty() {
+        return Vec::new();
+    }
+    let name = segs.last().map(String::as_str).unwrap_or("");
+    if segs.len() == 1 {
+        let Some(cands) = by_free.get(name) else { return Vec::new() };
+        return prefer_near(ws, caller, cands, true);
+    }
+    // `Self::name` / `Type::name` / `module::name`.
+    let qualifier = &segs[segs.len() - 2];
+    let qualifier = if qualifier == "Self" {
+        caller.self_type.clone().unwrap_or_else(|| qualifier.clone())
+    } else {
+        qualifier.clone()
+    };
+    if qualifier.chars().next().is_some_and(char::is_uppercase) {
+        let key = format!("{qualifier}::{name}");
+        let Some(cands) = by_qual.get(key.as_str()) else { return Vec::new() };
+        return prefer_near(ws, caller, cands, false);
+    }
+    // Module-qualified free fn: match free fns whose file stem or crate
+    // matches the qualifier.
+    let Some(cands) = by_free.get(name) else { return Vec::new() };
+    let scoped: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&c| {
+            let f = ws.file_of(c);
+            f.rel_path.ends_with(&format!("/{qualifier}.rs"))
+                || f.rel_path.contains(&format!("/{qualifier}/"))
+                || ws.fns[c].crate_name == *qualifier
+                || ws.fns[c].crate_name == qualifier.replace('_', "-")
+        })
+        .collect();
+    if scoped.is_empty() {
+        prefer_near(ws, caller, cands, true)
+    } else {
+        scoped
+    }
+}
+
+/// Candidates for `recv.name(...)`. When the receiver carries a usable
+/// name hint (the trailing identifier of the receiver chain) and it
+/// matches at least one candidate's impl type, resolution narrows to
+/// those candidates before the proximity preference — this is what
+/// keeps `self.pipeline.tick(...)` from resolving to an unrelated
+/// same-crate `Client::tick`.
+fn resolve_method(
+    ws: &Workspace<'_>,
+    caller: &crate::symbols::FnEntry<'_>,
+    recv: &Expr,
+    name: &str,
+    by_method: &HashMap<&str, Vec<usize>>,
+) -> Vec<usize> {
+    let Some(cands) = by_method.get(name) else { return Vec::new() };
+    if let Some(hint) = recv_hint(recv) {
+        let hinted: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&c| {
+                ws.fns[c].self_type.as_deref().is_some_and(|ty| {
+                    if hint == "self" {
+                        caller.self_type.as_deref() == Some(ty)
+                    } else {
+                        hint_matches(hint, ty)
+                    }
+                })
+            })
+            .collect();
+        if !hinted.is_empty() {
+            return prefer_near(ws, caller, &hinted, false);
+        }
+    }
+    prefer_near(ws, caller, cands, false)
+}
+
+/// Trailing identifier of a receiver chain: the variable, field, or
+/// accessor name the method is invoked on, seen through `?`, unary
+/// operators, and casts.
+fn recv_hint(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Path { segs, .. } => segs.last().map(String::as_str),
+        Expr::Field { name, .. } | Expr::MethodCall { name, .. } => Some(name),
+        Expr::Try { inner } | Expr::Unary { inner } | Expr::Cast { inner } => recv_hint(inner),
+        Expr::Call { callee, .. } => recv_hint(callee),
+        _ => None,
+    }
+}
+
+/// Whether a receiver identifier plausibly names a value of type `ty`:
+/// it equals the type's snake_case rendering or one of its `_`-split
+/// segments (`pipeline` matches `OnlinePipeline`).
+fn hint_matches(hint: &str, ty: &str) -> bool {
+    if hint.is_empty() || !hint.chars().next().is_some_and(|c| c.is_ascii_lowercase()) {
+        return false;
+    }
+    let snake = snake_case(ty);
+    snake == hint || snake.split('_').any(|seg| seg == hint)
+}
+
+/// `OnlinePipeline` → `online_pipeline`.
+fn snake_case(ty: &str) -> String {
+    let mut out = String::with_capacity(ty.len() + 4);
+    for (i, c) in ty.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Narrows candidates to same file, else same crate, else — when
+/// `unique_only` — a single workspace-wide match, else all of them.
+fn prefer_near(
+    ws: &Workspace<'_>,
+    caller: &crate::symbols::FnEntry<'_>,
+    cands: &[usize],
+    unique_only: bool,
+) -> Vec<usize> {
+    let same_file: Vec<usize> =
+        cands.iter().copied().filter(|&c| ws.fns[c].file == caller.file).collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let same_crate: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&c| ws.fns[c].crate_name == caller.crate_name)
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    if unique_only && cands.len() > 1 {
+        return Vec::new();
+    }
+    cands.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hints_match_snake_case_segments() {
+        assert!(hint_matches("pipeline", "OnlinePipeline"));
+        assert!(hint_matches("client", "Client"));
+        assert!(hint_matches("online_pipeline", "OnlinePipeline"));
+        assert!(!hint_matches("svc", "Service"), "abbreviations do not narrow");
+        assert!(!hint_matches("Service", "Service"), "uppercase hints are paths, not values");
+        assert_eq!(snake_case("LpSolver"), "lp_solver");
+        assert_eq!(snake_case("Client"), "client");
+    }
+}

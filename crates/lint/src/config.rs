@@ -5,10 +5,10 @@
 //!
 //! ```toml
 //! [[allow]]
-//! rule = "lock-across-io"
-//! path = "crates/server/src/net.rs"
-//! contains = "svc.save_checkpoint()"   # optional line-text anchor
-//! reason = "ticker checkpoint must capture a consistent post-tick state"
+//! rule = "lock-discipline"
+//! path = "crates/server/src/service.rs"
+//! contains = "state::write_atomic"     # optional line-text anchor
+//! reason = "the commit gate mutex must span the write to order checkpoints"
 //! ```
 //!
 //! The parser is a deliberate TOML subset (table arrays of string

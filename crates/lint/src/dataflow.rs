@@ -1,0 +1,222 @@
+//! Shared dataflow utilities: expression visitors and structural
+//! fingerprints.
+//!
+//! The rule families walk fn bodies in evaluation-ish order (pre-order
+//! over the tree, statements in sequence), which is enough for the
+//! flow-sensitive facts they track — guard liveness and seed taint are
+//! both "has X happened textually before Y in this body" properties at
+//! the precision this linter aims for.
+
+use crate::ast::{Arm, Block, Expr, Fn, Item, Stmt};
+use crate::lexer::{Token, TokenKind};
+
+/// Pre-order walk of every expression in a fn body (including nested
+/// items' bodies — a helper fn defined inside a fn is walked too).
+pub fn walk_fn<'a>(f: &'a Fn, cb: &mut impl FnMut(&'a Expr)) {
+    if let Some(body) = &f.body {
+        walk_block(body, cb);
+    }
+}
+
+/// Pre-order walk of every expression in a block.
+pub fn walk_block<'a>(b: &'a Block, cb: &mut impl FnMut(&'a Expr)) {
+    for stmt in &b.stmts {
+        walk_stmt(stmt, cb);
+    }
+}
+
+/// Pre-order walk of one statement.
+pub fn walk_stmt<'a>(stmt: &'a Stmt, cb: &mut impl FnMut(&'a Expr)) {
+    match stmt {
+        Stmt::Let { init, els, .. } => {
+            if let Some(e) = init {
+                walk_expr(e, cb);
+            }
+            if let Some(b) = els {
+                walk_block(b, cb);
+            }
+        }
+        Stmt::Expr(e) => walk_expr(e, cb),
+        Stmt::Item(item) => walk_item(item, cb),
+    }
+}
+
+fn walk_item<'a>(item: &'a Item, cb: &mut impl FnMut(&'a Expr)) {
+    match item {
+        Item::Fn(f) => walk_fn(f, cb),
+        Item::Impl(i) => i.items.iter().for_each(|it| walk_item(it, cb)),
+        Item::Mod(m) => m.items.iter().for_each(|it| walk_item(it, cb)),
+        Item::Other { .. } => {}
+    }
+}
+
+/// Pre-order walk of an expression tree.
+pub fn walk_expr<'a>(e: &'a Expr, cb: &mut impl FnMut(&'a Expr)) {
+    cb(e);
+    match e {
+        Expr::Path { .. } | Expr::Lit { .. } | Expr::Unknown { .. } => {}
+        Expr::Call { callee, args, .. } => {
+            walk_expr(callee, cb);
+            args.iter().for_each(|a| walk_expr(a, cb));
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            walk_expr(recv, cb);
+            args.iter().for_each(|a| walk_expr(a, cb));
+        }
+        Expr::Field { base, .. } => walk_expr(base, cb),
+        Expr::Index { base, index, .. } => {
+            walk_expr(base, cb);
+            walk_expr(index, cb);
+        }
+        Expr::Try { inner } | Expr::Unary { inner } | Expr::Cast { inner } => walk_expr(inner, cb),
+        Expr::Binary { lhs, rhs } | Expr::Assign { lhs, rhs } => {
+            walk_expr(lhs, cb);
+            walk_expr(rhs, cb);
+        }
+        Expr::Block(b) => walk_block(b, cb),
+        Expr::If { cond, then, els } => {
+            walk_expr(cond, cb);
+            walk_block(then, cb);
+            if let Some(e) = els {
+                walk_expr(e, cb);
+            }
+        }
+        Expr::IfLet { value, then, els, .. } => {
+            walk_expr(value, cb);
+            walk_block(then, cb);
+            if let Some(e) = els {
+                walk_expr(e, cb);
+            }
+        }
+        Expr::Match { scrutinee, arms } => {
+            walk_expr(scrutinee, cb);
+            for Arm { guard, body, .. } in arms {
+                if let Some(g) = guard {
+                    walk_expr(g, cb);
+                }
+                walk_expr(body, cb);
+            }
+        }
+        Expr::Loop { body } => walk_block(body, cb),
+        Expr::While { cond, body } => {
+            walk_expr(cond, cb);
+            walk_block(body, cb);
+        }
+        Expr::WhileLet { value, body, .. } => {
+            walk_expr(value, cb);
+            walk_block(body, cb);
+        }
+        Expr::For { iter, body, .. } => {
+            walk_expr(iter, cb);
+            walk_block(body, cb);
+        }
+        Expr::Closure { body, .. } => walk_expr(body, cb),
+        Expr::Macro { args, .. } => args.iter().for_each(|a| walk_expr(a, cb)),
+        Expr::StructLit { fields, .. } => fields.iter().for_each(|(_, v)| walk_expr(v, cb)),
+        Expr::Tuple { items } | Expr::Array { items } => {
+            items.iter().for_each(|i| walk_expr(i, cb));
+        }
+        Expr::Return { inner } | Expr::Jump { inner } => {
+            if let Some(e) = inner {
+                walk_expr(e, cb);
+            }
+        }
+        Expr::Range { lo, hi } => {
+            if let Some(e) = lo {
+                walk_expr(e, cb);
+            }
+            if let Some(e) = hi {
+                walk_expr(e, cb);
+            }
+        }
+    }
+}
+
+/// Structural fingerprint of an expression — identical source
+/// expressions (modulo whitespace) produce identical strings. Used by
+/// `rng-purity` to catch two RNG streams built from the same seed.
+pub fn fingerprint(e: &Expr, tokens: &[Token]) -> String {
+    let mut out = String::new();
+    print_into(e, tokens, &mut out);
+    out
+}
+
+fn print_into(e: &Expr, tokens: &[Token], out: &mut String) {
+    match e {
+        Expr::Path { segs, .. } => out.push_str(&segs.join("::")),
+        Expr::Lit { tok } => match tokens.get(*tok).map(|t| &t.kind) {
+            Some(TokenKind::Num { text, .. }) => out.push_str(text),
+            Some(TokenKind::Str(text)) => {
+                out.push('"');
+                out.push_str(text);
+                out.push('"');
+            }
+            Some(TokenKind::Char) => out.push_str("'_'"),
+            Some(TokenKind::Ident(s)) => out.push_str(s),
+            _ => out.push_str("lit"),
+        },
+        Expr::Call { callee, args, .. } => {
+            print_into(callee, tokens, out);
+            out.push('(');
+            for a in args {
+                print_into(a, tokens, out);
+                out.push(',');
+            }
+            out.push(')');
+        }
+        Expr::MethodCall { recv, name, args, .. } => {
+            print_into(recv, tokens, out);
+            out.push('.');
+            out.push_str(name);
+            out.push('(');
+            for a in args {
+                print_into(a, tokens, out);
+                out.push(',');
+            }
+            out.push(')');
+        }
+        Expr::Field { base, name, .. } => {
+            print_into(base, tokens, out);
+            out.push('.');
+            out.push_str(name);
+        }
+        Expr::Index { base, index, .. } => {
+            print_into(base, tokens, out);
+            out.push('[');
+            print_into(index, tokens, out);
+            out.push(']');
+        }
+        Expr::Try { inner } => {
+            print_into(inner, tokens, out);
+            out.push('?');
+        }
+        Expr::Unary { inner } => {
+            out.push('~');
+            print_into(inner, tokens, out);
+        }
+        Expr::Binary { lhs, rhs } => {
+            print_into(lhs, tokens, out);
+            out.push('@');
+            print_into(rhs, tokens, out);
+        }
+        Expr::Cast { inner } => {
+            print_into(inner, tokens, out);
+            out.push_str("as");
+        }
+        Expr::Tuple { items } | Expr::Array { items } => {
+            out.push('(');
+            for i in items {
+                print_into(i, tokens, out);
+                out.push(',');
+            }
+            out.push(')');
+        }
+        other => {
+            out.push('<');
+            if let Some(tok) = other.tok() {
+                out.push_str(&tok.to_string());
+            }
+            out.push('>');
+        }
+    }
+}

@@ -2,15 +2,32 @@
 //!
 //! The engine lexes each source file once, derives token-level masks —
 //! which tokens sit inside `#[cfg(test)]` items, which sit under a
-//! scoped `#[allow(...)]` — and hands the annotated stream to every
-//! rule. Findings come back as `file:line:col [rule-id] message`.
+//! scoped `#[allow(...)]` — parses the token stream into the
+//! lightweight AST ([`crate::parser`]), and drives two rule tiers:
+//!
+//! * per-file [`crate::rules::Rule`]s run in a deterministic parallel
+//!   pass over files (fan-out via `harmony::par`, results merged in
+//!   index order) and are cached keyed on content hash
+//!   ([`crate::cache`]);
+//! * workspace [`crate::rules::WsRule`]s run once over the symbol
+//!   table ([`crate::symbols`]) and call graph ([`crate::callgraph`])
+//!   built from every parsed file, and are never cached.
+//!
+//! Findings come back as `file:line:col [rule-id] message`, or as
+//! versioned JSON via [`crate::json`].
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::process::Command;
 
+use crate::cache::{fnv1a, Cache};
+use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::lexer::{lex, Token, TokenKind};
+use crate::parser;
 use crate::rules::{self, DriftData};
+use crate::symbols::{ParsedFile, Workspace};
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,11 +87,12 @@ impl FileModel {
     }
 }
 
-/// Everything a rule sees about one file.
+/// Everything a per-file rule sees about one file.
 pub struct Ctx<'a> {
     pub rel_path: &'a str,
     pub kind: FileKind,
     pub model: &'a FileModel,
+    pub ast: &'a crate::ast::File,
     pub drift: &'a DriftData,
 }
 
@@ -239,16 +257,23 @@ pub fn classify(rel_path: &str) -> FileKind {
     }
 }
 
-/// Runs every (filtered) rule over one file's source text.
-pub fn check_source(
-    rel_path: &str,
-    src: &str,
-    drift: &DriftData,
-    rule_filter: Option<&[String]>,
-) -> Vec<Finding> {
+/// Parses one file into the model + AST pair the rule tiers share.
+pub fn parse_file(rel_path: &str, src: &str) -> ParsedFile {
     let kind = classify(rel_path);
     let model = build_model(src, kind);
-    let ctx = Ctx { rel_path, kind, model: &model, drift };
+    let ast = parser::parse(&model.tokens);
+    ParsedFile { rel_path: rel_path.to_owned(), kind, model, ast }
+}
+
+/// Runs the per-file rules over one already-parsed file.
+fn check_local(pf: &ParsedFile, drift: &DriftData, rule_filter: Option<&[String]>) -> Vec<Finding> {
+    let ctx = Ctx {
+        rel_path: &pf.rel_path,
+        kind: pf.kind,
+        model: &pf.model,
+        ast: &pf.ast,
+        drift,
+    };
     let mut findings = Vec::new();
     for rule in rules::all() {
         if let Some(filter) = rule_filter {
@@ -261,6 +286,40 @@ pub fn check_source(
     findings
 }
 
+/// Runs the workspace rules over a parsed file set.
+fn check_workspace(
+    files: &[ParsedFile],
+    rule_filter: Option<&[String]>,
+    out: &mut Vec<Finding>,
+) {
+    let ws = Workspace::build(files);
+    let graph = CallGraph::build(&ws);
+    for rule in rules::workspace() {
+        if let Some(filter) = rule_filter {
+            if !filter.iter().any(|f| f == rule.id()) {
+                continue;
+            }
+        }
+        rule.check(&ws, &graph, out);
+    }
+}
+
+/// Runs every (filtered) rule — both tiers — over one file's source
+/// text. The workspace tier sees a one-file workspace, which is how
+/// the fixture goldens exercise the interprocedural families.
+pub fn check_source(
+    rel_path: &str,
+    src: &str,
+    drift: &DriftData,
+    rule_filter: Option<&[String]>,
+) -> Vec<Finding> {
+    let pf = parse_file(rel_path, src);
+    let mut findings = check_local(&pf, drift, rule_filter);
+    let files = [pf];
+    check_workspace(&files, rule_filter, &mut findings);
+    findings
+}
+
 /// The result of a full workspace run.
 pub struct Report {
     /// Findings that survived the allowlist, sorted by location.
@@ -269,34 +328,123 @@ pub struct Report {
     pub allowed: usize,
     /// Files scanned.
     pub files: usize,
+    /// Files whose per-file findings came from the cache.
+    pub cached: usize,
 }
 
-/// Walks the workspace at `root` and runs all rules.
+/// Knobs for a workspace run.
+#[derive(Default)]
+pub struct Options<'a> {
+    /// Run only these rule ids (both tiers filter on it).
+    pub rule_filter: Option<&'a [String]>,
+    /// Read/write `target/lint-cache.tsv`. Forced off whenever a rule
+    /// filter is active, so partial runs can never poison the store.
+    pub use_cache: bool,
+    /// Report only findings in files changed since this git ref
+    /// (workspace analysis still sees every file).
+    pub changed_only: Option<String>,
+    /// Worker-thread override for the parallel file pass.
+    pub workers: Option<usize>,
+}
+
+/// Walks the workspace at `root` and runs all rules (no cache, no
+/// change filter — the hermetic library entry point).
 ///
 /// # Errors
 ///
 /// Returns a message when the root is not a workspace, `lint.toml` is
 /// malformed, or the telemetry key registry cannot be read.
 pub fn run(root: &Path, rule_filter: Option<&[String]>) -> Result<Report, String> {
+    run_with(root, &Options { rule_filter, ..Options::default() })
+}
+
+/// Walks the workspace at `root` and runs all rules with full control
+/// over caching, change filtering, and parallelism.
+///
+/// # Errors
+///
+/// Returns a message when the root is not a workspace, `lint.toml` is
+/// malformed, the telemetry key registry cannot be read, or
+/// `changed_only` is set and `git diff` fails.
+pub fn run_with(root: &Path, opts: &Options<'_>) -> Result<Report, String> {
     let config = Config::load(&root.join("lint.toml"))?;
     let drift = rules::DriftData::load(root)?;
     let mut files = collect_files(root)?;
     files.sort();
+    let changed = match &opts.changed_only {
+        Some(reference) => Some(changed_set(root, reference)?),
+        None => None,
+    };
 
-    let mut findings = Vec::new();
-    for path in &files {
+    let caching = opts.use_cache && opts.rule_filter.is_none();
+    let cache = if caching { Cache::load(root) } else { Cache::default() };
+
+    // Parallel per-file pass: lex + parse + local rules (or cache hit).
+    // `map_indexed` merges in index order, so the pass is bit-identical
+    // to a serial walk at any worker count.
+    struct FileResult {
+        parsed: ParsedFile,
+        src: String,
+        hash: u64,
+        local: Vec<Finding>,
+        from_cache: bool,
+    }
+    let jobs = files.len();
+    let workers = harmony::par::effective_workers(opts.workers, jobs);
+    let results: Vec<FileResult> = harmony::par::map_indexed(jobs, workers, |i| {
+        let path = &files[i];
         let src = fs::read_to_string(path)
             .map_err(|e| format!("read {}: {e}", path.display()))?;
         let rel = rel_path(root, path);
-        for mut f in check_source(&rel, &src, &drift, rule_filter) {
-            f.path = rel.clone();
-            let line_text = src_line(&src, f.line);
+        let parsed = parse_file(&rel, &src);
+        let hash = fnv1a(src.as_bytes());
+        let (local, from_cache) = match cache.lookup(&rel, hash) {
+            Some(hit) => (hit.to_vec(), true),
+            None => (check_local(&parsed, &drift, opts.rule_filter), false),
+        };
+        Ok::<_, String>(FileResult { parsed, src, hash, local, from_cache })
+    })?;
+
+    let cached = results.iter().filter(|r| r.from_cache).count();
+    if caching {
+        let store: Vec<(String, u64, Vec<Finding>)> = results
+            .iter()
+            .map(|r| (r.parsed.rel_path.clone(), r.hash, r.local.clone()))
+            .collect();
+        Cache::save(root, &store);
+    }
+
+    let mut findings: Vec<(Finding, String)> = Vec::new();
+    let mut srcs: Vec<String> = Vec::with_capacity(results.len());
+    let mut parsed_files: Vec<ParsedFile> = Vec::with_capacity(results.len());
+    for r in results {
+        for mut f in r.local {
+            f.path = r.parsed.rel_path.clone();
+            let line_text = src_line(&r.src, f.line);
             findings.push((f, line_text));
         }
+        srcs.push(r.src);
+        parsed_files.push(r.parsed);
     }
+
+    // Workspace tier: symbol table + call graph over every parsed file.
+    let mut ws_findings = Vec::new();
+    check_workspace(&parsed_files, opts.rule_filter, &mut ws_findings);
+    for f in ws_findings {
+        let line_text = parsed_files
+            .iter()
+            .position(|p| p.rel_path == f.path)
+            .map(|i| src_line(&srcs[i], f.line))
+            .unwrap_or_default();
+        findings.push((f, line_text));
+    }
+
     // Workspace-level drift checks (registry duplicates, undocumented
     // keys) are attributed to the registry file itself.
-    if rule_filter.is_none_or(|f| f.iter().any(|r| r == rules::METRIC_NAME_DRIFT)) {
+    if opts
+        .rule_filter
+        .is_none_or(|f| f.iter().any(|r| r == rules::METRIC_NAME_DRIFT))
+    {
         for f in rules::registry_findings(&drift) {
             findings.push((f, String::new()));
         }
@@ -316,7 +464,7 @@ pub fn run(root: &Path, rule_filter: Option<&[String]>) -> Result<Report, String
     }
     // Stale allows are findings themselves — but only on unfiltered
     // runs, where every rule had the chance to use them.
-    if rule_filter.is_none() {
+    if opts.rule_filter.is_none() {
         for (idx, count) in used.iter().enumerate() {
             if *count == 0 {
                 kept.push(Finding {
@@ -332,10 +480,43 @@ pub fn run(root: &Path, rule_filter: Option<&[String]>) -> Result<Report, String
             }
         }
     }
+    if let Some(changed) = &changed {
+        kept.retain(|f| changed.contains(&f.path));
+    }
     kept.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
     });
-    Ok(Report { findings: kept, allowed, files: files.len() })
+    Ok(Report { findings: kept, allowed, files: jobs, cached })
+}
+
+/// Workspace-relative paths changed since `reference`, plus untracked
+/// files — the view a reviewer of that diff cares about.
+fn changed_set(root: &Path, reference: &str) -> Result<BTreeSet<String>, String> {
+    let mut out = BTreeSet::new();
+    for args in [
+        vec!["diff", "--name-only", reference],
+        vec!["ls-files", "--others", "--exclude-standard"],
+    ] {
+        let run = Command::new("git")
+            .args(&args)
+            .current_dir(root)
+            .output()
+            .map_err(|e| format!("git {}: {e}", args.join(" ")))?;
+        if !run.status.success() {
+            return Err(format!(
+                "git {} failed: {}",
+                args.join(" "),
+                String::from_utf8_lossy(&run.stderr).trim()
+            ));
+        }
+        for line in String::from_utf8_lossy(&run.stdout).lines() {
+            let line = line.trim();
+            if !line.is_empty() {
+                out.insert(line.replace('\\', "/"));
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn src_line(src: &str, line: u32) -> String {

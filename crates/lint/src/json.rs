@@ -1,0 +1,93 @@
+//! Machine-readable report output.
+//!
+//! `harmony-lint --json` emits one JSON object so CI and editor
+//! tooling can consume findings without scraping the text format. The
+//! schema is versioned: consumers pin on `schema_version` and the
+//! field set below only grows, never mutates, within a version.
+
+use crate::engine::Report;
+
+/// Bump on any breaking change to the emitted shape.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Renders the full report deterministically (findings are already
+/// sorted by path/line/col/rule).
+pub fn render(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files));
+    out.push_str(&format!("  \"files_from_cache\": {},\n", report.cached));
+    out.push_str(&format!("  \"allowed\": {},\n", report.allowed));
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\"}}",
+            escape(&f.path),
+            f.line,
+            f.col,
+            escape(f.rule),
+            escape(&f.message)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// JSON string escaping for the characters the findings can contain.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Finding;
+
+    #[test]
+    fn renders_versioned_escaped_output() {
+        let report = Report {
+            findings: vec![Finding {
+                path: "crates/a/src/lib.rs".to_owned(),
+                line: 2,
+                col: 5,
+                rule: "rng-purity",
+                message: "say \"no\" to\nentropy".to_owned(),
+            }],
+            allowed: 3,
+            files: 7,
+            cached: 4,
+        };
+        let text = render(&report);
+        assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\"files_scanned\": 7"));
+        assert!(text.contains("\"files_from_cache\": 4"));
+        assert!(text.contains(r#"\"no\" to\nentropy"#));
+        assert!(!text.contains("say \"no\" to\nentropy"), "must escape, not embed");
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let report = Report { findings: Vec::new(), allowed: 0, files: 0, cached: 0 };
+        let text = render(&report);
+        assert!(text.contains("\"findings\": []"));
+    }
+}

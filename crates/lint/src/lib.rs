@@ -4,20 +4,30 @@
 //! The compiler cannot see most of the invariants the previous PRs
 //! established — bit-identical plans across worker counts, NaN-safe
 //! float ordering, panic-free library crates, a virtual sim clock,
-//! lock-free I/O in the server, and a single registry of telemetry key
-//! names. This crate enforces them with a hand-rolled Rust lexer
-//! ([`lexer`]), a token-level rule engine ([`engine`]), and six
-//! project-specific rules ([`rules`]). Findings print as
-//! `file:line:col [rule-id] message`; the policy is deny-by-default
-//! with a checked-in `lint.toml` of scoped, reason-carrying allows
-//! ([`config`]).
+//! lock-free I/O in the server, seed-pure RNG streams, and a
+//! forward-compatible checkpoint schema. This crate enforces them with
+//! a hand-rolled Rust lexer ([`lexer`]), a tolerant recursive-descent
+//! parser producing a lightweight AST ([`parser`], [`ast`]), a
+//! workspace symbol table and heuristic call graph ([`symbols`],
+//! [`callgraph`]), and two rule tiers ([`rules`]): cacheable per-file
+//! rules and interprocedural workspace rules. Findings print as
+//! `file:line:col [rule-id] message` or as versioned JSON ([`json`]);
+//! the policy is deny-by-default with a checked-in `lint.toml` of
+//! scoped, reason-carrying allows ([`config`]).
 //!
 //! Run it with `cargo run -p harmony-lint -- --deny` (the CI gate) or
-//! see DESIGN.md §12 for the rule-by-rule rationale.
+//! see DESIGN.md §12 and §17 for the rule-by-rule rationale.
 
+pub mod ast;
+pub mod cache;
+pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod engine;
+pub mod json;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 
-pub use engine::{check_source, run, Finding, Report};
+pub use engine::{check_source, run, run_with, Finding, Options, Report};

@@ -2,14 +2,20 @@
 //!
 //! ```text
 //! harmony-lint [--deny] [--rule <id>]... [--root <dir>] [--list-rules]
+//!              [--json] [--json-out <path>] [--changed-only <git-ref>]
+//!              [--no-cache] [--workers <n>]
 //! ```
 //!
 //! Walks the workspace, runs every rule (or only the `--rule`
-//! selections), prints findings as `file:line:col [rule-id] message`,
-//! and exits non-zero under `--deny` when any finding survives the
-//! `lint.toml` allowlist. Without `--root` the workspace is discovered
-//! by walking up from the current directory to the first `Cargo.toml`
-//! with a `[workspace]` table.
+//! selections), prints findings as `file:line:col [rule-id] message`
+//! (or versioned JSON with `--json`), and exits non-zero under
+//! `--deny` when any finding survives the `lint.toml` allowlist.
+//! `--changed-only <ref>` restricts *reporting* to files changed since
+//! the git ref — interprocedural analysis still sees the whole
+//! workspace. Per-file results are cached under `target/` keyed on
+//! content hash; `--no-cache` forces a cold run. Without `--root` the
+//! workspace is discovered by walking up from the current directory to
+//! the first `Cargo.toml` with a `[workspace]` table.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -18,11 +24,18 @@ fn main() -> ExitCode {
     let mut deny = false;
     let mut rules_filter: Vec<String> = Vec::new();
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut changed_only: Option<String> = None;
+    let mut use_cache = true;
+    let mut workers: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny" => deny = true,
+            "--json" => json = true,
+            "--no-cache" => use_cache = false,
             "--rule" => match args.next() {
                 Some(id) => rules_filter.push(id),
                 None => return usage("--rule needs a rule id"),
@@ -31,8 +44,23 @@ fn main() -> ExitCode {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage("--root needs a directory"),
             },
+            "--json-out" => match args.next() {
+                Some(path) => json_out = Some(PathBuf::from(path)),
+                None => return usage("--json-out needs a file path"),
+            },
+            "--changed-only" => match args.next() {
+                Some(reference) => changed_only = Some(reference),
+                None => return usage("--changed-only needs a git ref"),
+            },
+            "--workers" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => workers = Some(n),
+                _ => return usage("--workers needs a number"),
+            },
             "--list-rules" => {
                 for rule in harmony_lint::rules::all() {
+                    println!("{:<28} {}", rule.id(), rule.describe());
+                }
+                for rule in harmony_lint::rules::workspace() {
                     println!("{:<28} {}", rule.id(), rule.describe());
                 }
                 return ExitCode::SUCCESS;
@@ -42,7 +70,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let known: Vec<&str> = harmony_lint::rules::all().iter().map(|r| r.id()).collect();
+    let known = harmony_lint::rules::known_ids();
     for id in &rules_filter {
         if !known.contains(&id.as_str()) {
             eprintln!("harmony-lint: unknown rule `{id}` (see --list-rules)");
@@ -62,7 +90,13 @@ fn main() -> ExitCode {
     };
 
     let filter = if rules_filter.is_empty() { None } else { Some(rules_filter.as_slice()) };
-    let report = match harmony_lint::run(&root, filter) {
+    let opts = harmony_lint::Options {
+        rule_filter: filter,
+        use_cache,
+        changed_only,
+        workers,
+    };
+    let report = match harmony_lint::run_with(&root, &opts) {
         Ok(report) => report,
         Err(message) => {
             eprintln!("harmony-lint: {message}");
@@ -70,15 +104,28 @@ fn main() -> ExitCode {
         }
     };
 
-    for finding in &report.findings {
-        println!("{finding}");
+    let rendered = harmony_lint::json::render(&report);
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("harmony-lint: write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
     }
-    eprintln!(
-        "harmony-lint: {} finding(s), {} allowed by lint.toml, {} file(s) scanned",
-        report.findings.len(),
-        report.allowed,
-        report.files
-    );
+    if json {
+        print!("{rendered}");
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        eprintln!(
+            "harmony-lint: {} finding(s), {} allowed by lint.toml, {} file(s) scanned \
+             ({} from cache)",
+            report.findings.len(),
+            report.allowed,
+            report.files,
+            report.cached
+        );
+    }
     if deny && !report.findings.is_empty() {
         return ExitCode::FAILURE;
     }
@@ -110,7 +157,9 @@ fn usage(error: &str) -> ExitCode {
         eprintln!("harmony-lint: {error}");
     }
     eprintln!(
-        "usage: harmony-lint [--deny] [--rule <id>]... [--root <dir>] [--list-rules]"
+        "usage: harmony-lint [--deny] [--rule <id>]... [--root <dir>] [--list-rules]\n\
+         \x20                  [--json] [--json-out <path>] [--changed-only <git-ref>]\n\
+         \x20                  [--no-cache] [--workers <n>]"
     );
     if error.is_empty() {
         ExitCode::SUCCESS

@@ -1,0 +1,1485 @@
+//! Tolerant recursive-descent parser over the lexed token stream.
+//!
+//! Produces the lightweight [`crate::ast`] tree. The parser is built
+//! for analysis, not compilation: it never rejects a file. Anything it
+//! cannot model becomes [`Expr::Unknown`] / [`Item::Other`] with a
+//! balanced-token skip, and every loop is guaranteed to make progress,
+//! so a confused region is contained rather than fatal. Multi-character
+//! operators (`::`, `->`, `=>`, `..`, `&&`, ...) are reassembled from
+//! the lexer's single-char puncts by source adjacency (same line,
+//! consecutive columns).
+
+use crate::ast::{Arm, Block, Expr, File, Fn, Impl, Item, Mod, Param, Span, Stmt};
+use crate::lexer::{Token, TokenKind};
+
+/// Parses a lexed token stream into a [`File`].
+pub fn parse(tokens: &[Token]) -> File {
+    let mut p = Parser { t: tokens, i: 0 };
+    let mut items = Vec::new();
+    while !p.at_end() {
+        let start = p.i;
+        if let Some(item) = p.item() {
+            items.push(item);
+        }
+        if p.i == start {
+            p.i += 1; // never stall
+        }
+    }
+    File { items }
+}
+
+struct Parser<'a> {
+    t: &'a [Token],
+    i: usize,
+}
+
+const ITEM_KEYWORDS: &[&str] = &[
+    "pub", "fn", "mod", "impl", "use", "struct", "enum", "trait", "type", "static", "const",
+    "union", "extern", "macro_rules",
+];
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.i >= self.t.len()
+    }
+
+    fn kind(&self, off: usize) -> Option<&'a TokenKind> {
+        self.t.get(self.i + off).map(|t| &t.kind)
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.t.get(self.i).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.t.get(self.i).and_then(Token::ident) == Some(s)
+    }
+
+    fn ident_at(&self, off: usize) -> Option<&'a str> {
+        self.t.get(self.i + off).and_then(Token::ident)
+    }
+
+    fn bump(&mut self) -> usize {
+        let at = self.i;
+        self.i += 1;
+        at
+    }
+
+    /// True when tokens `i` and `i + 1` are glued in the source (no
+    /// whitespace between) — how multi-char operators are recognized.
+    fn joint(&self, i: usize) -> bool {
+        match (self.t.get(i), self.t.get(i + 1)) {
+            (Some(a), Some(b)) => a.line == b.line && b.col == a.col + 1,
+            _ => false,
+        }
+    }
+
+    /// True when the next tokens spell the operator `op` exactly (and
+    /// not a longer glued operator: `==` does not match at `=` of `==>`).
+    fn at_op(&self, op: &str) -> bool {
+        let chars: Vec<char> = op.chars().collect();
+        for (k, &c) in chars.iter().enumerate() {
+            match self.kind(k) {
+                Some(TokenKind::Punct(p)) if *p == c => {}
+                _ => return false,
+            }
+            if k + 1 < chars.len() && !self.joint(self.i + k) {
+                return false;
+            }
+        }
+        // Reject a longer glued punct run (`..` at `..=`, `=` at `==`).
+        if let Some(TokenKind::Punct(next)) = self.kind(chars.len()) {
+            if self.joint(self.i + chars.len() - 1) && is_op_char(*next) {
+                // `..` followed by glued `=` is `..=`; `=` + `=` is `==`.
+                let longer: String = op.chars().chain(std::iter::once(*next)).collect();
+                if OPERATORS.contains(&longer.as_str()) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if self.at_op(op) {
+            self.i += op.chars().count();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Skips `#[...]` / `#![...]` attributes and doc markers.
+    fn skip_attrs(&mut self) {
+        while self.at_punct('#') {
+            let mut j = self.i + 1;
+            if self.t.get(j).is_some_and(|t| t.is_punct('!')) {
+                j += 1;
+            }
+            if self.t.get(j).is_some_and(|t| t.is_punct('[')) {
+                self.i = self.matching(j, '[', ']') + 1;
+            } else {
+                self.i += 1;
+            }
+        }
+    }
+
+    /// Index just past the delimiter closing the `open` at index `at`.
+    fn matching(&self, at: usize, open: char, close: char) -> usize {
+        let mut depth = 0i32;
+        let mut k = at;
+        while k < self.t.len() {
+            if let TokenKind::Punct(c) = self.t[k].kind {
+                if c == open {
+                    depth += 1;
+                } else if c == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k;
+                    }
+                }
+            }
+            k += 1;
+        }
+        self.t.len().saturating_sub(1)
+    }
+
+    /// Skips a balanced `<...>` generics group starting at `<`.
+    fn skip_angles(&mut self) {
+        debug_assert!(self.at_punct('<'));
+        let mut depth = 0i32;
+        while !self.at_end() {
+            match self.kind(0) {
+                Some(TokenKind::Punct('<')) => {
+                    depth += 1;
+                    self.i += 1;
+                }
+                Some(TokenKind::Punct('>')) => {
+                    depth -= 1;
+                    self.i += 1;
+                    if depth <= 0 {
+                        return;
+                    }
+                }
+                Some(TokenKind::Punct('-')) if self.joint(self.i) => {
+                    // `->` inside `Fn(..) -> T`: the `>` is not a close.
+                    if matches!(self.kind(1), Some(TokenKind::Punct('>'))) {
+                        self.i += 2;
+                    } else {
+                        self.i += 1;
+                    }
+                }
+                Some(TokenKind::Punct('(')) => self.i = self.matching(self.i, '(', ')') + 1,
+                Some(TokenKind::Punct('[')) => self.i = self.matching(self.i, '[', ']') + 1,
+                None => return,
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// Consumes tokens that look like a type (path, generics, refs,
+    /// tuples, slices). Stops at anything else.
+    fn skip_type(&mut self) {
+        loop {
+            match self.kind(0) {
+                Some(TokenKind::Ident(s))
+                    if !matches!(
+                        s.as_str(),
+                        "as" | "else" | "if" | "match" | "in" | "where" | "for"
+                    ) =>
+                {
+                    self.i += 1;
+                }
+                Some(TokenKind::Lifetime(_)) => self.i += 1,
+                Some(TokenKind::Punct('&' | '*')) => self.i += 1,
+                Some(TokenKind::Punct('<')) => self.skip_angles(),
+                Some(TokenKind::Punct('(')) => self.i = self.matching(self.i, '(', ')') + 1,
+                Some(TokenKind::Punct('[')) => self.i = self.matching(self.i, '[', ']') + 1,
+                Some(TokenKind::Punct(':'))
+                    if matches!(self.kind(1), Some(TokenKind::Punct(':'))) =>
+                {
+                    self.i += 2;
+                }
+                Some(TokenKind::Punct('-'))
+                    if self.joint(self.i)
+                        && matches!(self.kind(1), Some(TokenKind::Punct('>'))) =>
+                {
+                    self.i += 2;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    // ----- items -----
+
+    fn item(&mut self) -> Option<Item> {
+        self.skip_attrs();
+        if self.at_end() {
+            return None;
+        }
+        let start = self.i;
+        let mut is_pub = false;
+        if self.at_ident("pub") {
+            is_pub = true;
+            self.i += 1;
+            if self.at_punct('(') {
+                self.i = self.matching(self.i, '(', ')') + 1; // pub(crate)
+            }
+        }
+        // Fn qualifiers.
+        while self.at_ident("const") || self.at_ident("async") || self.at_ident("unsafe") {
+            // `const NAME: ...` is an item, not a qualifier — only treat
+            // `const` as a qualifier when `fn` follows.
+            if self.at_ident("const") && self.ident_at(1) != Some("fn") {
+                break;
+            }
+            self.i += 1;
+        }
+        if self.at_ident("extern") && self.ident_at(1) != Some("crate") {
+            self.i += 1;
+            if matches!(self.kind(0), Some(TokenKind::Str(_))) {
+                self.i += 1;
+            }
+        }
+        if self.at_ident("fn") {
+            self.i += 1;
+            return Some(Item::Fn(self.fn_item(start, is_pub)));
+        }
+        if self.at_ident("mod") && matches!(self.kind(1), Some(TokenKind::Ident(_))) {
+            self.i += 1;
+            let name = self.ident_at(0).unwrap_or("").to_owned();
+            self.i += 1;
+            if self.at_punct('{') {
+                let close = self.matching(self.i, '{', '}');
+                self.i += 1;
+                let mut items = Vec::new();
+                while self.i < close {
+                    let at = self.i;
+                    if let Some(item) = self.item() {
+                        items.push(item);
+                    }
+                    if self.i == at {
+                        self.i += 1;
+                    }
+                }
+                self.i = close + 1;
+                return Some(Item::Mod(Mod { name, items, span: Span { start, end: self.i } }));
+            }
+            // `mod name;` — out-of-line, nothing to parse here.
+            self.skip_to_item_end();
+            return Some(Item::Other { span: Span { start, end: self.i } });
+        }
+        if self.at_ident("impl") {
+            self.i += 1;
+            return Some(Item::Impl(self.impl_item(start)));
+        }
+        self.skip_to_item_end();
+        Some(Item::Other { span: Span { start, end: self.i } })
+    }
+
+    /// Advances past the current item: first `;` at depth zero or the
+    /// `}` closing the first top-level brace.
+    fn skip_to_item_end(&mut self) {
+        let mut depth = 0i32;
+        while !self.at_end() {
+            match self.kind(0) {
+                Some(TokenKind::Punct('(' | '[' | '{')) => depth += 1,
+                Some(TokenKind::Punct(')' | ']')) => depth -= 1,
+                Some(TokenKind::Punct('}')) => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        self.i += 1;
+                        return;
+                    }
+                }
+                Some(TokenKind::Punct(';')) if depth == 0 => {
+                    self.i += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+    }
+
+    fn fn_item(&mut self, start: usize, is_pub: bool) -> Fn {
+        let tok = self.i;
+        let name = self.ident_at(0).unwrap_or("").to_owned();
+        if !name.is_empty() {
+            self.i += 1;
+        }
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        let mut params = Vec::new();
+        let mut has_self = false;
+        if self.at_punct('(') {
+            let close = self.matching(self.i, '(', ')');
+            let inner: Vec<(usize, usize)> = split_commas(self.t, self.i + 1, close);
+            for (lo, hi) in inner {
+                parse_param(self.t, lo, hi, &mut params, &mut has_self);
+            }
+            self.i = close + 1;
+        }
+        let mut ret = String::new();
+        if self.eat_op("->") {
+            while !self.at_end() && !self.at_punct('{') && !self.at_punct(';') && !self.at_ident("where")
+            {
+                if self.at_punct('(') {
+                    let close = self.matching(self.i, '(', ')');
+                    for t in &self.t[self.i..=close.min(self.t.len() - 1)] {
+                        push_text(&mut ret, t);
+                    }
+                    self.i = close + 1;
+                    continue;
+                }
+                if let Some(t) = self.t.get(self.i) {
+                    push_text(&mut ret, t);
+                }
+                self.i += 1;
+            }
+        }
+        if self.at_ident("where") {
+            while !self.at_end() && !self.at_punct('{') && !self.at_punct(';') {
+                self.i += 1;
+            }
+        }
+        let body = if self.at_punct('{') {
+            Some(self.block())
+        } else {
+            if self.at_punct(';') {
+                self.i += 1;
+            }
+            None
+        };
+        Fn { name, is_pub, has_self, params, ret, body, span: Span { start, end: self.i }, tok }
+    }
+
+    fn impl_item(&mut self, start: usize) -> Impl {
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        // First path: either the self type or the trait (when `for`
+        // follows). Track the last ident outside angle brackets.
+        let first = self.type_head_name();
+        let mut trait_name = None;
+        let mut type_name = first;
+        if self.at_ident("for") {
+            self.i += 1;
+            trait_name = Some(type_name);
+            type_name = self.type_head_name();
+        }
+        while !self.at_end() && !self.at_punct('{') {
+            self.i += 1; // where clause
+        }
+        let mut items = Vec::new();
+        if self.at_punct('{') {
+            let close = self.matching(self.i, '{', '}');
+            self.i += 1;
+            while self.i < close {
+                let at = self.i;
+                if let Some(item) = self.item() {
+                    items.push(item);
+                }
+                if self.i == at {
+                    self.i += 1;
+                }
+            }
+            self.i = close + 1;
+        }
+        Impl { type_name, trait_name, items, span: Span { start, end: self.i } }
+    }
+
+    /// Last path-segment ident of a type header (`a::b::Name<T>` →
+    /// `Name`), consuming the type tokens.
+    fn type_head_name(&mut self) -> String {
+        let mut last = String::new();
+        loop {
+            match self.kind(0) {
+                Some(TokenKind::Ident(s)) => {
+                    if s == "for" || s == "where" {
+                        return last;
+                    }
+                    if s != "dyn" && s != "mut" {
+                        last = s.clone();
+                    }
+                    self.i += 1;
+                }
+                Some(TokenKind::Punct('<')) => self.skip_angles(),
+                Some(TokenKind::Punct('&' | '*')) => self.i += 1,
+                Some(TokenKind::Punct(':'))
+                    if matches!(self.kind(1), Some(TokenKind::Punct(':'))) =>
+                {
+                    self.i += 2;
+                }
+                Some(TokenKind::Punct('(')) => {
+                    self.i = self.matching(self.i, '(', ')') + 1;
+                }
+                Some(TokenKind::Punct('[')) => {
+                    self.i = self.matching(self.i, '[', ']') + 1;
+                }
+                _ => return last,
+            }
+        }
+    }
+
+    // ----- statements -----
+
+    fn block(&mut self) -> Block {
+        debug_assert!(self.at_punct('{'));
+        let start = self.i;
+        let close = self.matching(self.i, '{', '}');
+        self.i += 1;
+        let mut stmts = Vec::new();
+        while self.i < close {
+            let at = self.i;
+            self.skip_attrs();
+            if self.i >= close {
+                break;
+            }
+            if self.at_punct(';') {
+                self.i += 1;
+                continue;
+            }
+            if self.at_ident("let") {
+                stmts.push(self.let_stmt(close));
+            } else if self.starts_item() {
+                if let Some(item) = self.item() {
+                    stmts.push(Stmt::Item(item));
+                }
+            } else {
+                stmts.push(Stmt::Expr(self.expr(false)));
+                if self.at_punct(';') {
+                    self.i += 1;
+                }
+            }
+            if self.i == at {
+                self.i += 1;
+            }
+        }
+        self.i = close + 1;
+        Block { stmts, span: Span { start, end: self.i } }
+    }
+
+    /// Item-start heuristic in statement position. `unsafe {` and
+    /// `const {` are expressions, not items.
+    fn starts_item(&self) -> bool {
+        let Some(word) = self.ident_at(0) else { return false };
+        if word == "unsafe" || word == "const" || word == "async" {
+            return self.ident_at(1) == Some("fn")
+                || (word == "const" && matches!(self.kind(1), Some(TokenKind::Ident(_))));
+        }
+        ITEM_KEYWORDS.contains(&word)
+    }
+
+    fn let_stmt(&mut self, limit: usize) -> Stmt {
+        let tok = self.i;
+        self.i += 1; // `let`
+        let names = self.pattern_names(&["=", ":", ";"], limit);
+        if self.at_punct(':') && !self.at_op("::") {
+            self.i += 1;
+            self.skip_type_until_eq(limit);
+        }
+        let mut init = None;
+        if self.at_op("=") {
+            self.i += 1;
+            init = Some(self.expr(false));
+        }
+        let mut els = None;
+        if self.at_ident("else") {
+            self.i += 1;
+            if self.at_punct('{') {
+                els = Some(self.block());
+            }
+        }
+        if self.at_punct(';') {
+            self.i += 1;
+        }
+        Stmt::Let { names, init, els, tok }
+    }
+
+    /// Type position in a `let`: skip until a depth-0 `=` or `;`,
+    /// tracking angle depth so `Iterator<Item = u64>` does not stop
+    /// early.
+    fn skip_type_until_eq(&mut self, limit: usize) {
+        let mut angle = 0i32;
+        while self.i < limit {
+            match self.kind(0) {
+                Some(TokenKind::Punct('<')) => {
+                    angle += 1;
+                    self.i += 1;
+                }
+                Some(TokenKind::Punct('>')) => {
+                    angle -= 1;
+                    self.i += 1;
+                }
+                Some(TokenKind::Punct('-'))
+                    if self.joint(self.i)
+                        && matches!(self.kind(1), Some(TokenKind::Punct('>'))) =>
+                {
+                    self.i += 2;
+                }
+                Some(TokenKind::Punct('(')) => self.i = self.matching(self.i, '(', ')') + 1,
+                Some(TokenKind::Punct('[')) => self.i = self.matching(self.i, '[', ']') + 1,
+                Some(TokenKind::Punct('=')) if angle <= 0 => return,
+                Some(TokenKind::Punct(';')) if angle <= 0 => return,
+                None => return,
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// Collects binding idents of a pattern: lowercase- or
+    /// underscore-initial idents that are not keywords, skipping the
+    /// bare `_`. Stops at any of `stops` (depth 0) or `limit`.
+    fn pattern_names(&mut self, stops: &[&str], limit: usize) -> Vec<String> {
+        let mut names = Vec::new();
+        let mut depth = 0i32;
+        while self.i < limit && !self.at_end() {
+            // `0..=9` inside a range pattern: the `=` is part of the
+            // operator, not an assignment stop.
+            if self.at_op("..=") {
+                self.i += 3;
+                continue;
+            }
+            if depth == 0 {
+                for stop in stops {
+                    match *stop {
+                        "=" => {
+                            if self.at_op("=") {
+                                return names;
+                            }
+                        }
+                        "=>" => {
+                            if self.at_op("=>") {
+                                return names;
+                            }
+                        }
+                        ":" => {
+                            if self.at_punct(':') && !self.at_op("::") {
+                                return names;
+                            }
+                        }
+                        word if word.chars().all(char::is_alphanumeric) => {
+                            if self.at_ident(word) {
+                                return names;
+                            }
+                        }
+                        _ => {
+                            if word_is_punct(stop) && self.at_punct(stop_char(stop)) {
+                                return names;
+                            }
+                        }
+                    }
+                }
+            }
+            match self.kind(0) {
+                Some(TokenKind::Punct('(' | '[')) => depth += 1,
+                Some(TokenKind::Punct(')' | ']')) => {
+                    if depth == 0 {
+                        return names;
+                    }
+                    depth -= 1;
+                }
+                Some(TokenKind::Punct('{')) => depth += 1,
+                Some(TokenKind::Punct('}')) => {
+                    if depth == 0 {
+                        return names;
+                    }
+                    depth -= 1;
+                }
+                // `seg::...` and `field:` name a path/struct field,
+                // not a binding.
+                Some(TokenKind::Ident(s))
+                    if is_binding_name(s)
+                        && self.t.get(self.i + 1).is_none_or(|t| !t.is_punct(':')) =>
+                {
+                    names.push(s.clone());
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+        names
+    }
+
+    // ----- expressions -----
+
+    fn expr(&mut self, ns: bool) -> Expr {
+        let lhs = self.range_level(ns);
+        // Assignment (and compound assignment) — right-associative.
+        for op in ["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="] {
+            if self.at_op(op) {
+                self.i += op.chars().count();
+                let rhs = self.expr(ns);
+                return Expr::Assign { lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            }
+        }
+        lhs
+    }
+
+    fn range_level(&mut self, ns: bool) -> Expr {
+        if self.at_op("..=") || self.at_op("..") {
+            let inclusive = self.at_op("..=");
+            self.i += if inclusive { 3 } else { 2 };
+            let hi = if self.expr_starts() { Some(Box::new(self.binary_level(ns, 0))) } else { None };
+            return Expr::Range { lo: None, hi };
+        }
+        let lo = self.binary_level(ns, 0);
+        if self.at_op("..=") || self.at_op("..") {
+            let inclusive = self.at_op("..=");
+            self.i += if inclusive { 3 } else { 2 };
+            let hi = if self.expr_starts() { Some(Box::new(self.binary_level(ns, 0))) } else { None };
+            return Expr::Range { lo: Some(Box::new(lo)), hi };
+        }
+        lo
+    }
+
+    /// Whether the current token can begin an expression — used to
+    /// decide if a `..` has a right-hand side.
+    fn expr_starts(&self) -> bool {
+        match self.kind(0) {
+            Some(TokenKind::Ident(s)) => {
+                !matches!(s.as_str(), "else" | "in" | "where" | "as")
+            }
+            Some(TokenKind::Str(_) | TokenKind::Char | TokenKind::Num { .. }) => true,
+            Some(TokenKind::Punct(c)) => matches!(c, '(' | '[' | '{' | '&' | '*' | '-' | '!' | '|'),
+            _ => false,
+        }
+    }
+
+    fn binary_level(&mut self, ns: bool, level: usize) -> Expr {
+        const LEVELS: &[&[&str]] = &[
+            &["||"],
+            &["&&"],
+            &["==", "!=", "<=", ">=", "<", ">"],
+            &["|"],
+            &["^"],
+            &["&"],
+            &["<<", ">>"],
+            &["+", "-"],
+            &["*", "/", "%"],
+        ];
+        if level >= LEVELS.len() {
+            return self.cast_level(ns);
+        }
+        let mut lhs = self.binary_level(ns, level + 1);
+        loop {
+            let mut matched = false;
+            for op in LEVELS[level] {
+                if self.at_op(op) {
+                    self.i += op.chars().count();
+                    let rhs = self.binary_level(ns, level + 1);
+                    lhs = Expr::Binary { lhs: Box::new(lhs), rhs: Box::new(rhs) };
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                return lhs;
+            }
+        }
+    }
+
+    fn cast_level(&mut self, ns: bool) -> Expr {
+        let mut e = self.unary(ns);
+        while self.at_ident("as") {
+            self.i += 1;
+            self.skip_type();
+            e = Expr::Cast { inner: Box::new(e) };
+        }
+        e
+    }
+
+    fn unary(&mut self, ns: bool) -> Expr {
+        if self.at_ident("move") && matches!(self.kind(1), Some(TokenKind::Punct('|'))) {
+            self.i += 1;
+            return self.closure(ns);
+        }
+        if self.at_punct('|') {
+            return self.closure(ns);
+        }
+        if self.at_punct('&') {
+            // `&&expr` (double ref) recurses: the second `&` is the
+            // next unary's prefix.
+            self.i += 1;
+            if self.at_ident("mut") {
+                self.i += 1;
+            }
+            return Expr::Unary { inner: Box::new(self.unary(ns)) };
+        }
+        if self.at_punct('*') || self.at_punct('-') || self.at_punct('!') {
+            self.i += 1;
+            return Expr::Unary { inner: Box::new(self.unary(ns)) };
+        }
+        self.postfix(ns)
+    }
+
+    fn closure(&mut self, ns: bool) -> Expr {
+        let mut params = Vec::new();
+        if self.at_op("||") {
+            self.i += 2;
+        } else {
+            self.i += 1; // `|`
+            let mut depth = 0i32;
+            let mut in_type = false; // after a top-level `:`, until `,`
+            while !self.at_end() {
+                match self.kind(0) {
+                    Some(TokenKind::Punct('(' | '[' | '<')) => depth += 1,
+                    Some(TokenKind::Punct(')' | ']' | '>')) => depth -= 1,
+                    Some(TokenKind::Punct('|')) if depth <= 0 => {
+                        self.i += 1;
+                        break;
+                    }
+                    Some(TokenKind::Punct(':')) if depth <= 0 => in_type = true,
+                    Some(TokenKind::Punct(',')) if depth <= 0 => in_type = false,
+                    Some(TokenKind::Ident(s)) if depth <= 0 && !in_type && is_binding_name(s) => {
+                        params.push(s.clone());
+                    }
+                    None => break,
+                    _ => {}
+                }
+                self.i += 1;
+            }
+        }
+        if self.eat_op("->") {
+            self.skip_type();
+        }
+        let body = self.expr(ns);
+        Expr::Closure { params, body: Box::new(body) }
+    }
+
+    fn postfix(&mut self, ns: bool) -> Expr {
+        let mut e = self.primary(ns);
+        loop {
+            if self.at_op("..") || self.at_op("..=") {
+                return e; // range operator, handled one level up
+            }
+            if self.at_punct('?') {
+                self.i += 1;
+                e = Expr::Try { inner: Box::new(e) };
+                continue;
+            }
+            if self.at_punct('.') && !self.at_op("..") {
+                self.i += 1;
+                match self.kind(0).cloned() {
+                    Some(TokenKind::Ident(name)) => {
+                        let tok = self.bump();
+                        if self.at_op("::") {
+                            self.i += 2;
+                            if self.at_punct('<') {
+                                self.skip_angles(); // `.collect::<Vec<_>>()`
+                            }
+                        }
+                        if self.at_punct('(') {
+                            let args = self.call_args();
+                            e = Expr::MethodCall { recv: Box::new(e), name, args, tok };
+                        } else {
+                            e = Expr::Field { base: Box::new(e), name, tok };
+                        }
+                    }
+                    Some(TokenKind::Num { text, .. }) => {
+                        let tok = self.bump();
+                        e = Expr::Field { base: Box::new(e), name: text, tok };
+                    }
+                    _ => {
+                        // `.` followed by something unexpected; stop.
+                        return e;
+                    }
+                }
+                continue;
+            }
+            if self.at_punct('(') {
+                let tok = e.tok().unwrap_or(self.i);
+                let args = self.call_args();
+                e = Expr::Call { callee: Box::new(e), args, tok };
+                continue;
+            }
+            if self.at_punct('[') {
+                let tok = self.i;
+                let close = self.matching(self.i, '[', ']');
+                self.i += 1;
+                let index = if self.i < close { self.expr(false) } else { Expr::Unknown { span: Span { start: tok, end: close } } };
+                self.i = close + 1;
+                e = Expr::Index { base: Box::new(e), index: Box::new(index), tok };
+                continue;
+            }
+            return e;
+        }
+    }
+
+    /// Parses `(a, b, ...)` call arguments; cursor at `(`.
+    fn call_args(&mut self) -> Vec<Expr> {
+        let close = self.matching(self.i, '(', ')');
+        self.i += 1;
+        let mut args = Vec::new();
+        while self.i < close {
+            let at = self.i;
+            args.push(self.expr(false));
+            if self.at_punct(',') {
+                self.i += 1;
+            }
+            if self.i == at {
+                self.i += 1;
+            }
+        }
+        self.i = close + 1;
+        args
+    }
+
+    fn primary(&mut self, ns: bool) -> Expr {
+        // Loop labels: `'outer: loop { ... }`.
+        if matches!(self.kind(0), Some(TokenKind::Lifetime(_)))
+            && self.t.get(self.i + 1).is_some_and(|t| t.is_punct(':'))
+        {
+            self.i += 2;
+        }
+        match self.kind(0).cloned() {
+            Some(TokenKind::Str(_) | TokenKind::Char | TokenKind::Num { .. }) => {
+                Expr::Lit { tok: self.bump() }
+            }
+            Some(TokenKind::Punct('(')) => {
+                let close = self.matching(self.i, '(', ')');
+                self.i += 1;
+                let mut items = Vec::new();
+                let mut trailing = false;
+                while self.i < close {
+                    let at = self.i;
+                    items.push(self.expr(false));
+                    trailing = false;
+                    if self.at_punct(',') {
+                        self.i += 1;
+                        trailing = true;
+                    }
+                    if self.i == at {
+                        self.i += 1;
+                    }
+                }
+                self.i = close + 1;
+                if items.len() == 1 && !trailing {
+                    items.pop().unwrap_or(Expr::Unknown { span: Span { start: close, end: close } })
+                } else {
+                    Expr::Tuple { items }
+                }
+            }
+            Some(TokenKind::Punct('[')) => {
+                let close = self.matching(self.i, '[', ']');
+                self.i += 1;
+                let mut items = Vec::new();
+                while self.i < close {
+                    let at = self.i;
+                    items.push(self.expr(false));
+                    if self.at_punct(',') || self.at_punct(';') {
+                        self.i += 1;
+                    }
+                    if self.i == at {
+                        self.i += 1;
+                    }
+                }
+                self.i = close + 1;
+                Expr::Array { items }
+            }
+            Some(TokenKind::Punct('{')) => Expr::Block(self.block()),
+            Some(TokenKind::Ident(word)) => self.keyword_or_path(&word, ns),
+            Some(_) => Expr::Unknown { span: Span { start: self.bump(), end: self.i } },
+            None => Expr::Unknown { span: Span { start: self.i, end: self.i } },
+        }
+    }
+
+    fn keyword_or_path(&mut self, word: &str, ns: bool) -> Expr {
+        match word {
+            "if" => {
+                self.i += 1;
+                self.if_expr()
+            }
+            "match" => {
+                self.i += 1;
+                let scrutinee = self.expr(true);
+                let mut arms = Vec::new();
+                if self.at_punct('{') {
+                    let close = self.matching(self.i, '{', '}');
+                    self.i += 1;
+                    while self.i < close {
+                        let at = self.i;
+                        self.skip_attrs();
+                        if self.i >= close {
+                            break;
+                        }
+                        let pat_start = self.i;
+                        let names = self.pattern_names(&["=>", "if"], close);
+                        let pat = crate::ast::Span { start: pat_start, end: self.i };
+                        let mut guard = None;
+                        if self.at_ident("if") {
+                            self.i += 1;
+                            guard = Some(self.guard_expr(close));
+                        }
+                        if self.at_op("=>") {
+                            self.i += 2;
+                        }
+                        let body = self.expr(false);
+                        if self.at_punct(',') {
+                            self.i += 1;
+                        }
+                        arms.push(Arm { names, pat, guard, body });
+                        if self.i == at {
+                            self.i += 1;
+                        }
+                    }
+                    self.i = close + 1;
+                }
+                Expr::Match { scrutinee: Box::new(scrutinee), arms }
+            }
+            "loop" => {
+                self.i += 1;
+                let body = if self.at_punct('{') { self.block() } else { empty_block(self.i) };
+                Expr::Loop { body }
+            }
+            "while" => {
+                self.i += 1;
+                if self.at_ident("let") {
+                    self.i += 1;
+                    let names = self.pattern_names(&["="], self.t.len());
+                    if self.at_op("=") {
+                        self.i += 1;
+                    }
+                    let value = self.expr(true);
+                    let body = if self.at_punct('{') { self.block() } else { empty_block(self.i) };
+                    return Expr::WhileLet { names, value: Box::new(value), body };
+                }
+                let cond = self.expr(true);
+                let body = if self.at_punct('{') { self.block() } else { empty_block(self.i) };
+                Expr::While { cond: Box::new(cond), body }
+            }
+            "for" => {
+                self.i += 1;
+                let names = self.pattern_names(&["in"], self.t.len());
+                if self.at_ident("in") {
+                    self.i += 1;
+                }
+                let iter = self.expr(true);
+                let body = if self.at_punct('{') { self.block() } else { empty_block(self.i) };
+                Expr::For { names, iter: Box::new(iter), body }
+            }
+            "unsafe" | "async" => {
+                self.i += 1;
+                if self.at_ident("move") {
+                    self.i += 1;
+                }
+                if self.at_punct('{') {
+                    Expr::Block(self.block())
+                } else {
+                    Expr::Unknown { span: Span { start: self.i, end: self.i } }
+                }
+            }
+            "return" => {
+                self.i += 1;
+                let inner =
+                    if self.expr_starts() { Some(Box::new(self.expr(ns))) } else { None };
+                Expr::Return { inner }
+            }
+            "break" | "continue" => {
+                self.i += 1;
+                if matches!(self.kind(0), Some(TokenKind::Lifetime(_))) {
+                    self.i += 1;
+                }
+                let inner = if word == "break" && self.expr_starts() {
+                    Some(Box::new(self.expr(ns)))
+                } else {
+                    None
+                };
+                Expr::Jump { inner }
+            }
+            "true" | "false" => Expr::Lit { tok: self.bump() },
+            "move" => {
+                self.i += 1;
+                if self.at_punct('|') {
+                    self.closure(ns)
+                } else if self.at_punct('{') {
+                    Expr::Block(self.block())
+                } else {
+                    Expr::Unknown { span: Span { start: self.i, end: self.i } }
+                }
+            }
+            _ => self.path_expr(ns),
+        }
+    }
+
+    /// Match-arm guard: parse up to the `=>` without consuming it.
+    fn guard_expr(&mut self, limit: usize) -> Expr {
+        let start = self.i;
+        // Guards are rare and small; reuse the normal parser, which
+        // stops naturally at `=>` because `=` + glued `>` matches no
+        // binary operator.
+        let e = self.expr(true);
+        if self.i > limit {
+            self.i = limit;
+            return Expr::Unknown { span: Span { start, end: limit } };
+        }
+        e
+    }
+
+    fn if_expr(&mut self) -> Expr {
+        if self.at_ident("let") {
+            self.i += 1;
+            let names = self.pattern_names(&["="], self.t.len());
+            if self.at_op("=") {
+                self.i += 1;
+            }
+            let value = self.expr(true);
+            let then = if self.at_punct('{') { self.block() } else { empty_block(self.i) };
+            let els = self.else_tail();
+            return Expr::IfLet { names, value: Box::new(value), then, els };
+        }
+        let cond = self.expr(true);
+        let then = if self.at_punct('{') { self.block() } else { empty_block(self.i) };
+        let els = self.else_tail();
+        Expr::If { cond: Box::new(cond), then, els }
+    }
+
+    fn else_tail(&mut self) -> Option<Box<Expr>> {
+        if !self.at_ident("else") {
+            return None;
+        }
+        self.i += 1;
+        if self.at_ident("if") {
+            self.i += 1;
+            return Some(Box::new(self.if_expr()));
+        }
+        if self.at_punct('{') {
+            return Some(Box::new(Expr::Block(self.block())));
+        }
+        None
+    }
+
+    fn path_expr(&mut self, ns: bool) -> Expr {
+        let tok = self.i;
+        let mut segs = Vec::new();
+        while let Some(TokenKind::Ident(s)) = self.kind(0) {
+            segs.push(s.clone());
+            self.i += 1;
+            if self.at_op("::") {
+                self.i += 2;
+                if self.at_punct('<') {
+                    self.skip_angles(); // turbofish
+                    if self.at_op("::") {
+                        self.i += 2;
+                        continue;
+                    }
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        if segs.is_empty() {
+            return Expr::Unknown { span: Span { start: tok, end: self.i.max(tok + 1) } };
+        }
+        // Macro invocation: `name!(...)` / `name![...]` / `name!{...}`.
+        if self.at_punct('!') && !self.at_op("!=") {
+            self.i += 1;
+            let name = segs.last().cloned().unwrap_or_default();
+            let (open, closec) = match self.kind(0) {
+                Some(TokenKind::Punct('(')) => ('(', ')'),
+                Some(TokenKind::Punct('[')) => ('[', ']'),
+                Some(TokenKind::Punct('{')) => ('{', '}'),
+                _ => return Expr::Macro { name, args: Vec::new(), tok },
+            };
+            let close = self.matching(self.i, open, closec);
+            self.i += 1;
+            let mut args = Vec::new();
+            while self.i < close {
+                let at = self.i;
+                args.push(self.expr(false));
+                if self.at_punct(',') {
+                    self.i += 1;
+                }
+                if self.i == at {
+                    self.i += 1;
+                }
+            }
+            self.i = close + 1;
+            return Expr::Macro { name, args, tok };
+        }
+        // Struct literal: `Path { field: expr, .. }` — only when the
+        // context allows it and the last segment is type-shaped.
+        let typeish = segs
+            .last()
+            .and_then(|s| s.chars().next())
+            .is_some_and(char::is_uppercase);
+        if self.at_punct('{') && !ns && typeish {
+            let close = self.matching(self.i, '{', '}');
+            self.i += 1;
+            let mut fields = Vec::new();
+            while self.i < close {
+                let at = self.i;
+                if self.at_op("..") {
+                    self.i += 2;
+                    let base = self.expr(false);
+                    fields.push(("..".to_owned(), base));
+                } else if let Some(TokenKind::Ident(name)) = self.kind(0).cloned() {
+                    self.i += 1;
+                    if self.at_punct(':') && !self.at_op("::") {
+                        self.i += 1;
+                        let value = self.expr(false);
+                        fields.push((name, value));
+                    } else {
+                        // Shorthand `Point { x, y }`.
+                        fields.push((name.clone(), Expr::Path { segs: vec![name], tok: self.i - 1 }));
+                    }
+                }
+                if self.at_punct(',') {
+                    self.i += 1;
+                }
+                if self.i == at {
+                    self.i += 1;
+                }
+            }
+            self.i = close + 1;
+            return Expr::StructLit { path: segs, fields, tok };
+        }
+        Expr::Path { segs, tok }
+    }
+}
+
+/// All multi-char operators `at_op` must not match a prefix of.
+const OPERATORS: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->", "=>", "::", "..", "..=", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+];
+
+fn is_op_char(c: char) -> bool {
+    matches!(c, '=' | '<' | '>' | '&' | '|' | '.' | ':' | '-' | '+' | '*' | '/' | '%' | '^' | '!')
+}
+
+fn word_is_punct(s: &str) -> bool {
+    s.len() == 1 && !s.chars().next().is_some_and(char::is_alphanumeric)
+}
+
+fn stop_char(s: &str) -> char {
+    s.chars().next().unwrap_or(';')
+}
+
+fn empty_block(at: usize) -> Block {
+    Block { stmts: Vec::new(), span: Span { start: at, end: at } }
+}
+
+/// Keyword/binding filter for pattern names: lowercase- or
+/// underscore-initial (but not the bare `_`), not a pattern keyword.
+fn is_binding_name(s: &str) -> bool {
+    if s == "_" {
+        return false;
+    }
+    let Some(first) = s.chars().next() else { return false };
+    if !(first.is_lowercase() || first == '_') {
+        return false;
+    }
+    !matches!(s, "mut" | "ref" | "box" | "if" | "in" | "else" | "true" | "false")
+}
+
+/// Splits `tokens[lo..hi]` at depth-0 commas into index ranges.
+fn split_commas(tokens: &[Token], lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = lo;
+    for (k, t) in tokens.iter().enumerate().take(hi).skip(lo) {
+        match t.kind {
+            TokenKind::Punct('(' | '[' | '{' | '<') => depth += 1,
+            TokenKind::Punct(')' | ']' | '}' | '>') => depth -= 1,
+            TokenKind::Punct(',') if depth <= 0 => {
+                if k > start {
+                    out.push((start, k));
+                }
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    if hi > start {
+        out.push((start, hi));
+    }
+    out
+}
+
+/// Parses one fn parameter from `tokens[lo..hi]`.
+fn parse_param(
+    tokens: &[Token],
+    lo: usize,
+    hi: usize,
+    params: &mut Vec<Param>,
+    has_self: &mut bool,
+) {
+    // Skip attributes on the parameter.
+    let mut k = lo;
+    while k < hi && tokens[k].is_punct('#') {
+        let mut depth = 0i32;
+        k += 1;
+        while k < hi {
+            match tokens[k].kind {
+                TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    // Find the top-level `:` separating pattern from type.
+    let mut colon = None;
+    let mut depth = 0i32;
+    for idx in k..hi {
+        match tokens[idx].kind {
+            TokenKind::Punct('(' | '[' | '<') => depth += 1,
+            TokenKind::Punct(')' | ']' | '>') => depth -= 1,
+            TokenKind::Punct(':') if depth == 0 => {
+                // `::` is a path separator, not the type colon.
+                let double = tokens.get(idx + 1).is_some_and(|t| t.is_punct(':'))
+                    || (idx > k && tokens[idx - 1].is_punct(':'));
+                if !double {
+                    colon = Some(idx);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let pat_end = colon.unwrap_or(hi);
+    // Receiver in any spelling: `self`, `&mut self`, `self: Box<Self>`.
+    if tokens[k..pat_end].iter().any(|t| t.ident() == Some("self")) {
+        *has_self = true;
+        return;
+    }
+    let ty: String = match colon {
+        Some(c) => {
+            let mut s = String::new();
+            for t in &tokens[c + 1..hi] {
+                push_text(&mut s, t);
+            }
+            s
+        }
+        None => String::new(),
+    };
+    for t in &tokens[k..pat_end] {
+        if let Some(name) = t.ident() {
+            if is_binding_name(name) {
+                params.push(Param { name: name.to_owned(), ty: ty.clone() });
+            }
+        }
+    }
+}
+
+/// Appends a token's surface text (approximate for literals).
+fn push_text(out: &mut String, t: &Token) {
+    match &t.kind {
+        TokenKind::Ident(s) => {
+            if !out.is_empty() && out.chars().last().is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                out.push(' ');
+            }
+            out.push_str(s);
+        }
+        TokenKind::Lifetime(s) => {
+            out.push('\'');
+            out.push_str(s);
+        }
+        TokenKind::Punct(c) => out.push(*c),
+        TokenKind::Str(s) => {
+            out.push('"');
+            out.push_str(s);
+            out.push('"');
+        }
+        TokenKind::Char => out.push_str("'_'"),
+        TokenKind::Num { text: s, .. } => {
+            if !out.is_empty() && out.chars().last().is_some_and(|c| c.is_alphanumeric()) {
+                out.push(' ');
+            }
+            out.push_str(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> File {
+        parse(&lex(src))
+    }
+
+    fn first_fn(file: &File) -> &Fn {
+        for item in &file.items {
+            if let Item::Fn(f) = item {
+                return f;
+            }
+        }
+        panic!("no fn item");
+    }
+
+    #[test]
+    fn fn_signature_and_params() {
+        let file = parse_src("pub fn f(a: u64, mut b: &str, (c, d): (u8, u8)) -> Result<u64, E> { a }");
+        let f = first_fn(&file);
+        assert_eq!(f.name, "f");
+        assert!(f.is_pub);
+        assert!(!f.has_self);
+        let names: Vec<&str> = f.params.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c", "d"]);
+        assert_eq!(f.params[0].ty, "u64");
+        assert!(f.ret.contains("Result"));
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn method_chain_parses_nested() {
+        let file = parse_src("fn f() { x.lock().unwrap().write_all(buf)?; }");
+        let f = first_fn(&file);
+        let body = f.body.as_ref().unwrap();
+        let Stmt::Expr(Expr::Try { inner }) = &body.stmts[0] else {
+            panic!("expected try: {:?}", body.stmts[0]);
+        };
+        let Expr::MethodCall { name, recv, .. } = inner.as_ref() else { panic!() };
+        assert_eq!(name, "write_all");
+        let Expr::MethodCall { name, recv, .. } = recv.as_ref() else { panic!() };
+        assert_eq!(name, "unwrap");
+        let Expr::MethodCall { name, .. } = recv.as_ref() else { panic!() };
+        assert_eq!(name, "lock");
+    }
+
+    #[test]
+    fn let_bindings_capture_pattern_names() {
+        let file = parse_src(
+            "fn f() { let (a, b) = pair(); let Some(x) = opt else { return; }; let _ = drop_now(); }",
+        );
+        let f = first_fn(&file);
+        let body = f.body.as_ref().unwrap();
+        let Stmt::Let { names, .. } = &body.stmts[0] else { panic!() };
+        assert_eq!(names, &["a", "b"]);
+        let Stmt::Let { names, els, .. } = &body.stmts[1] else { panic!() };
+        assert_eq!(names, &["x"]);
+        assert!(els.is_some(), "let-else block parsed");
+        let Stmt::Let { names, init, .. } = &body.stmts[2] else { panic!() };
+        assert!(names.is_empty(), "`_` is not a binding");
+        assert!(init.is_some());
+    }
+
+    #[test]
+    fn if_let_and_while_let_bind_names() {
+        let file = parse_src(
+            "fn f() { if let Ok(g) = m.lock() { use_it(&g); } while let Some(v) = it.next() { v; } }",
+        );
+        let f = first_fn(&file);
+        let body = f.body.as_ref().unwrap();
+        let Stmt::Expr(Expr::IfLet { names, .. }) = &body.stmts[0] else {
+            panic!("expected if-let: {:?}", body.stmts[0]);
+        };
+        assert_eq!(names, &["g"]);
+        let Stmt::Expr(Expr::WhileLet { names, .. }) = &body.stmts[1] else { panic!() };
+        assert_eq!(names, &["v"]);
+    }
+
+    #[test]
+    fn turbofish_and_struct_literal() {
+        let file = parse_src(
+            "fn f() -> P { let v = Vec::<u64>::new(); P { x: 1, y: v.len(), ..base() } }",
+        );
+        let f = first_fn(&file);
+        let body = f.body.as_ref().unwrap();
+        let Stmt::Let { init: Some(Expr::Call { callee, .. }), .. } = &body.stmts[0] else {
+            panic!("expected call init: {:?}", body.stmts[0]);
+        };
+        let Expr::Path { segs, .. } = callee.as_ref() else { panic!() };
+        assert_eq!(segs, &["Vec", "new"], "turbofish stripped from path");
+        let Stmt::Expr(Expr::StructLit { path, fields, .. }) = &body.stmts[1] else {
+            panic!("expected struct literal: {:?}", body.stmts[1]);
+        };
+        assert_eq!(path, &["P"]);
+        assert_eq!(fields.len(), 3);
+        assert_eq!(fields[2].0, "..");
+    }
+
+    #[test]
+    fn match_arms_and_guards() {
+        let file = parse_src(
+            "fn f(x: Option<u64>) -> u64 { match x { Some(v) if v > 2 => v, Some(v) => v + 1, None => 0 } }",
+        );
+        let f = first_fn(&file);
+        let body = f.body.as_ref().unwrap();
+        let Stmt::Expr(Expr::Match { arms, .. }) = &body.stmts[0] else {
+            panic!("expected match: {:?}", body.stmts[0]);
+        };
+        assert_eq!(arms.len(), 3);
+        assert_eq!(arms[0].names, ["v"]);
+        assert!(arms[0].guard.is_some());
+        assert!(arms[2].names.is_empty());
+    }
+
+    #[test]
+    fn impl_blocks_attribute_methods() {
+        let file = parse_src(
+            "impl Display for Thing { fn fmt(&self) {} }\nimpl Thing { pub fn new(seed: u64) -> Self { Self { seed } } }",
+        );
+        let Item::Impl(i) = &file.items[0] else { panic!() };
+        assert_eq!(i.type_name, "Thing");
+        assert_eq!(i.trait_name.as_deref(), Some("Display"));
+        let Item::Fn(f) = &i.items[0] else { panic!() };
+        assert!(f.has_self);
+        let Item::Impl(i) = &file.items[1] else { panic!() };
+        assert_eq!(i.type_name, "Thing");
+        assert!(i.trait_name.is_none());
+        let Item::Fn(f) = &i.items[0] else { panic!() };
+        assert_eq!(f.name, "new");
+        assert!(!f.has_self);
+        assert_eq!(f.params[0].name, "seed");
+    }
+
+    #[test]
+    fn closures_and_macro_args_are_walked() {
+        let file = parse_src(
+            "fn f() { let c = move |a, b: u64| a + b; assert_eq!(c(1, 2), g(3)); }",
+        );
+        let f = first_fn(&file);
+        let body = f.body.as_ref().unwrap();
+        let Stmt::Let { init: Some(Expr::Closure { params, .. }), .. } = &body.stmts[0] else {
+            panic!("expected closure: {:?}", body.stmts[0]);
+        };
+        assert_eq!(params, &["a", "b"]);
+        let Stmt::Expr(Expr::Macro { name, args, .. }) = &body.stmts[1] else { panic!() };
+        assert_eq!(name, "assert_eq");
+        assert_eq!(args.len(), 2, "macro args parsed as exprs");
+    }
+
+    #[test]
+    fn confusion_is_contained() {
+        // A deliberately weird region must not swallow the next fn.
+        let file = parse_src(
+            "fn weird() { let x = <<<; ??? }\nfn after() { ok(); }",
+        );
+        let names: Vec<&str> = file
+            .items
+            .iter()
+            .filter_map(|i| if let Item::Fn(f) = i { Some(f.name.as_str()) } else { None })
+            .collect();
+        assert_eq!(names, ["weird", "after"]);
+    }
+
+    #[test]
+    fn indexing_and_ranges() {
+        let file = parse_src("fn f(v: &[u64]) -> u64 { v[0] + v[1..3].len() as u64 }");
+        let f = first_fn(&file);
+        let body = f.body.as_ref().unwrap();
+        let mut index_count = 0;
+        crate::dataflow::walk_fn(f, &mut |e| {
+            if matches!(e, Expr::Index { .. }) {
+                index_count += 1;
+            }
+        });
+        assert_eq!(index_count, 2);
+        assert_eq!(body.stmts.len(), 1);
+    }
+}

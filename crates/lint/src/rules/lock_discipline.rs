@@ -1,0 +1,559 @@
+//! `lock-discipline` — guard lifetimes versus blocking I/O, across
+//! helper calls, plus workspace-wide lock-ordering consistency.
+//!
+//! PR 3 taught the server to never hold a lock across a blocking
+//! syscall; the token-level `lock-across-io` rule from PR 5 enforced
+//! it one line at a time and went blind the moment the guard crossed a
+//! statement boundary — `let st = self.state.lock().unwrap();` followed
+//! by a call to a helper that writes a file was invisible. This rule
+//! replaces it with three interprocedural checks over the AST and call
+//! graph:
+//!
+//! * **guard across I/O** — a let-bound (or `if let`/`match`-bound)
+//!   guard that is still live when the body performs blocking I/O
+//!   *or calls any fn from which blocking I/O is reachable*. Guard
+//!   liveness is block-scoped and `drop(guard)` ends it early.
+//! * **temporary guard across I/O** — `lock_write(&self.state).slow()`
+//!   style chains where the unnamed guard lives for the whole
+//!   statement, including an I/O-reaching method.
+//! * **lock-order inversion** — two fns anywhere in the workspace that
+//!   acquire the same pair of locks in opposite orders while the first
+//!   is still held: the classic ABBA deadlock.
+//!
+//! Lock identity is the structural fingerprint of the lock expression
+//! (`self.state`, `svc.inner`), so renamed bindings still match.
+//! Guard-across-I/O is scoped to `crates/server/src/` where the
+//! latency contract lives; ordering inversions are checked everywhere.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::ast::{Block, Expr, Stmt};
+use crate::callgraph::CallGraph;
+use crate::dataflow::{fingerprint, walk_fn};
+use crate::engine::{FileKind, Finding};
+use crate::lexer::Token;
+use crate::rules::{WsRule, LOCK_DISCIPLINE};
+use crate::symbols::Workspace;
+
+/// No-arg methods that acquire a lock and return a guard.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+/// Free helpers that acquire on their first argument.
+const ACQUIRE_FNS: &[&str] = &["lock_read", "lock_write"];
+/// Methods that pass a guard through unchanged (`.lock().unwrap()`).
+const GUARD_PRESERVING: &[&str] = &["unwrap", "expect", "unwrap_or_else", "map_err", "ok"];
+/// Method names that block on I/O or time.
+const IO_METHODS: &[&str] = &[
+    "write_all",
+    "write_line",
+    "writeln_line",
+    "read_line",
+    "read_exact",
+    "read_to_string",
+    "read_to_end",
+    "flush",
+    "sync_all",
+    "to_writer",
+    "save_atomic",
+    "save_checkpoint",
+    "persist",
+    "recv",
+    "recv_timeout",
+    "accept",
+    "connect",
+];
+/// Path qualifiers whose associated calls are blocking I/O
+/// (`fs::write`, `File::create`, `TcpStream::connect`, `thread::sleep`).
+const IO_QUALIFIERS: &[&str] =
+    &["fs", "File", "OpenOptions", "TcpStream", "TcpListener", "UnixStream", "thread"];
+/// Where guard-across-I/O findings apply (the server latency contract).
+const SCOPE: &str = "crates/server/src/";
+
+pub struct LockDiscipline;
+
+impl WsRule for LockDiscipline {
+    fn id(&self) -> &'static str {
+        LOCK_DISCIPLINE
+    }
+
+    fn describe(&self) -> &'static str {
+        "no lock guard held across blocking I/O (directly or through helper calls); consistent multi-lock acquisition order workspace-wide"
+    }
+
+    fn check(&self, ws: &Workspace<'_>, cg: &CallGraph, out: &mut Vec<Finding>) {
+        let n = ws.fns.len();
+        // Pass 1: which fns perform blocking I/O directly.
+        let mut io_name: Vec<Option<String>> = vec![None; n];
+        for (i, entry) in ws.fns.iter().enumerate() {
+            walk_fn(entry.node, &mut |e| {
+                if io_name[i].is_none() {
+                    if let Some((_, what)) = direct_io(e) {
+                        io_name[i] = Some(what);
+                    }
+                }
+            });
+        }
+        // Pass 2: which fns *reach* blocking I/O, with a witness callee
+        // per fn so findings can print the chain. Reverse BFS from the
+        // direct performers.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (caller, edges) in cg.edges.iter().enumerate() {
+            for edge in edges {
+                rev[edge.callee].push(caller);
+            }
+        }
+        let mut reach_io = vec![false; n];
+        let mut io_next: Vec<Option<usize>> = vec![None; n];
+        let mut queue: Vec<usize> = (0..n).filter(|&i| io_name[i].is_some()).collect();
+        for &s in &queue {
+            reach_io[s] = true;
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let at = queue[head];
+            head += 1;
+            for &caller in &rev[at] {
+                if !reach_io[caller] {
+                    reach_io[caller] = true;
+                    io_next[caller] = Some(at);
+                    queue.push(caller);
+                }
+            }
+        }
+
+        // Pass 3: flow-sensitive guard walk per fn.
+        let mut orders: Vec<(String, String, usize, usize)> = Vec::new();
+        for i in 0..n {
+            let entry = &ws.fns[i];
+            if entry.in_test {
+                continue;
+            }
+            let file = ws.file_of(i);
+            if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+                continue;
+            }
+            let Some(body) = &entry.node.body else { continue };
+            let mut by_tok: HashMap<usize, Vec<usize>> = HashMap::new();
+            for edge in &cg.edges[i] {
+                by_tok.entry(edge.tok).or_default().push(edge.callee);
+            }
+            let mut walk = Walk {
+                ws,
+                fn_idx: i,
+                tokens: &file.model.tokens,
+                edges: by_tok,
+                reach_io: &reach_io,
+                io_name: &io_name,
+                io_next: &io_next,
+                in_scope: file.rel_path.starts_with(SCOPE),
+                guards: Vec::new(),
+                orders: &mut orders,
+                out,
+            };
+            walk.block(body);
+        }
+
+        // Pass 4: ordering inversions. First occurrence per ordered
+        // pair; a finding fires at the lexicographically-descending
+        // pair's site so each inversion reports exactly once.
+        let mut first: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
+        for (held, acquired, fn_idx, tok) in orders {
+            first.entry((held, acquired)).or_insert((fn_idx, tok));
+        }
+        for ((held, acquired), (fn_idx, tok)) in &first {
+            if held < acquired {
+                continue;
+            }
+            let Some((other_fn, other_tok)) = first.get(&(acquired.clone(), held.clone())) else {
+                continue;
+            };
+            let file = ws.file_of(*fn_idx);
+            if file.model.allowed(*tok, LOCK_DISCIPLINE) {
+                continue;
+            }
+            let other = ws.file_of(*other_fn);
+            let other_line = other.model.tokens.get(*other_tok).map_or(0, |t| t.line);
+            let Some(token) = file.model.tokens.get(*tok) else { continue };
+            out.push(Finding {
+                path: file.rel_path.clone(),
+                line: token.line,
+                col: token.col,
+                rule: LOCK_DISCIPLINE,
+                message: format!(
+                    "acquires lock `{acquired}` while holding `{held}`, but {}:{other_line} \
+                     acquires the same pair in the opposite order — pick one global order to \
+                     rule out ABBA deadlock",
+                    other.rel_path
+                ),
+            });
+        }
+    }
+}
+
+/// One live guard binding.
+struct Guard {
+    name: String,
+    lock: String,
+}
+
+/// Flow-sensitive walker for one fn body.
+struct Walk<'x, 'a> {
+    ws: &'x Workspace<'a>,
+    fn_idx: usize,
+    tokens: &'x [Token],
+    /// Call-site token → resolved callee fn indices.
+    edges: HashMap<usize, Vec<usize>>,
+    reach_io: &'x [bool],
+    io_name: &'x [Option<String>],
+    io_next: &'x [Option<usize>],
+    /// Guard-across-I/O findings only fire inside `SCOPE`.
+    in_scope: bool,
+    guards: Vec<Guard>,
+    orders: &'x mut Vec<(String, String, usize, usize)>,
+    out: &'x mut Vec<Finding>,
+}
+
+impl Walk<'_, '_> {
+    fn block(&mut self, b: &Block) {
+        let depth = self.guards.len();
+        for stmt in &b.stmts {
+            match stmt {
+                Stmt::Let { names, init, els, tok } => {
+                    if let Some(e) = init {
+                        self.expr(e);
+                        if let Some(lock) = acquire_of(e, self.tokens) {
+                            self.note_acquire(&lock, *tok);
+                            for name in names {
+                                self.guards.push(Guard { name: name.clone(), lock: lock.clone() });
+                            }
+                        }
+                    }
+                    if let Some(blk) = els {
+                        self.block(blk);
+                    }
+                }
+                Stmt::Expr(e) => {
+                    if let Some(dropped) = drop_call(e) {
+                        self.guards.retain(|g| g.name != dropped);
+                    } else {
+                        self.expr(e);
+                    }
+                }
+                // Nested fn items get no guard context of their own
+                // here; they are conservative misses (documented in
+                // DESIGN.md §17), not false positives.
+                Stmt::Item(_) => {}
+            }
+        }
+        self.guards.truncate(depth);
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        if !self.guards.is_empty() {
+            if let Some((tok, what)) = self.io_of(e) {
+                let held = self.guards.last().map(|g| g.lock.clone()).unwrap_or_default();
+                let name = self.guards.last().map(|g| g.name.clone()).unwrap_or_default();
+                self.flag(
+                    tok,
+                    format!(
+                        "guard `{name}` (lock `{held}`) is still live across {what}; drop the \
+                         guard first or defer the blocking work"
+                    ),
+                );
+            }
+        }
+        // Temporary guard: a method chained directly onto an acquire,
+        // where the method itself blocks or reaches blocking I/O.
+        if let Expr::MethodCall { recv, name, tok, .. } = e {
+            if !GUARD_PRESERVING.contains(&name.as_str())
+                && acquire_of(recv, self.tokens).is_some()
+            {
+                if let Some((_, what)) = self.call_io(*tok, name) {
+                    self.flag(
+                        *tok,
+                        format!(
+                            "temporary lock guard lives for this whole statement and is held \
+                             across {what}; bind the lock result, extract what you need, and \
+                             drop it before the blocking call"
+                        ),
+                    );
+                }
+            }
+        }
+        match e {
+            Expr::Path { .. } | Expr::Lit { .. } | Expr::Unknown { .. } => {}
+            Expr::Call { callee, args, .. } => {
+                self.expr(callee);
+                args.iter().for_each(|a| self.expr(a));
+            }
+            Expr::MethodCall { recv, args, .. } => {
+                self.expr(recv);
+                args.iter().for_each(|a| self.expr(a));
+            }
+            Expr::Field { base, .. } => self.expr(base),
+            Expr::Index { base, index, .. } => {
+                self.expr(base);
+                self.expr(index);
+            }
+            Expr::Try { inner } | Expr::Unary { inner } | Expr::Cast { inner } => self.expr(inner),
+            Expr::Binary { lhs, rhs } | Expr::Assign { lhs, rhs } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::Block(b) => self.block(b),
+            Expr::If { cond, then, els } => {
+                self.expr(cond);
+                self.block(then);
+                if let Some(e) = els {
+                    self.expr(e);
+                }
+            }
+            Expr::IfLet { names, value, then, els } => {
+                self.expr(value);
+                let depth = self.guards.len();
+                if let Some(lock) = acquire_of(value, self.tokens) {
+                    self.note_acquire(&lock, value.tok().unwrap_or(0));
+                    for name in names {
+                        self.guards.push(Guard { name: name.clone(), lock: lock.clone() });
+                    }
+                }
+                self.block(then);
+                self.guards.truncate(depth);
+                if let Some(e) = els {
+                    self.expr(e);
+                }
+            }
+            Expr::Match { scrutinee, arms } => {
+                self.expr(scrutinee);
+                let acquired = acquire_of(scrutinee, self.tokens);
+                if let Some(lock) = &acquired {
+                    self.note_acquire(lock, scrutinee.tok().unwrap_or(0));
+                }
+                for arm in arms {
+                    let depth = self.guards.len();
+                    if let Some(lock) = &acquired {
+                        for name in &arm.names {
+                            self.guards.push(Guard { name: name.clone(), lock: lock.clone() });
+                        }
+                    }
+                    if let Some(g) = &arm.guard {
+                        self.expr(g);
+                    }
+                    self.expr(&arm.body);
+                    self.guards.truncate(depth);
+                }
+            }
+            Expr::Loop { body } => self.block(body),
+            Expr::While { cond, body } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            Expr::WhileLet { names, value, body } => {
+                self.expr(value);
+                let depth = self.guards.len();
+                if let Some(lock) = acquire_of(value, self.tokens) {
+                    self.note_acquire(&lock, value.tok().unwrap_or(0));
+                    for name in names {
+                        self.guards.push(Guard { name: name.clone(), lock: lock.clone() });
+                    }
+                }
+                self.block(body);
+                self.guards.truncate(depth);
+            }
+            Expr::For { iter, body, .. } => {
+                self.expr(iter);
+                self.block(body);
+            }
+            Expr::Closure { body, .. } => self.expr(body),
+            Expr::Macro { args, .. } => args.iter().for_each(|a| self.expr(a)),
+            Expr::StructLit { fields, .. } => fields.iter().for_each(|(_, v)| self.expr(v)),
+            Expr::Tuple { items } | Expr::Array { items } => {
+                items.iter().for_each(|i| self.expr(i));
+            }
+            Expr::Return { inner } | Expr::Jump { inner } => {
+                if let Some(e) = inner {
+                    self.expr(e);
+                }
+            }
+            Expr::Range { lo, hi } => {
+                if let Some(e) = lo {
+                    self.expr(e);
+                }
+                if let Some(e) = hi {
+                    self.expr(e);
+                }
+            }
+        }
+    }
+
+    /// Blocking-I/O classification of one call node: direct I/O by
+    /// name, or a resolved callee from which I/O is reachable.
+    fn io_of(&self, e: &Expr) -> Option<(usize, String)> {
+        if let Some((tok, what)) = direct_io(e) {
+            return Some((tok, format!("blocking I/O `{what}`")));
+        }
+        let (tok, name) = match e {
+            Expr::Call { callee, tok, .. } => match callee.as_ref() {
+                Expr::Path { segs, .. } => (*tok, segs.last()?.as_str()),
+                _ => return None,
+            },
+            Expr::MethodCall { name, tok, .. } => (*tok, name.as_str()),
+            _ => return None,
+        };
+        self.call_io(tok, name)
+    }
+
+    /// I/O reachability of the callees resolved at call-site token
+    /// `tok` (plus the direct method-name check for `call_io` callers).
+    fn call_io(&self, tok: usize, name: &str) -> Option<(usize, String)> {
+        if IO_METHODS.contains(&name) {
+            return Some((tok, format!("blocking I/O `{name}`")));
+        }
+        for &callee in self.edges.get(&tok)?.iter() {
+            if self.reach_io[callee] {
+                return Some((
+                    tok,
+                    format!("a call into {}", self.chain(callee)),
+                ));
+            }
+        }
+        None
+    }
+
+    /// Renders the witness chain from `at` down to the blocking call:
+    /// `` `handle` -> `save_checkpoint` -> `write_all` ``.
+    fn chain(&self, mut at: usize) -> String {
+        let mut parts = vec![format!("`{}`", self.ws.fns[at].qual)];
+        for _ in 0..3 {
+            match self.io_next[at] {
+                Some(next) => {
+                    at = next;
+                    parts.push(format!("`{}`", self.ws.fns[at].qual));
+                }
+                None => break,
+            }
+        }
+        match &self.io_name[at] {
+            Some(io) => parts.push(format!("blocking `{io}`")),
+            None => parts.push("...".to_owned()),
+        }
+        parts.join(" -> ")
+    }
+
+    /// Records lock-ordering pairs (every held lock, then the new one).
+    fn note_acquire(&mut self, lock: &str, tok: usize) {
+        for g in &self.guards {
+            if g.lock != lock {
+                self.orders.push((g.lock.clone(), lock.to_owned(), self.fn_idx, tok));
+            }
+        }
+    }
+
+    fn flag(&mut self, tok: usize, message: String) {
+        if !self.in_scope {
+            return;
+        }
+        let file = self.ws.file_of(self.fn_idx);
+        if file.model.in_test.get(tok).copied().unwrap_or(false)
+            || file.model.allowed(tok, LOCK_DISCIPLINE)
+        {
+            return;
+        }
+        let Some(token) = file.model.tokens.get(tok) else { return };
+        self.out.push(Finding {
+            path: file.rel_path.clone(),
+            line: token.line,
+            col: token.col,
+            rule: LOCK_DISCIPLINE,
+            message,
+        });
+    }
+}
+
+/// The lock fingerprint when `e` is an acquisition (possibly wrapped in
+/// guard-preserving combinators): the receiver of a no-arg
+/// `ACQUIRE_METHODS` call, or the first argument of an `ACQUIRE_FNS` /
+/// `lock_*` free call.
+fn acquire_of(e: &Expr, tokens: &[Token]) -> Option<String> {
+    match strip_wrappers(e) {
+        Expr::MethodCall { recv, name, args, .. }
+            if ACQUIRE_METHODS.contains(&name.as_str()) && args.is_empty() =>
+        {
+            Some(clean(fingerprint(recv, tokens)))
+        }
+        Expr::Call { callee, args, .. } => {
+            let Expr::Path { segs, .. } = callee.as_ref() else { return None };
+            let last = segs.last()?;
+            if (ACQUIRE_FNS.contains(&last.as_str()) || last.starts_with("lock_"))
+                && !args.is_empty()
+            {
+                return Some(clean(fingerprint(&args[0], tokens)));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Unwraps `.unwrap()` / `.expect(..)` / `?` / `&` layers around an
+/// acquisition so the guard's origin stays visible.
+fn strip_wrappers(e: &Expr) -> &Expr {
+    let mut cur = e;
+    loop {
+        match cur {
+            Expr::MethodCall { recv, name, .. } if GUARD_PRESERVING.contains(&name.as_str()) => {
+                cur = recv;
+            }
+            Expr::Try { inner } | Expr::Unary { inner } => cur = inner,
+            _ => return cur,
+        }
+    }
+}
+
+/// Strips the reference markers a fingerprint keeps for `&x` so
+/// `self.state` and `&self.state` identify the same lock.
+fn clean(print: String) -> String {
+    print.trim_start_matches('~').to_owned()
+}
+
+/// `drop(name)` — ends the named guard's liveness early.
+fn drop_call(e: &Expr) -> Option<String> {
+    let Expr::Call { callee, args, .. } = e else { return None };
+    let Expr::Path { segs, .. } = callee.as_ref() else { return None };
+    if segs.last().map(String::as_str) != Some("drop") || args.len() != 1 {
+        return None;
+    }
+    match args.first() {
+        Some(Expr::Path { segs, .. }) if segs.len() == 1 => Some(segs[0].clone()),
+        _ => None,
+    }
+}
+
+/// Direct blocking I/O: a known blocking method name, or an associated
+/// call on a filesystem/socket/thread type (`fs::write`,
+/// `File::create`, `TcpStream::connect`, `thread::sleep`).
+fn direct_io(e: &Expr) -> Option<(usize, String)> {
+    match e {
+        Expr::MethodCall { name, tok, .. } if IO_METHODS.contains(&name.as_str()) => {
+            Some((*tok, name.clone()))
+        }
+        Expr::Call { callee, tok, .. } => {
+            let Expr::Path { segs, .. } = callee.as_ref() else { return None };
+            let last = segs.last()?;
+            if segs.len() >= 2 && IO_QUALIFIERS.contains(&segs[segs.len() - 2].as_str()) {
+                // `thread::` only blocks when it waits; queries like
+                // `thread::available_parallelism` are cheap syscalls.
+                if segs[segs.len() - 2] == "thread"
+                    && !matches!(last.as_str(), "sleep" | "park" | "park_timeout")
+                {
+                    return None;
+                }
+                return Some((*tok, format!("{}::{last}", segs[segs.len() - 2])));
+            }
+            if last == "sleep" || IO_METHODS.contains(&last.as_str()) {
+                return Some((*tok, last.clone()));
+            }
+            None
+        }
+        _ => None,
+    }
+}

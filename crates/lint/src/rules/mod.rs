@@ -1,32 +1,42 @@
 //! The rule set.
 //!
 //! Each rule guards an invariant a previous PR established and the
-//! compiler cannot see (see DESIGN.md §12 for the rule-by-rule
-//! rationale). Rules are token-level pattern matchers over the
-//! annotated stream built by [`crate::engine`].
+//! compiler cannot see (see DESIGN.md §12 and §17 for the rule-by-rule
+//! rationale). Two shapes exist: per-file [`Rule`]s (token- or
+//! AST-level pattern matchers over one file, cacheable by content
+//! hash) and workspace [`WsRule`]s (interprocedural analyses over the
+//! symbol table and call graph built by [`crate::engine`]).
 
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::Path;
 
+use crate::callgraph::CallGraph;
 use crate::engine::{Ctx, Finding};
 use crate::lexer::{lex, Token, TokenKind};
+use crate::symbols::Workspace;
 
+mod checkpoint_compat;
 mod float_ordering;
-mod lock_across_io;
+mod lock_discipline;
 mod metric_drift;
 mod nondet_iter;
-mod panic_in_lib;
+mod panic_path;
+mod rng_purity;
 mod wall_clock;
 
 pub const NONDETERMINISTIC_ITERATION: &str = "nondeterministic-iteration";
 pub const FLOAT_ORDERING: &str = "float-ordering";
-pub const PANIC_IN_LIB: &str = "panic-in-lib";
 pub const WALL_CLOCK_IN_SIM: &str = "wall-clock-in-sim";
-pub const LOCK_ACROSS_IO: &str = "lock-across-io";
 pub const METRIC_NAME_DRIFT: &str = "metric-name-drift";
+pub const RNG_PURITY: &str = "rng-purity";
+pub const CHECKPOINT_COMPAT: &str = "checkpoint-compat";
+pub const LOCK_DISCIPLINE: &str = "lock-discipline";
+pub const PANIC_PATH: &str = "panic-path";
 
-/// A lint rule: inspects one file, appends findings.
+/// A per-file lint rule: inspects one file, appends findings. Results
+/// depend only on that file (plus the shared [`DriftData`]), so they
+/// are cacheable by content hash.
 pub trait Rule {
     fn id(&self) -> &'static str;
     /// One-line description for `--list-rules`.
@@ -34,16 +44,37 @@ pub trait Rule {
     fn check(&self, ctx: &Ctx<'_>, out: &mut Vec<Finding>);
 }
 
-/// Every rule, in reporting order.
+/// A workspace rule: runs over the full symbol table and call graph.
+/// Never cached — interprocedural facts change when any file does.
+pub trait WsRule {
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn describe(&self) -> &'static str;
+    fn check(&self, ws: &Workspace<'_>, graph: &CallGraph, out: &mut Vec<Finding>);
+}
+
+/// Every per-file rule, in reporting order.
 pub fn all() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(nondet_iter::NondetIter),
         Box::new(float_ordering::FloatOrdering),
-        Box::new(panic_in_lib::PanicInLib),
         Box::new(wall_clock::WallClock),
-        Box::new(lock_across_io::LockAcrossIo),
         Box::new(metric_drift::MetricDrift),
+        Box::new(rng_purity::RngPurity),
+        Box::new(checkpoint_compat::CheckpointCompat),
     ]
+}
+
+/// Every workspace rule, in reporting order.
+pub fn workspace() -> Vec<Box<dyn WsRule>> {
+    vec![Box::new(lock_discipline::LockDiscipline), Box::new(panic_path::PanicPath)]
+}
+
+/// Every rule id, for `--rule` validation and `--list-rules`.
+pub fn known_ids() -> Vec<&'static str> {
+    let mut ids: Vec<&'static str> = all().iter().map(|r| r.id()).collect();
+    ids.extend(workspace().iter().map(|r| r.id()));
+    ids
 }
 
 /// Shared helper: index of the `)` matching the `(` at `open` (or the
@@ -63,15 +94,6 @@ pub(crate) fn match_paren(tokens: &[Token], open: usize) -> usize {
         }
     }
     tokens.len()
-}
-
-/// Shared helper: `tokens[i]` is an identifier called as a method
-/// (`.name(`).
-pub(crate) fn is_method_call(tokens: &[Token], i: usize, name: &str) -> bool {
-    tokens[i].ident() == Some(name)
-        && i > 0
-        && tokens[i - 1].is_punct('.')
-        && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
 }
 
 /// The telemetry key registry plus the documented-name set from

@@ -1,0 +1,145 @@
+//! `panic-path` — interprocedural panic reachability from public
+//! library entry points.
+//!
+//! The PR 5 `panic-in-lib` rule flagged every `unwrap` token in a lib
+//! file, which had two failure modes: it could not tell a panic buried
+//! in a private helper nobody calls from one sitting on the daemon's
+//! request path, and it was blind to `harmonyd`'s real exposure —
+//! indexing and panicking macros reached *through* helpers. This rule
+//! replaces it: a panic site is a finding iff its containing fn is
+//! reachable from a `pub` fn of a library crate over the call graph,
+//! and the message prints the witness path so the reviewer sees how
+//! the panic gets reached, not just where it lives.
+//!
+//! Sites: `.unwrap()` / `.expect(..)`, the panicking macros
+//! (`panic!`, `unreachable!`, `todo!`, `unimplemented!`), and — in
+//! `crates/server/src/`, where a panic kills a serving daemon —
+//! computed (non-literal, non-range) indexing. The standard clippy
+//! allow names (`clippy::unwrap_used`, ...) suppress a site, so one
+//! attribute satisfies both this linter and clippy's CI audit.
+
+use crate::ast::Expr;
+use crate::callgraph::CallGraph;
+use crate::dataflow::walk_fn;
+use crate::engine::{FileKind, Finding};
+use crate::rules::{WsRule, PANIC_PATH};
+use crate::symbols::Workspace;
+
+/// Panicking methods and the clippy allow name that waives each.
+const METHODS: &[(&str, &str)] =
+    &[("unwrap", "clippy::unwrap_used"), ("expect", "clippy::expect_used")];
+/// Panicking macros and their clippy allow names.
+const MACROS: &[(&str, &str)] = &[
+    ("panic", "clippy::panic"),
+    ("unreachable", "clippy::unreachable"),
+    ("todo", "clippy::todo"),
+    ("unimplemented", "clippy::unimplemented"),
+];
+/// Computed indexing is only a finding where a panic kills the daemon.
+const INDEX_SCOPE: &str = "crates/server/src/";
+const INDEX_ALLOW: &str = "clippy::indexing_slicing";
+
+pub struct PanicPath;
+
+impl WsRule for PanicPath {
+    fn id(&self) -> &'static str {
+        PANIC_PATH
+    }
+
+    fn describe(&self) -> &'static str {
+        "no unwrap/expect/panic!/computed indexing in library code reachable from a pub entry point (witness path reported)"
+    }
+
+    fn check(&self, ws: &Workspace<'_>, cg: &CallGraph, out: &mut Vec<Finding>) {
+        let seeds: Vec<usize> = ws
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| {
+                f.node.is_pub && !f.in_test && ws.file_of(*i).kind == FileKind::Lib
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let reached = cg.reached(&seeds);
+        let pred = cg.reach_forward(&seeds);
+
+        for (i, entry) in ws.fns.iter().enumerate() {
+            if entry.in_test || !reached[i] {
+                continue;
+            }
+            let file = ws.file_of(i);
+            if file.kind != FileKind::Lib {
+                continue;
+            }
+            let index_scope = file.rel_path.starts_with(INDEX_SCOPE);
+            walk_fn(entry.node, &mut |e| {
+                let (tok, what, clippy) = match e {
+                    Expr::MethodCall { name, tok, .. } => {
+                        match METHODS.iter().find(|(m, _)| m == name) {
+                            Some((m, clippy)) => (*tok, format!("`.{m}()`"), *clippy),
+                            None => return,
+                        }
+                    }
+                    Expr::Macro { name, tok, .. } => {
+                        match MACROS.iter().find(|(m, _)| m == name) {
+                            Some((m, clippy)) => (*tok, format!("`{m}!`"), *clippy),
+                            None => return,
+                        }
+                    }
+                    Expr::Index { index, tok, .. } if index_scope => match index.as_ref() {
+                        // Literal and range indices are the reviewed,
+                        // bounds-obvious idioms; computed indices are
+                        // where chaos runs actually die.
+                        Expr::Lit { .. } | Expr::Range { .. } => return,
+                        _ => (*tok, "computed indexing".to_owned(), INDEX_ALLOW),
+                    },
+                    _ => return,
+                };
+                if file.model.in_test.get(tok).copied().unwrap_or(false)
+                    || file.model.allowed(tok, clippy)
+                    || file.model.allowed(tok, PANIC_PATH)
+                {
+                    return;
+                }
+                let Some(token) = file.model.tokens.get(tok) else { return };
+                out.push(Finding {
+                    path: file.rel_path.clone(),
+                    line: token.line,
+                    col: token.col,
+                    rule: PANIC_PATH,
+                    message: format!(
+                        "{what} can panic and is {}; return an error or prove the invariant \
+                         with a non-panicking pattern",
+                        witness(ws, &pred, i)
+                    ),
+                });
+            });
+        }
+    }
+}
+
+/// Renders how fn `i` is reached from the public surface:
+/// `` reachable from pub `Service::handle` via `dispatch` -> `persist` ``.
+fn witness(ws: &Workspace<'_>, pred: &[Option<(usize, usize)>], i: usize) -> String {
+    let mut chain = vec![i];
+    let mut at = i;
+    while let Some((caller, _)) = pred[at] {
+        at = caller;
+        chain.push(at);
+        if chain.len() > 8 {
+            break;
+        }
+    }
+    chain.reverse();
+    if chain.len() == 1 {
+        return format!("in pub fn `{}`", ws.fns[i].qual);
+    }
+    let entry = &ws.fns[chain[0]].qual;
+    let via: Vec<String> = chain[1..]
+        .iter()
+        .take(3)
+        .map(|&f| format!("`{}`", ws.fns[f].qual))
+        .collect();
+    let ellipsis = if chain.len() > 4 { " -> ..." } else { "" };
+    format!("reachable from pub `{entry}` via {}{ellipsis}", via.join(" -> "))
+}

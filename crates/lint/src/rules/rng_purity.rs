@@ -1,0 +1,293 @@
+//! `rng-purity` — every RNG stream in the deterministic crates is
+//! seeded from a seed parameter or config field.
+//!
+//! PR 7 established the independent-stream contract: each subsystem
+//! derives its RNG from an explicit seed (`config.seed ^ STREAM_CONST`
+//! and friends), so replays are bit-identical and streams never
+//! correlate. Three ways to break it, all invisible to rustc:
+//!
+//! * **entropy seeding** — `thread_rng()`, `from_entropy()`, or a seed
+//!   derived from `Instant::now()` / `SystemTime` smuggles wall-clock
+//!   entropy into a replayed run;
+//! * **constant seeding** — `SplitMix64::new(42)` in library code
+//!   collapses every caller onto one stream and hides seed plumbing
+//!   bugs (tests pin seeds deliberately and are exempt);
+//! * **cross-stream reuse** — two RNGs built in one fn from the same
+//!   seed expression produce correlated streams, the exact bug the
+//!   per-stream XOR constants exist to prevent.
+//!
+//! The rule tracks seed taint through let-bindings flow-sensitively:
+//! a local assigned from an entropy-tainted expression taints every
+//! construction it feeds. Scope: `crates/sim`, `crates/trace`,
+//! `crates/pricing`, `server::chaos`, and (entropy checks only, where
+//! determinism is a replay contract rather than a library invariant)
+//! `crates/bench`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Expr, Item};
+use crate::dataflow::{fingerprint, walk_expr};
+use crate::engine::{Ctx, Finding};
+use crate::rules::{Rule, RNG_PURITY};
+
+/// Full-purity scope: seed dataflow + constants + reuse.
+const SCOPE: &[&str] = &["crates/sim/src/", "crates/trace/src/", "crates/pricing/src/"];
+/// Single-file scopes inside other crates.
+const SCOPE_FILES: &[&str] = &["crates/server/src/chaos.rs"];
+/// Entropy-only scope: constructions from entropy are flagged, but
+/// constant seeds are fine (benches pin scenario seeds by design).
+const SCOPE_ENTROPY_ONLY: &[&str] = &["crates/bench/src/"];
+
+/// RNG types whose `new(seed)` is a seeded construction.
+const RNG_TYPES: &[&str] = &["SplitMix64", "StdRng", "ChaCha8Rng", "SmallRng"];
+/// Qualified constructors taking a seed as first argument.
+const SEEDED_CTORS: &[&str] = &["seed_from_u64", "from_seed", "new"];
+/// Constructions that are entropy-seeded by definition.
+const ENTROPY_CTORS: &[&str] = &["thread_rng", "from_entropy", "from_os_rng", "os_rng"];
+/// Names that mark an expression as entropy-derived when they appear
+/// anywhere in its dataflow.
+const ENTROPY_MARKS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "now",
+    "elapsed",
+    "as_nanos",
+    "subsec_nanos",
+    "as_millis",
+    "random",
+    "Instant",
+    "SystemTime",
+];
+
+pub struct RngPurity;
+
+/// How a seed expression classifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Taint {
+    /// Touches an entropy source.
+    Entropy,
+    /// Literals and named constants only — no caller-supplied input.
+    Constant,
+    /// Derived from parameters, fields, or calls: deterministic.
+    Derived,
+}
+
+impl Rule for RngPurity {
+    fn id(&self) -> &'static str {
+        RNG_PURITY
+    }
+
+    fn describe(&self) -> &'static str {
+        "RNG constructions must dataflow from a seed parameter or config field — no entropy, no library-constant seeds, no cross-stream seed reuse"
+    }
+
+    fn check(&self, ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+        let full = SCOPE.iter().any(|p| ctx.rel_path.starts_with(p))
+            || SCOPE_FILES.contains(&ctx.rel_path);
+        let entropy_only =
+            !full && SCOPE_ENTROPY_ONLY.iter().any(|p| ctx.rel_path.starts_with(p));
+        if !full && !entropy_only {
+            return;
+        }
+        let mut fns = Vec::new();
+        collect_fns(&ctx.ast.items, &mut fns);
+        for f in fns {
+            self.check_fn(ctx, f, full, out);
+        }
+    }
+}
+
+impl RngPurity {
+    fn check_fn(&self, ctx: &Ctx<'_>, f: &crate::ast::Fn, full: bool, out: &mut Vec<Finding>) {
+        if ctx.model.in_test.get(f.tok).copied().unwrap_or(false) {
+            return;
+        }
+        // Flow-sensitive local taint: walk the body in order; `let`
+        // inits classify against the locals tainted so far.
+        let mut locals: BTreeMap<String, Taint> = BTreeMap::new();
+        let mut seed_prints: BTreeSet<String> = BTreeSet::new();
+        let mut sites: Vec<(usize, Taint, Option<String>)> = Vec::new();
+
+        // Statement order approximates evaluation order closely enough
+        // for straight-line seed plumbing, which is all the codebase
+        // has (seeds are derived near the construction site).
+        visit_in_order(f, &mut |stmt_names, e| match stmt_names {
+            // A subexpression in evaluation order: scan constructions.
+            None => {
+                if let Some((tok, seed)) = seeded_construction(e) {
+                    match seed {
+                        Some(seed_expr) => {
+                            let taint = classify(seed_expr, &locals);
+                            let print = fingerprint(seed_expr, &ctx.model.tokens);
+                            let reused = !seed_prints.insert(print.clone());
+                            sites.push((tok, taint, reused.then_some(print)));
+                        }
+                        None => sites.push((tok, Taint::Entropy, None)),
+                    }
+                }
+            }
+            // A completed `let`: propagate taint to the bindings.
+            Some(names) => {
+                let taint = classify(e, &locals);
+                for name in names {
+                    locals.insert(name.clone(), taint);
+                }
+            }
+        });
+
+        for (tok, taint, reuse) in sites {
+            if ctx.model.in_test.get(tok).copied().unwrap_or(false) {
+                continue;
+            }
+            let Some(token) = ctx.model.tokens.get(tok) else { continue };
+            let at = |message: String| Finding {
+                path: ctx.rel_path.to_owned(),
+                line: token.line,
+                col: token.col,
+                rule: RNG_PURITY,
+                message,
+            };
+            match taint {
+                Taint::Entropy => out.push(at(
+                    "RNG construction is entropy-seeded; derive the seed from a seed \
+                     parameter or config field so replays are bit-identical"
+                        .to_owned(),
+                )),
+                Taint::Constant if full => out.push(at(
+                    "RNG seeded from a constant in library code; thread the seed in from \
+                     config (tests may pin seeds, libraries must not)"
+                        .to_owned(),
+                )),
+                _ => {}
+            }
+            if let Some(print) = reuse {
+                if full {
+                    out.push(at(format!(
+                        "second RNG stream built from the same seed expression `{print}` in \
+                         one fn; XOR a distinct stream constant so the streams stay independent"
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// Collects every fn node in the file (nested in mods/impls too).
+fn collect_fns<'a>(items: &'a [Item], out: &mut Vec<&'a crate::ast::Fn>) {
+    for item in items {
+        match item {
+            Item::Fn(f) => out.push(f),
+            Item::Impl(i) => collect_fns(&i.items, out),
+            Item::Mod(m) => collect_fns(&m.items, out),
+            Item::Other { .. } => {}
+        }
+    }
+}
+
+/// Walks let-statements and expressions of a fn body in source order,
+/// invoking `cb(binding_names_if_let, expr)`.
+fn visit_in_order<'a>(
+    f: &'a crate::ast::Fn,
+    cb: &mut impl FnMut(Option<&'a [String]>, &'a Expr),
+) {
+    let Some(body) = &f.body else { return };
+    visit_block(body, cb);
+}
+
+fn visit_block<'a>(
+    b: &'a crate::ast::Block,
+    cb: &mut impl FnMut(Option<&'a [String]>, &'a Expr),
+) {
+    for stmt in &b.stmts {
+        match stmt {
+            crate::ast::Stmt::Let { names, init, els, .. } => {
+                if let Some(e) = init {
+                    walk_expr(e, &mut |sub| cb(None, sub));
+                    cb(Some(names.as_slice()), e);
+                }
+                if let Some(blk) = els {
+                    visit_block(blk, cb);
+                }
+            }
+            crate::ast::Stmt::Expr(e) => walk_expr(e, &mut |sub| cb(None, sub)),
+            crate::ast::Stmt::Item(Item::Fn(nested)) => {
+                if let Some(body) = &nested.body {
+                    visit_block(body, cb);
+                }
+            }
+            crate::ast::Stmt::Item(_) => {}
+        }
+    }
+}
+
+/// Recognizes an RNG construction; returns `(report_token,
+/// Some(seed_expr))` for seeded ctors, `(tok, None)` for entropy ctors.
+fn seeded_construction(e: &Expr) -> Option<(usize, Option<&Expr>)> {
+    match e {
+        Expr::Call { callee, args, tok } => {
+            let Expr::Path { segs, .. } = callee.as_ref() else { return None };
+            let last = segs.last().map(String::as_str)?;
+            if ENTROPY_CTORS.contains(&last) {
+                return Some((*tok, None));
+            }
+            if segs.len() >= 2 {
+                let ty = &segs[segs.len() - 2];
+                let typed = RNG_TYPES.contains(&ty.as_str());
+                if typed && SEEDED_CTORS.contains(&last) {
+                    return Some((*tok, args.first()));
+                }
+                // `SomeRng::from_entropy()` with zero args.
+                if typed && ENTROPY_CTORS.contains(&last) {
+                    return Some((*tok, None));
+                }
+            }
+            None
+        }
+        Expr::MethodCall { name, .. } if ENTROPY_CTORS.contains(&name.as_str()) => {
+            e.tok().map(|t| (t, None))
+        }
+        _ => None,
+    }
+}
+
+/// Classifies a seed expression against the current local taints.
+fn classify(e: &Expr, locals: &BTreeMap<String, Taint>) -> Taint {
+    let mut entropy = false;
+    let mut derived = false;
+    walk_expr(e, &mut |sub| match sub {
+        Expr::Path { segs, .. } => {
+            for seg in segs {
+                if ENTROPY_MARKS.contains(&seg.as_str()) {
+                    entropy = true;
+                }
+            }
+            if let [single] = segs.as_slice() {
+                match locals.get(single) {
+                    Some(Taint::Entropy) => entropy = true,
+                    Some(Taint::Derived) => derived = true,
+                    Some(Taint::Constant) => {}
+                    None => {
+                        // Unknown single ident: a parameter, `self`, or
+                        // an out-of-scope binding — caller-supplied.
+                        if !single.chars().next().is_some_and(char::is_uppercase) {
+                            derived = true;
+                        }
+                    }
+                }
+            }
+        }
+        Expr::MethodCall { name, .. } if ENTROPY_MARKS.contains(&name.as_str()) => {
+            entropy = true;
+        }
+        Expr::Field { .. } => derived = true,
+        _ => {}
+    });
+    if entropy {
+        Taint::Entropy
+    } else if derived {
+        Taint::Derived
+    } else {
+        Taint::Constant
+    }
+}

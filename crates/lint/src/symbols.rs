@@ -1,0 +1,97 @@
+//! Workspace symbol table: every fn, with enough context to resolve
+//! calls heuristically.
+//!
+//! The table is built from the parsed ASTs of every file in one pass.
+//! Each fn gets a dense index (its position in [`Workspace::fns`]),
+//! which the call graph uses as node id.
+
+use crate::ast::{self, Fn, Item};
+use crate::engine::{FileKind, FileModel};
+
+/// One parsed source file plus its token-level masks.
+pub struct ParsedFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    pub kind: FileKind,
+    pub model: FileModel,
+    pub ast: ast::File,
+}
+
+/// A fn in the workspace: identity plus scope facts.
+pub struct FnEntry<'a> {
+    /// Index into the files slice the fn came from.
+    pub file: usize,
+    /// `Type::name` for methods/assoc fns, plain `name` for free fns.
+    pub qual: String,
+    /// Enclosing impl's self type, if any.
+    pub self_type: Option<String>,
+    /// Crate directory name (`server` for `crates/server/src/...`),
+    /// or the top-level dir (`tests`, `examples`) outside `crates/`.
+    pub crate_name: String,
+    pub in_test: bool,
+    pub node: &'a Fn,
+}
+
+/// The full workspace: files and the flat fn table.
+pub struct Workspace<'a> {
+    pub files: &'a [ParsedFile],
+    pub fns: Vec<FnEntry<'a>>,
+}
+
+impl<'a> Workspace<'a> {
+    /// Builds the symbol table over already-parsed files.
+    pub fn build(files: &'a [ParsedFile]) -> Self {
+        let mut fns = Vec::new();
+        for (file_idx, pf) in files.iter().enumerate() {
+            let crate_name = crate_of(&pf.rel_path);
+            collect(&pf.ast.items, None, &mut |self_type, f| {
+                let qual = match self_type {
+                    Some(t) => format!("{t}::{}", f.name),
+                    None => f.name.clone(),
+                };
+                let in_test = pf.kind == FileKind::Test
+                    || pf.model.in_test.get(f.tok).copied().unwrap_or(false);
+                fns.push(FnEntry {
+                    file: file_idx,
+                    qual,
+                    self_type: self_type.map(str::to_owned),
+                    crate_name: crate_name.clone(),
+                    in_test,
+                    node: f,
+                });
+            });
+        }
+        Workspace { files, fns }
+    }
+
+    /// The file a fn lives in.
+    pub fn file_of(&self, fn_idx: usize) -> &ParsedFile {
+        &self.files[self.fns[fn_idx].file]
+    }
+}
+
+/// Walks items recursively, tracking the enclosing impl type.
+fn collect<'a>(
+    items: &'a [Item],
+    self_type: Option<&str>,
+    f: &mut impl FnMut(Option<&str>, &'a Fn),
+) {
+    for item in items {
+        match item {
+            Item::Fn(func) => f(self_type, func),
+            Item::Impl(i) => collect(&i.items, Some(&i.type_name), f),
+            Item::Mod(m) => collect(&m.items, self_type, f),
+            Item::Other { .. } => {}
+        }
+    }
+}
+
+/// Crate directory of a workspace-relative path.
+pub fn crate_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("").to_owned(),
+        Some(top) => top.to_owned(),
+        None => String::new(),
+    }
+}

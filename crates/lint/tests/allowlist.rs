@@ -1,0 +1,100 @@
+//! End-to-end allowlist behavior over a synthetic workspace: a
+//! matching `lint.toml` entry suppresses its finding, and an entry
+//! that matches nothing becomes an `unused-allow` finding that fails
+//! `--deny` — the regression gate that keeps the allowlist from
+//! accumulating dead exemptions.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use harmony_lint::{run_with, Options};
+
+fn write(path: &Path, text: &str) {
+    fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+    fs::write(path, text).expect("write");
+}
+
+/// Builds a minimal workspace with exactly one violation: an
+/// `Instant::now()` call in a sim-crate file (`wall-clock-in-sim`).
+/// The telemetry registry and DESIGN.md exist and agree so the drift
+/// rule stays quiet.
+fn synthetic_root(tag: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("allowlist-{tag}"));
+    let _ = fs::remove_dir_all(&root);
+    write(
+        &root.join("crates/telemetry/src/keys.rs"),
+        "pub const REGISTERED_KEYS: &[&str] = &[\"sim.events\"];\n",
+    );
+    write(&root.join("DESIGN.md"), "The sim counts `sim.events` per run.\n");
+    write(
+        &root.join("crates/sim/src/clock.rs"),
+        "use std::time::Instant;\n\npub fn stamp() -> Instant {\n    Instant::now()\n}\n",
+    );
+    root
+}
+
+#[test]
+fn matching_allow_suppresses_and_is_counted() {
+    let root = synthetic_root("match");
+    write(
+        &root.join("lint.toml"),
+        "[[allow]]\n\
+         rule = \"wall-clock-in-sim\"\n\
+         path = \"crates/sim/src/clock.rs\"\n\
+         contains = \"Instant::now()\"\n\
+         reason = \"fixture: the one sanctioned wall-clock read\"\n",
+    );
+    let report = run_with(&root, &Options::default()).expect("lint run");
+    assert!(report.findings.is_empty(), "allow must suppress the finding: {:?}", report.findings);
+    assert_eq!(report.allowed, 1, "the suppression must be reported");
+}
+
+#[test]
+fn unmatched_allow_is_a_finding_and_fails_deny() {
+    let root = synthetic_root("stale");
+    write(
+        &root.join("lint.toml"),
+        "[[allow]]\n\
+         rule = \"wall-clock-in-sim\"\n\
+         path = \"crates/sim/src/clock.rs\"\n\
+         reason = \"fixture: the one sanctioned wall-clock read\"\n\
+         \n\
+         [[allow]]\n\
+         rule = \"panic-path\"\n\
+         path = \"crates/sim/src/deleted.rs\"\n\
+         reason = \"stale: the file this covered is gone\"\n",
+    );
+    let report = run_with(&root, &Options::default()).expect("lint run");
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, "unused-allow");
+    assert_eq!(f.path, "lint.toml");
+    assert_eq!(f.line, 6, "finding points at the stale [[allow]] header");
+
+    // The CLI gate the CI job relies on: `--deny` exits nonzero.
+    let output = Command::new(env!("CARGO_BIN_EXE_harmony-lint"))
+        .args(["--deny", "--no-cache", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run harmony-lint");
+    assert!(!output.status.success(), "a stale allow must fail --deny");
+    assert!(
+        String::from_utf8_lossy(&output.stdout).contains("unused-allow"),
+        "stdout names the stale entry:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+}
+
+#[test]
+fn json_output_is_schema_versioned() {
+    let root = synthetic_root("json");
+    let output = Command::new(env!("CARGO_BIN_EXE_harmony-lint"))
+        .args(["--json", "--no-cache", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run harmony-lint");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("\"schema_version\""), "JSON must be versioned:\n{stdout}");
+    assert!(stdout.contains("\"wall-clock-in-sim\""), "finding must appear:\n{stdout}");
+}

@@ -1,0 +1,25 @@
+//@path: crates/server/src/fixture_state_ok.rs
+// Tolerant form of the same schema change: the post-baseline `region`
+// field defaults when absent and is written on save, so pre-`region`
+// checkpoints keep loading and new ones round-trip.
+impl Serialize for CatalogSpec {
+    fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("name".to_owned(), self.name.to_value());
+        map.insert("divisor".to_owned(), self.divisor.to_value());
+        map.insert("region".to_owned(), self.region.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for CatalogSpec {
+    fn from_value(v: &Value) -> Result<CatalogSpec, String> {
+        let name = v.field("name")?.text()?;
+        let divisor = v.field("divisor")?.integer()?;
+        let region = match v.field("region") {
+            Ok(value) => value.text()?,
+            Err(_) => String::new(),
+        };
+        Ok(CatalogSpec { name, divisor, region })
+    }
+}

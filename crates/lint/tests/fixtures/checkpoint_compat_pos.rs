@@ -1,0 +1,22 @@
+//@path: crates/server/src/fixture_state.rs
+// `region` shipped after the pinned baseline schema: reading it with
+// `?` and never writing it would brick resume-from-old-checkpoint. A
+// token scan has no notion of serde field lists; this rule parses the
+// Serialize/Deserialize impls and diffs them against the baseline.
+impl Serialize for CatalogSpec {
+    fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("name".to_owned(), self.name.to_value());
+        map.insert("divisor".to_owned(), self.divisor.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for CatalogSpec {
+    fn from_value(v: &Value) -> Result<CatalogSpec, String> {
+        let name = v.field("name")?.text()?;
+        let divisor = v.field("divisor")?.integer()?;
+        let region = v.field("region")?.text()?;
+        Ok(CatalogSpec { name, divisor, region })
+    }
+}

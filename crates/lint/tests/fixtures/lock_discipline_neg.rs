@@ -1,0 +1,40 @@
+//@path: crates/server/src/fixture_net_ok.rs
+// Clean counterparts: copy the data out and let the guard die before
+// any I/O, end liveness early with `drop`, and keep a consistent
+// acquisition order across fns.
+use std::sync::{Mutex, RwLock};
+
+fn lock_write(l: &RwLock<String>) -> std::sync::RwLockWriteGuard<'_, String> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn persist_state(text: &str) -> std::io::Result<()> {
+    std::fs::write("state.json", text)
+}
+
+pub fn tick_then_save(l: &RwLock<String>) {
+    let text = {
+        let guard = lock_write(l);
+        guard.clone()
+    };
+    let _ = persist_state(&text);
+}
+
+pub fn save_after_drop(l: &RwLock<String>) {
+    let guard = lock_write(l);
+    let text = guard.clone();
+    drop(guard);
+    let _ = persist_state(&text);
+}
+
+pub fn transfer(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let ga = a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let gb = b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = (*ga, *gb);
+}
+
+pub fn refund(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let ga = a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let gb = b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = (*gb, *ga);
+}

@@ -1,0 +1,31 @@
+//@path: crates/server/src/fixture_net.rs
+// Positive cases the PR 5 token pass provably missed: the guard
+// reaches blocking I/O only through a helper call (the token engine
+// required the write to be lexically inside the locked fn), and the
+// multi-lock ordering inversion spans two separate fns.
+use std::sync::{Mutex, RwLock};
+
+fn lock_write(l: &RwLock<String>) -> std::sync::RwLockWriteGuard<'_, String> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn persist_state(text: &str) -> std::io::Result<()> {
+    std::fs::write("state.json", text)
+}
+
+pub fn tick_and_save(l: &RwLock<String>) {
+    let guard = lock_write(l);
+    let _ = persist_state(&guard);
+}
+
+pub fn transfer(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let ga = a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let gb = b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = (*ga, *gb);
+}
+
+pub fn refund(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let gb = b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let ga = a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = (*ga, *gb);
+}

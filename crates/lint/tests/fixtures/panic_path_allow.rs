@@ -1,0 +1,16 @@
+//@path: crates/server/src/fixture_panic_allow.rs
+// Scoped `#[allow]` attributes suppress panic-path at the site; the
+// clippy lint names are honored so existing annotations keep working.
+#[allow(clippy::unwrap_used)]
+fn head(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}
+
+#[allow(clippy::indexing_slicing)]
+fn pick(xs: &[u64], i: usize) -> u64 {
+    xs[i % xs.len()]
+}
+
+pub fn route(xs: &[u64], i: usize) -> u64 {
+    pick(xs, i) + head(xs)
+}

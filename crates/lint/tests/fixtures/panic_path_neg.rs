@@ -1,0 +1,20 @@
+//@path: crates/server/src/fixture_panic_ok.rs
+// The unwrap lives in a helper only the test module calls — no pub
+// entry point reaches it. The flat token pass flagged it anyway;
+// call-graph reachability keeps it out. The pub fn itself sticks to
+// non-panicking accessors.
+fn assert_shape(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}
+
+pub fn route(xs: &[u64], i: usize) -> Option<u64> {
+    xs.get(i).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shape() {
+        assert_eq!(super::assert_shape(&[7]), 7);
+    }
+}

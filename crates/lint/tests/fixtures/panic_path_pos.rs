@@ -1,0 +1,15 @@
+//@path: crates/server/src/fixture_panic.rs
+// The PR 5 token pass only saw panic sites lexically inside pub fns;
+// both of these live in private helpers and are only reachable
+// interprocedurally from the pub entry point.
+fn pick(xs: &[u64], i: usize) -> u64 {
+    xs[i % xs.len()]
+}
+
+fn head(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}
+
+pub fn route(xs: &[u64], i: usize) -> u64 {
+    pick(xs, i) + head(xs)
+}

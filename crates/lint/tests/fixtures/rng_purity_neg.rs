@@ -1,0 +1,28 @@
+//@path: crates/sim/src/fixture_rng_ok.rs
+// Clean seeding: every stream derives from the configured seed XOR a
+// distinct stream constant, so replays are reproducible and streams
+// are decorrelated. Pinned literal seeds are fine inside tests.
+const ARRIVAL_STREAM: u64 = 0x9e37_79b9;
+const SERVICE_STREAM: u64 = 0x85eb_ca6b;
+
+pub struct Workload {
+    seed: u64,
+}
+
+impl Workload {
+    pub fn streams(&self) -> u64 {
+        let arrivals = SplitMix64::new(self.seed ^ ARRIVAL_STREAM);
+        let services = SplitMix64::new(self.seed ^ SERVICE_STREAM);
+        let _ = (arrivals, services);
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pinned_seed_is_fine_in_tests() {
+        let rng = SplitMix64::new(42);
+        let _ = rng;
+    }
+}

@@ -1,0 +1,21 @@
+//@path: crates/sim/src/fixture_rng.rs
+// Seed violations the token pass missed: the constant and the entropy
+// reach the constructor only through let-binding dataflow, and the
+// reused seed is only visible by expression fingerprint.
+use std::time::Instant;
+
+pub fn build_streams(seed: u64) -> u64 {
+    let raw = 42u64;
+    let mixed = raw ^ 0x9e3779b97f4a7c15;
+    let arrivals = SplitMix64::new(mixed);
+
+    let t = Instant::now();
+    let jitter = t.elapsed().as_nanos() as u64;
+    let services = SplitMix64::new(seed ^ jitter);
+
+    let failures = SplitMix64::new(seed);
+    let repairs = SplitMix64::new(seed);
+
+    let _ = (arrivals, services, failures, repairs);
+    0
+}

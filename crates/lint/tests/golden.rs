@@ -29,10 +29,12 @@ fn workspace_root() -> PathBuf {
 const RULES: &[&str] = &[
     "nondeterministic-iteration",
     "float-ordering",
-    "panic-in-lib",
     "wall-clock-in-sim",
-    "lock-across-io",
     "metric-name-drift",
+    "rng-purity",
+    "checkpoint-compat",
+    "lock-discipline",
+    "panic-path",
 ];
 
 #[test]

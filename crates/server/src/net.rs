@@ -244,8 +244,14 @@ pub fn serve(
     if let Some(ticker) = ticker {
         let _ = ticker.join();
     }
-    if let Err(e) = lock_read(&service).save_checkpoint() {
-        eprintln!("harmonyd: final checkpoint failed: {e}");
+    // Render under the read lock, write after releasing it: no thread
+    // is still running here, but the final checkpoint follows the same
+    // no-I/O-under-the-lock discipline as every other save.
+    let save = lock_read(&service).pending_checkpoint();
+    if let Some(save) = save {
+        if let Err(e) = save.commit() {
+            eprintln!("harmonyd: final checkpoint failed: {e}");
+        }
     }
     Ok(())
 }
@@ -439,10 +445,18 @@ fn run_ticker(
             if panic_now {
                 panic!("chaos: injected tick panic #{serial}");
             }
-            let mut svc = lock_write(service);
-            svc.tick_once();
-            if let Err(e) = svc.save_checkpoint() {
-                eprintln!("harmonyd: periodic checkpoint failed: {e}");
+            // Tick and render the checkpoint under the write lock;
+            // commit the file write only after the guard drops, so a
+            // slow disk never serializes request handlers behind it.
+            let save = {
+                let mut svc = lock_write(service);
+                svc.tick_once();
+                svc.pending_checkpoint()
+            };
+            if let Some(save) = save {
+                if let Err(e) = save.commit() {
+                    eprintln!("harmonyd: periodic checkpoint failed: {e}");
+                }
             }
         }));
         if shared.generation.load(Ordering::SeqCst) == generation {
@@ -527,7 +541,10 @@ fn handle_connection(
             // takes the read lock, and `shutdown` must always land.
             Request::Metrics => Response::Metrics(MetricsBody::from(&metrics.snapshot())),
             Request::Status => Response::Status(lock_read(service).status_body()),
-            Request::Shutdown => lock_write(service).handle(Request::Shutdown),
+            Request::Shutdown => {
+                let (response, save) = lock_write(service).handle_deferred(Request::Shutdown);
+                commit_outside_lock(response, save)
+            }
             request => match admit(inflight, limits.max_inflight) {
                 None => {
                     metrics.counter("server.shed_total").inc();
@@ -539,7 +556,13 @@ fn handle_connection(
                         ),
                     )
                 }
-                Some(_slot) => lock_write(service).handle(request),
+                Some(_slot) => {
+                    // The write guard is a temporary: it drops at the
+                    // end of this statement, before the checkpoint (if
+                    // any) is committed to disk.
+                    let (response, save) = lock_write(service).handle_deferred(request);
+                    commit_outside_lock(response, save)
+                }
             },
         };
         span.stop();
@@ -559,14 +582,32 @@ fn handle_connection(
     }
 }
 
+/// Commits a deferred checkpoint (after the service guard has already
+/// dropped — the guard is a temporary in the caller's statement) and
+/// folds any write failure into the response.
+fn commit_outside_lock(
+    response: Response,
+    save: Option<crate::service::PendingSave>,
+) -> Response {
+    match save {
+        Some(save) => save.commit_into(response),
+        None => response,
+    }
+}
+
 /// Flips the stop flag, half-closes every registered socket so blocked
 /// readers see EOF, and pokes the accept loop awake.
 fn begin_shutdown(stop: &AtomicBool, registry: &Registry, local: SocketAddr) {
     stop.store(true, Ordering::SeqCst);
-    if let Ok(reg) = registry.lock() {
-        for socket in reg.values() {
-            let _ = socket.shutdown(Shutdown::Both);
-        }
+    // Snapshot the sockets under the registry lock, half-close them
+    // after releasing it: shutdown() is syscall-cheap but still I/O,
+    // and connection handlers take this lock on every connect/drop.
+    let sockets: Vec<TcpStream> = match registry.lock() {
+        Ok(reg) => reg.values().filter_map(|s| s.try_clone().ok()).collect(),
+        Err(_) => Vec::new(),
+    };
+    for socket in &sockets {
+        let _ = socket.shutdown(Shutdown::Both);
     }
     let _ = TcpStream::connect(local);
 }

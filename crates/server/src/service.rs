@@ -4,10 +4,23 @@
 //! state around it: the buffer of submitted-but-unconsumed
 //! observations, lifetime counters, and checkpoint provenance. Network
 //! and ticker threads share one `Service` behind a lock and call
-//! [`Service::handle`] / [`Service::tick_once`].
+//! [`Service::handle_deferred`] / [`Service::tick_once`].
+//!
+//! # Checkpoints never write under the service lock
+//!
+//! State-mutating verbs checkpoint automatically, but the file write
+//! must not happen while the caller holds the service lock — a slow
+//! disk would serialize every other request behind it. So mutating
+//! verbs return a [`PendingSave`]: the checkpoint is *rendered* under
+//! the lock (cheap, pure) and *committed* after the guard drops.
+//! Commits are ordered by a [`SaveGate`] serial allocated under the
+//! lock, so two saves racing outside it can never regress the file to
+//! older state.
 
 use std::io;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use harmony::classify::ClassifierConfig;
 use harmony::OnlinePipeline;
@@ -17,6 +30,71 @@ use crate::protocol::{MetricsBody, Request, Response, StatusBody};
 use crate::state::{
     self, CatalogSpec, Checkpoint, ClassifierSource, ObjectiveSpec, CHECKPOINT_VERSION,
 };
+
+/// Orders checkpoint commits that happen outside the service lock.
+///
+/// Serials are allocated under the service lock (so they follow state
+/// order); [`PendingSave::commit`] takes the `committed` mutex across
+/// the file write so a stale pending save can never overwrite a newer
+/// checkpoint that already landed on disk.
+#[derive(Debug, Default)]
+pub struct SaveGate {
+    next: AtomicU64,
+    committed: Mutex<u64>,
+}
+
+/// A checkpoint rendered under the service lock, waiting to be written
+/// to disk after the lock is released.
+#[derive(Debug)]
+pub struct PendingSave {
+    text: String,
+    path: PathBuf,
+    serial: u64,
+    /// Explicit `snapshot` requests surface write failures in the
+    /// response; autosaves only log them.
+    required: bool,
+    gate: Arc<SaveGate>,
+}
+
+impl PendingSave {
+    /// Size of the encoded checkpoint (what [`PendingSave::commit`]
+    /// will report as bytes written).
+    pub fn bytes(&self) -> u64 {
+        self.text.len() as u64
+    }
+
+    /// Writes the checkpoint unless a newer one already committed
+    /// (`Ok(None)`). Call this *after* dropping the service guard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the atomic write.
+    pub fn commit(self) -> io::Result<Option<u64>> {
+        let mut committed =
+            self.gate.committed.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.serial <= *committed {
+            return Ok(None);
+        }
+        let bytes = state::write_atomic(&self.text, &self.path)?;
+        *committed = self.serial;
+        Ok(Some(bytes))
+    }
+
+    /// Commits and folds the outcome into `response`: write failures
+    /// replace the response for explicit snapshots and are logged (but
+    /// do not fail the request) for autosaves.
+    pub fn commit_into(self, response: Response) -> Response {
+        let required = self.required;
+        match self.commit() {
+            Ok(_) => response,
+            Err(e) if required => Response::internal(format!("snapshot failed: {e}")),
+            Err(e) => {
+                eprintln!("harmonyd: checkpoint failed: {e}");
+                response
+            }
+        }
+    }
+}
 
 /// The daemon's shared state: pipeline + observation buffer +
 /// checkpoint provenance.
@@ -30,6 +108,7 @@ pub struct Service {
     buffered: Vec<Task>,
     total_observations: u64,
     snapshot_path: Option<PathBuf>,
+    save_gate: Arc<SaveGate>,
     // Watchdog bookkeeping: how often the background ticker had to be
     // restarted and why, surfaced via `status`. Deliberately not part
     // of the checkpoint — a restart wipes the slate.
@@ -58,6 +137,7 @@ impl Service {
             buffered: Vec::new(),
             total_observations: 0,
             snapshot_path,
+            save_gate: Arc::new(SaveGate::default()),
             ticker_restarts: 0,
             ticker_last_error: None,
         }
@@ -98,6 +178,7 @@ impl Service {
             buffered: checkpoint.buffered,
             total_observations: checkpoint.total_observations,
             snapshot_path,
+            save_gate: Arc::new(SaveGate::default()),
             ticker_restarts: 0,
             ticker_last_error: None,
         })
@@ -148,22 +229,50 @@ impl Service {
         }
     }
 
-    /// Writes a checkpoint to the configured snapshot path (no-op
-    /// returning `Ok(None)` when none is configured).
+    /// Renders a checkpoint and allocates its commit serial. `Ok(None)`
+    /// when no snapshot path is configured.
+    fn make_pending(&self, required: bool) -> io::Result<Option<PendingSave>> {
+        let Some(path) = self.snapshot_path.clone() else {
+            return Ok(None);
+        };
+        let text = state::encode_checkpoint(&self.checkpoint())?;
+        let serial = self.save_gate.next.fetch_add(1, Ordering::SeqCst) + 1;
+        Ok(Some(PendingSave {
+            text,
+            path,
+            serial,
+            required,
+            gate: Arc::clone(&self.save_gate),
+        }))
+    }
+
+    /// Renders the current checkpoint for a deferred write (`None` when
+    /// no snapshot path is configured, or — after logging — when the
+    /// checkpoint fails to serialize). The caller commits it after
+    /// releasing the service lock.
+    pub fn pending_checkpoint(&self) -> Option<PendingSave> {
+        match self.make_pending(false) {
+            Ok(pending) => pending,
+            Err(e) => {
+                eprintln!("harmonyd: checkpoint failed: {e}");
+                None
+            }
+        }
+    }
+
+    /// Renders and immediately commits a checkpoint (no-op returning
+    /// `Ok(None)` when no snapshot path is configured, or when a newer
+    /// checkpoint already committed). Prefer
+    /// [`Service::pending_checkpoint`] when holding the service lock —
+    /// this method writes the file inline.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures from the atomic save.
     pub fn save_checkpoint(&self) -> io::Result<Option<u64>> {
-        match &self.snapshot_path {
-            Some(path) => state::save_atomic(&self.checkpoint(), path).map(Some),
+        match self.make_pending(false)? {
+            Some(pending) => pending.commit(),
             None => Ok(None),
-        }
-    }
-
-    fn autosave(&self) {
-        if let Err(e) = self.save_checkpoint() {
-            eprintln!("harmonyd: checkpoint failed: {e}");
         }
     }
 
@@ -192,12 +301,13 @@ impl Service {
         }
     }
 
-    /// Executes one request. `Shutdown` returns [`Response::ShuttingDown`];
-    /// actually stopping the daemon is the caller's job. State-mutating
-    /// requests (`submit-observations`, `tick`) checkpoint automatically
-    /// when a snapshot path is configured, so a `kill -9` at any point
-    /// loses at most the request in flight.
-    pub fn handle(&mut self, request: Request) -> Response {
+    /// Executes one request without touching the filesystem. When the
+    /// verb checkpoints (`submit-observations`, `tick`, `snapshot`),
+    /// the rendered checkpoint comes back as a [`PendingSave`] the
+    /// caller must commit *after* releasing the service lock. `Shutdown`
+    /// returns [`Response::ShuttingDown`]; actually stopping the daemon
+    /// is the caller's job.
+    pub fn handle_deferred(&mut self, request: Request) -> (Response, Option<PendingSave>) {
         match request {
             Request::SubmitObservations { tasks } => {
                 self.total_observations += tasks.len() as u64;
@@ -206,50 +316,86 @@ impl Service {
                     buffered: self.buffered.len(),
                     total: self.total_observations,
                 };
-                self.autosave();
-                response
+                let save = self.pending_checkpoint();
+                (response, save)
             }
-            Request::GetPlan => Response::Plan {
-                tick: self.pipeline.ticks(),
-                plan: self.pipeline.last_plan().cloned(),
-            },
+            Request::GetPlan => (
+                Response::Plan {
+                    tick: self.pipeline.ticks(),
+                    plan: self.pipeline.last_plan().cloned(),
+                },
+                None,
+            ),
             Request::GetForecast { horizon } => {
                 let horizon = horizon.unwrap_or(self.pipeline.config().horizon).max(1);
-                Response::Forecast {
-                    horizon,
-                    classes: self.pipeline.forecast_tiered(horizon),
-                }
+                (
+                    Response::Forecast {
+                        horizon,
+                        classes: self.pipeline.forecast_tiered(horizon),
+                    },
+                    None,
+                )
             }
-            Request::Status => Response::Status(self.status_body()),
-            Request::Metrics => Response::Metrics(MetricsBody::from(
-                &harmony_telemetry::global().snapshot(),
-            )),
+            Request::Status => (Response::Status(self.status_body()), None),
+            // The network layer answers `metrics` lock-free before it
+            // ever takes the service lock; routing it here would drag a
+            // telemetry snapshot under the write lock for no reason.
+            Request::Metrics => (
+                Response::internal("metrics is served lock-free by the network layer"),
+                None,
+            ),
             Request::Tick => {
                 let tick = self.tick_once();
-                self.autosave();
-                match self.pipeline.last_plan().cloned() {
+                let save = self.pending_checkpoint();
+                let response = match self.pipeline.last_plan().cloned() {
                     Some(plan) => Response::Ticked { tick, plan },
                     None => Response::internal("tick produced no plan"),
-                }
+                };
+                (response, save)
             }
-            Request::DrainEvents => Response::Events {
-                events: self.pipeline.take_degradations(),
-            },
-            Request::Snapshot => match self.save_checkpoint() {
-                Ok(Some(bytes)) => Response::Snapshotted {
-                    path: self
-                        .snapshot_path
-                        .as_ref()
-                        .map(|p| p.display().to_string())
-                        .unwrap_or_default(),
-                    bytes,
+            Request::DrainEvents => (
+                Response::Events {
+                    events: self.pipeline.take_degradations(),
                 },
-                Ok(None) => Response::bad_request(
-                    "no snapshot path configured (start harmonyd with --snapshot)",
+                None,
+            ),
+            Request::Snapshot => match self.make_pending(true) {
+                Ok(Some(save)) => {
+                    let response = Response::Snapshotted {
+                        path: self
+                            .snapshot_path
+                            .as_ref()
+                            .map(|p| p.display().to_string())
+                            .unwrap_or_default(),
+                        bytes: save.bytes(),
+                    };
+                    (response, Some(save))
+                }
+                Ok(None) => (
+                    Response::bad_request(
+                        "no snapshot path configured (start harmonyd with --snapshot)",
+                    ),
+                    None,
                 ),
-                Err(e) => Response::internal(format!("snapshot failed: {e}")),
+                Err(e) => (Response::internal(format!("snapshot failed: {e}")), None),
             },
-            Request::Shutdown => Response::ShuttingDown,
+            Request::Shutdown => (Response::ShuttingDown, None),
+        }
+    }
+
+    /// [`Service::handle_deferred`] plus an immediate commit of any
+    /// pending checkpoint — the convenience entry point for tests and
+    /// single-threaded callers that do not hold a lock.
+    pub fn handle(&mut self, request: Request) -> Response {
+        if matches!(request, Request::Metrics) {
+            return Response::Metrics(MetricsBody::from(
+                &harmony_telemetry::global().snapshot(),
+            ));
+        }
+        let (response, save) = self.handle_deferred(request);
+        match save {
+            Some(save) => save.commit_into(response),
+            None => response,
         }
     }
 }

@@ -501,9 +501,31 @@ fn decode_envelope(text: &str) -> Result<(u32, &str), String> {
 /// [`load_with_recovery`] removes it). The generation rotation is
 /// best-effort: its failure never blocks the primary rename.
 pub fn save_atomic(checkpoint: &Checkpoint, path: &Path) -> io::Result<u64> {
+    write_atomic(&encode_checkpoint(checkpoint)?, path)
+}
+
+/// Serializes a checkpoint into its CRC-enveloped on-disk text without
+/// touching the filesystem — the pure half of [`save_atomic`], so
+/// callers can render under a lock and write after releasing it.
+///
+/// # Errors
+///
+/// Serialization failures surface as [`io::ErrorKind::InvalidData`].
+pub fn encode_checkpoint(checkpoint: &Checkpoint) -> io::Result<String> {
     let payload = serde_json::to_string(checkpoint)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    let text = encode_envelope(&payload);
+    Ok(encode_envelope(&payload))
+}
+
+/// Writes already-encoded checkpoint text to `<path>.tmp`, fsyncs,
+/// rotates the current `path` to `<path>.1`, and atomically renames
+/// the tmp over `path` — the I/O half of [`save_atomic`]. Returns the
+/// bytes written.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_atomic(text: &str, path: &Path) -> io::Result<u64> {
     let tmp = tmp_path(path);
     {
         let mut file = fs::File::create(&tmp)?;
@@ -634,7 +656,9 @@ pub fn flip_bit(path: &Path, byte_index: u64, bit: u8) -> io::Result<()> {
         return Err(io::Error::new(io::ErrorKind::InvalidInput, "cannot flip a bit of an empty file"));
     }
     let idx = (byte_index % bytes.len() as u64) as usize;
-    bytes[idx] ^= 1 << (bit % 8);
+    if let Some(byte) = bytes.get_mut(idx) {
+        *byte ^= 1 << (bit % 8);
+    }
     fs::write(path, bytes)
 }
 
